@@ -1,0 +1,415 @@
+package emogi_test
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (see DESIGN.md §5 for the index). Each benchmark runs the corresponding
+// harness runner at the reduced QuickConfig scale and reports the headline
+// simulated metrics via b.ReportMetric, so `go test -bench=. -benchmem`
+// regenerates the whole evaluation in miniature. cmd/emogi-bench runs the
+// same runners at full scale.
+
+import (
+	"testing"
+
+	emogi "repro"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+// benchConfig is the shared reduced configuration.
+func benchConfig() bench.Config { return bench.QuickConfig() }
+
+// BenchmarkFig3RequestPatterns regenerates Figure 3: the PCIe request-size
+// mix of the toy traversal's three access patterns.
+func BenchmarkFig3RequestPatterns(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure3(benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkFig4ToyBandwidth regenerates Figure 4: toy traversal PCIe and
+// DRAM bandwidths, reporting the three patterns in GB/s.
+func BenchmarkFig4ToyBandwidth(b *testing.B) {
+	cfg := benchConfig()
+	var strided, aligned, misaligned float64
+	for i := 0; i < b.N; i++ {
+		for _, tc := range []struct {
+			p   core.ToyPattern
+			dst *float64
+		}{
+			{core.ToyStrided, &strided},
+			{core.ToyMergedAligned, &aligned},
+			{core.ToyMergedMisaligned, &misaligned},
+		} {
+			gcfg := emogi.V100PCIe3(cfg.Scale).GPU
+			gcfg.MemBytes = 0 // the toy's output array is not under test
+			dev := gpu.NewDevice(gcfg)
+			r, err := core.ToyTraverse(dev, 1<<20, tc.p, core.ZeroCopy)
+			if err != nil {
+				b.Fatal(err)
+			}
+			*tc.dst = r.PCIeBandwidth / 1e9
+		}
+	}
+	b.ReportMetric(strided, "strided-GB/s")
+	b.ReportMetric(misaligned, "misaligned-GB/s")
+	b.ReportMetric(aligned, "aligned-GB/s")
+}
+
+// BenchmarkTable2Datasets regenerates Table 2: dataset synthesis and
+// inventory statistics.
+func BenchmarkTable2Datasets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := bench.NewDatasets(benchConfig())
+		t := bench.Table2(ds)
+		if len(t.Rows) != 6 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkFig6DegreeCDF regenerates Figure 6: the edge-count CDF over
+// vertex degree for all six graphs.
+func BenchmarkFig6DegreeCDF(b *testing.B) {
+	ds := bench.NewDatasets(benchConfig())
+	for _, sym := range bench.AllSyms() {
+		ds.Get(sym) // build outside the timed loop
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure6(ds)
+		if len(t.Rows) != 6 {
+			b.Fatalf("rows = %d", len(t.Rows))
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// benchSweep runs the §5.3 BFS case-study sweep once and caches it for the
+// figure benchmarks that are views over it.
+var cachedSweep *bench.BFSSweep
+var cachedSweepDS *bench.Datasets
+
+func getSweep(b *testing.B) (*bench.BFSSweep, *bench.Datasets) {
+	b.Helper()
+	if cachedSweep == nil {
+		ds := bench.NewDatasets(benchConfig())
+		sweep, err := bench.RunBFSSweep(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cachedSweep = sweep
+		cachedSweepDS = ds
+	}
+	return cachedSweep, cachedSweepDS
+}
+
+// BenchmarkFig5RequestSizes regenerates Figure 5: BFS PCIe request size
+// distributions, reporting the Merged+Aligned 128B share averaged over
+// graphs.
+func BenchmarkFig5RequestSizes(b *testing.B) {
+	sweep, _ := getSweep(b)
+	var share float64
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure5(sweep)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		total := 0.0
+		for _, sym := range bench.AllSyms() {
+			mon := sweep.Cell(sym, "Merged+Aligned").Summary.Monitor
+			total += float64(mon.BySize[128]) / float64(mon.Requests)
+		}
+		share = total / float64(len(bench.AllSyms()))
+	}
+	b.ReportMetric(share*100, "aligned-128B-%")
+}
+
+// BenchmarkFig7RequestCounts regenerates Figure 7: total PCIe requests per
+// implementation, reporting the average merge-optimization cut.
+func BenchmarkFig7RequestCounts(b *testing.B) {
+	sweep, _ := getSweep(b)
+	var cut float64
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure7(sweep)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		total := 0.0
+		for _, sym := range bench.AllSyms() {
+			n := float64(sweep.Cell(sym, "Naive").Summary.Monitor.Requests)
+			m := float64(sweep.Cell(sym, "Merged").Summary.Monitor.Requests)
+			total += 1 - m/n
+		}
+		cut = total / float64(len(bench.AllSyms()))
+	}
+	b.ReportMetric(cut*100, "merge-request-cut-%")
+}
+
+// BenchmarkFig8Bandwidth regenerates Figure 8: average PCIe bandwidth
+// during BFS, reporting the Merged+Aligned mean in GB/s.
+func BenchmarkFig8Bandwidth(b *testing.B) {
+	sweep, _ := getSweep(b)
+	var bw float64
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure8(sweep)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		total := 0.0
+		for _, sym := range bench.AllSyms() {
+			total += sweep.Cell(sym, "Merged+Aligned").Bandwidth()
+		}
+		bw = total / float64(len(bench.AllSyms())) / 1e9
+	}
+	b.ReportMetric(bw, "aligned-GB/s")
+}
+
+// BenchmarkFig9BFSSpeedup regenerates Figure 9: BFS performance normalized
+// to UVM, reporting the Merged+Aligned average speedup.
+func BenchmarkFig9BFSSpeedup(b *testing.B) {
+	sweep, _ := getSweep(b)
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure9(sweep)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		total := 0.0
+		for _, sym := range bench.AllSyms() {
+			total += emogi.Speedup(sweep.Cell(sym, "UVM").Summary,
+				sweep.Cell(sym, "Merged+Aligned").Summary)
+		}
+		avg = total / float64(len(bench.AllSyms()))
+	}
+	b.ReportMetric(avg, "speedup-vs-uvm")
+}
+
+// BenchmarkFig10Amplification regenerates Figure 10: I/O read
+// amplification, reporting UVM's and EMOGI's averages.
+func BenchmarkFig10Amplification(b *testing.B) {
+	sweep, ds := getSweep(b)
+	var uvmAmp, emAmp float64
+	for i := 0; i < b.N; i++ {
+		t := bench.Figure10(sweep, ds)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		u, e := 0.0, 0.0
+		for _, sym := range bench.AllSyms() {
+			dataset := ds.Get(sym).EdgeListBytes(8)
+			u += sweep.Cell(sym, "UVM").Summary.IOAmplification(dataset)
+			e += sweep.Cell(sym, "Merged+Aligned").Summary.IOAmplification(dataset)
+		}
+		uvmAmp, emAmp = u/6, e/6
+	}
+	b.ReportMetric(uvmAmp, "uvm-amplification")
+	b.ReportMetric(emAmp, "emogi-amplification")
+}
+
+// BenchmarkFig11AllApps regenerates Figure 11: SSSP/BFS/CC speedups over
+// UVM, reporting the overall average (the paper's 2.92x).
+func BenchmarkFig11AllApps(b *testing.B) {
+	var avg float64
+	for i := 0; i < b.N; i++ {
+		ds := bench.NewDatasets(benchConfig())
+		sweep, err := bench.RunAppSweep(ds, emogi.V100PCIe3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t := bench.Figure11(sweep)
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		total, count := 0.0, 0
+		for _, app := range []emogi.App{emogi.SSSP, emogi.BFS, emogi.CC} {
+			for _, sym := range bench.AppGraphs(app) {
+				total += emogi.Speedup(sweep.Cell(app, sym, "UVM").Summary,
+					sweep.Cell(app, sym, "EMOGI").Summary)
+				count++
+			}
+		}
+		avg = total / float64(count)
+	}
+	b.ReportMetric(avg, "avg-speedup-vs-uvm")
+}
+
+// BenchmarkFig12PCIe4Scaling regenerates Figure 12: PCIe 3.0 vs 4.0
+// scaling on the A100, reporting both systems' link-scaling factors.
+func BenchmarkFig12PCIe4Scaling(b *testing.B) {
+	var uvmScale, emScale float64
+	for i := 0; i < b.N; i++ {
+		ds := bench.NewDatasets(benchConfig())
+		t, err := bench.Figure12(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+		// The scaling factors are in the note; recompute them directly.
+		gen3, err := bench.RunAppSweep(ds, emogi.A100PCIe3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen4, err := bench.RunAppSweep(ds, emogi.A100PCIe4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		u, e, n := 0.0, 0.0, 0
+		for _, app := range []emogi.App{emogi.SSSP, emogi.BFS, emogi.CC} {
+			for _, sym := range bench.AppGraphs(app) {
+				u += emogi.Speedup(gen4.Cell(app, sym, "UVM").Summary, gen3.Cell(app, sym, "UVM").Summary)
+				e += emogi.Speedup(gen4.Cell(app, sym, "EMOGI").Summary, gen3.Cell(app, sym, "EMOGI").Summary)
+				n++
+			}
+		}
+		// emogi.Speedup(gen4, gen3) = gen4/gen3 elapsed ratio; invert for scaling.
+		uvmScale, emScale = 1/(u/float64(n)), 1/(e/float64(n))
+	}
+	b.ReportMetric(uvmScale, "uvm-gen4-scaling")
+	b.ReportMetric(emScale, "emogi-gen4-scaling")
+}
+
+// BenchmarkTable3PriorWork regenerates Table 3: EMOGI vs HALO and Subway.
+func BenchmarkTable3PriorWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ds := bench.NewDatasets(benchConfig())
+		t, err := bench.Table3(ds)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkCoreBFSMergedAligned is a plain throughput benchmark of the
+// fully-optimized BFS kernel (simulator edges traversed per wall-clock
+// second), for tracking the simulator's own performance.
+func BenchmarkCoreBFSMergedAligned(b *testing.B) {
+	g, err := emogi.BuildDataset("GK", 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := emogi.NewSystem(emogi.V100PCIe3(0.1))
+	dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := emogi.PickSources(g, 1, 1)[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sys.BFS(dg, src, emogi.MergedAligned); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(g.NumEdges()*int64(b.N))/b.Elapsed().Seconds(), "sim-edges/s")
+}
+
+// BenchmarkCoalescer measures the simulator's coalescing unit in
+// isolation.
+func BenchmarkCoalescer(b *testing.B) {
+	dev := gpu.NewDevice(emogi.V100PCIe3(1).GPU)
+	buf := dev.Arena().MustAlloc("zc", 1, 1<<20) // SpaceHostPinned
+	var idx [gpu.WarpSize]int64
+	for i := range idx {
+		idx[i] = int64(i)
+	}
+	b.ResetTimer()
+	dev.Launch("bench", 1, func(w *gpu.Warp) {
+		for i := 0; i < b.N; i++ {
+			w.InvalidateMRU()
+			w.GatherU64(buf, &idx, gpu.MaskFull)
+		}
+	})
+}
+
+// BenchmarkGenerators measures dataset synthesis throughput.
+func BenchmarkGenerators(b *testing.B) {
+	for _, sym := range bench.AllSyms() {
+		b.Run(sym, func(b *testing.B) {
+			var edges int64
+			for i := 0; i < b.N; i++ {
+				g, err := emogi.BuildDataset(sym, 0.1, int64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				edges = g.NumEdges()
+			}
+			b.ReportMetric(float64(edges), "edges")
+		})
+	}
+}
+
+// BenchmarkRefAlgorithms measures the CPU reference implementations used
+// for validation.
+func BenchmarkRefAlgorithms(b *testing.B) {
+	g, err := emogi.BuildDataset("GU", 0.1, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := emogi.PickSources(g, 1, 1)[0]
+	b.Run("BFS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.RefBFS(g, src)
+		}
+	})
+	b.Run("SSSP", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.RefSSSP(g, src)
+		}
+	})
+	b.Run("CC", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			graph.RefCC(g)
+		}
+	})
+}
+
+// BenchmarkAblations runs the six design-choice ablations at quick scale
+// (see internal/bench/ablation.go and DESIGN.md §6).
+func BenchmarkAblations(b *testing.B) {
+	ablations := []struct {
+		name string
+		run  func(*bench.Datasets) (*bench.Table, error)
+	}{
+		{"UVMBlock", bench.AblationUVMBlock},
+		{"WorkerSize", bench.AblationWorkerSize},
+		{"Balance", bench.AblationBalance},
+		{"Compression", bench.AblationCompression},
+		{"MultiGPU", bench.AblationMultiGPU},
+		{"Hybrid", bench.AblationHybrid},
+		{"Link", bench.AblationLink},
+		{"EdgeCentric", bench.AblationEdgeCentric},
+		{"DirectionOpt", bench.AblationDirectionOpt},
+		{"Thrash", bench.AblationThrash},
+	}
+	for _, ab := range ablations {
+		b.Run(ab.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				ds := bench.NewDatasets(benchConfig())
+				t, err := ab.run(ds)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.Log("\n" + t.Render())
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,174 @@
+// Command emogi-bench regenerates the paper's evaluation: every table and
+// figure of §5 (plus the §3.3 toy characterization), printed as text tables
+// and optionally written to a results directory.
+//
+//	emogi-bench                 # full run at the standard 1:1000 scale
+//	emogi-bench -quick          # reduced scale for a fast smoke run
+//	emogi-bench -only fig9,fig10
+//	emogi-bench -o results/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	emogi "repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("emogi-bench: ")
+
+	var (
+		scale     = flag.Float64("scale", 1.0, "dataset scale (1.0 = standard 1:1000 reduction)")
+		seed      = flag.Int64("seed", 42, "generator and source seed")
+		sources   = flag.Int("sources", 3, "sources averaged per measurement (paper uses 64)")
+		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
+		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,fig3..fig12,ablation-*")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
+		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.txt")
+		csv       = flag.Bool("csv", false, "with -o, also write <dir>/<id>.csv")
+	)
+	flag.Parse()
+
+	cfg := bench.Config{Scale: *scale, Seed: *seed, Sources: *sources}
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(id))] = true
+		}
+	}
+	selected := func(id string) bool { return len(want) == 0 || want[id] }
+
+	ds := bench.NewDatasets(cfg)
+	emit := func(id string, t *bench.Table, err error) {
+		if err != nil {
+			log.Fatalf("%s: %v", id, err)
+		}
+		out := t.Render()
+		fmt.Println(out)
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				log.Fatal(err)
+			}
+			path := filepath.Join(*outDir, id+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if *csv {
+				cpath := filepath.Join(*outDir, id+".csv")
+				if err := os.WriteFile(cpath, []byte(t.RenderCSV()), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("EMOGI evaluation harness  scale=%.3g sources=%d seed=%d\n\n",
+		cfg.Scale, cfg.Sources, cfg.Seed)
+
+	if selected("table1") {
+		emit("table1", bench.Table1(cfg), nil)
+	}
+	if selected("table2") {
+		emit("table2", bench.Table2(ds), nil)
+	}
+	if selected("fig3") {
+		t, err := bench.Figure3(cfg)
+		emit("fig3", t, err)
+	}
+	if selected("fig4") {
+		t, err := bench.Figure4(cfg)
+		emit("fig4", t, err)
+	}
+	if selected("fig6") {
+		emit("fig6", bench.Figure6(ds), nil)
+	}
+
+	needSweep := selected("fig5") || selected("fig7") || selected("fig8") ||
+		selected("fig9") || selected("fig10")
+	if needSweep {
+		log.Printf("running BFS case-study sweep (6 graphs x 4 systems x %d sources)...", cfg.Sources)
+		sweep, err := bench.RunBFSSweep(ds)
+		if err != nil {
+			log.Fatalf("BFS sweep: %v", err)
+		}
+		if selected("fig5") {
+			emit("fig5", bench.Figure5(sweep), nil)
+		}
+		if selected("fig7") {
+			emit("fig7", bench.Figure7(sweep), nil)
+		}
+		if selected("fig8") {
+			emit("fig8", bench.Figure8(sweep), nil)
+		}
+		if selected("fig9") {
+			emit("fig9", bench.Figure9(sweep), nil)
+		}
+		if selected("fig10") {
+			emit("fig10", bench.Figure10(sweep, ds), nil)
+		}
+	}
+
+	if selected("fig11") {
+		log.Printf("running all-applications sweep on V100...")
+		sweep, err := bench.RunAppSweep(ds, emogi.V100PCIe3)
+		if err != nil {
+			log.Fatalf("app sweep: %v", err)
+		}
+		emit("fig11", bench.Figure11(sweep), nil)
+	}
+	if selected("fig12") {
+		log.Printf("running PCIe 3.0 vs 4.0 sweeps on A100...")
+		t, err := bench.Figure12(ds)
+		emit("fig12", t, err)
+	}
+	if selected("claims") {
+		log.Printf("running the paper-claims check...")
+		t, err := bench.Claims(ds)
+		emit("claims", t, err)
+	}
+	if selected("table3") {
+		log.Printf("running prior-work comparison (HALO, Subway)...")
+		t, err := bench.Table3(ds)
+		emit("table3", t, err)
+	}
+
+	type ablation struct {
+		id  string
+		run func(*bench.Datasets) (*bench.Table, error)
+	}
+	for _, ab := range []ablation{
+		{"ablation-uvm", bench.AblationUVMBlock},
+		{"ablation-worker", bench.AblationWorkerSize},
+		{"ablation-balance", bench.AblationBalance},
+		{"ablation-compress", bench.AblationCompression},
+		{"ablation-multigpu", bench.AblationMultiGPU},
+		{"ablation-hybrid", bench.AblationHybrid},
+		{"ablation-link", bench.AblationLink},
+		{"ablation-edgecentric", bench.AblationEdgeCentric},
+		{"ablation-directionopt", bench.AblationDirectionOpt},
+		{"ablation-thrash", bench.AblationThrash},
+	} {
+		if selected(ab.id) || (len(want) != 0 && want["ablations"]) {
+			if len(want) == 0 && !*ablations {
+				continue
+			}
+			t, err := ab.run(ds)
+			emit(ab.id, t, err)
+		}
+	}
+
+	fmt.Printf("done in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+}

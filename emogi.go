@@ -1,0 +1,248 @@
+// Package emogi is the public API of the EMOGI reproduction: efficient
+// out-of-memory graph traversal on GPUs via cache-line-sized zero-copy
+// host-memory access (Min et al., VLDB 2020), running on a calibrated
+// software simulation of the GPU memory system.
+//
+// A System is one simulated machine (GPU + host memory + PCIe link).
+// Graphs are loaded onto it with a transport (ZeroCopy for EMOGI, UVM for
+// the baseline) and traversed with BFS, SSSP, or CC in one of the paper's
+// three kernel variants. All functional results are exact (validated
+// against CPU references); all performance numbers are simulated time from
+// the calibrated model described in DESIGN.md.
+//
+//	sys := emogi.NewSystem(emogi.V100PCIe3())
+//	g := emogi.BuildDataset("GK", 0.1, 42)
+//	dg, _ := sys.Load(g, emogi.ZeroCopy, 8)
+//	res, _ := sys.BFS(dg, src, emogi.MergedAligned)
+//	fmt.Println(res.Elapsed, res.Stats.PCIeRequests)
+package emogi
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+// Re-exported types so user code only imports this package.
+type (
+	// Graph is a CSR graph in host memory.
+	Graph = graph.CSR
+	// DeviceGraph is a graph loaded onto a System.
+	DeviceGraph = core.DeviceGraph
+	// Result is one traversal run's output and counters.
+	Result = core.Result
+	// Variant selects the kernel access pattern.
+	Variant = core.Variant
+	// Transport selects where the edge list lives.
+	Transport = core.Transport
+	// App identifies a traversal application.
+	App = core.App
+)
+
+// Kernel variants (§5.1.2).
+const (
+	Naive         = core.Naive
+	Merged        = core.Merged
+	MergedAligned = core.MergedAligned
+)
+
+// Edge-list transports.
+const (
+	ZeroCopy = core.ZeroCopy
+	UVM      = core.UVM
+)
+
+// Applications.
+const (
+	BFS  = core.AppBFS
+	SSSP = core.AppSSSP
+	CC   = core.AppCC
+)
+
+// Scale is the repository's standard dataset reduction: every dataset and
+// every memory capacity is 1/1000 of the paper's, preserving all the
+// capacity ratios the results depend on.
+const Scale = 1.0 / 1000.0
+
+// SystemConfig describes one simulated machine.
+type SystemConfig struct {
+	Name string
+	GPU  gpu.Config
+}
+
+// scaleBytes scales a full-size capacity down by Scale times the user's
+// additional dataset scale factor.
+func scaleBytes(fullBytes int64, datasetScale float64) int64 {
+	return int64(float64(fullBytes) * Scale * datasetScale)
+}
+
+// V100PCIe3 returns the paper's main evaluation platform (Table 1): a
+// Tesla V100 16GB on PCIe 3.0 x16 with quad-channel DDR4 host memory,
+// scaled to the given dataset scale (1.0 = the standard 1:1000 reduction).
+func V100PCIe3(datasetScale float64) SystemConfig {
+	return SystemConfig{
+		Name: "V100 + PCIe 3.0",
+		GPU: gpu.Config{
+			Name:               "Tesla V100 16GB",
+			MemBytes:           scaleBytes(16<<30, datasetScale),
+			HostMemBytes:       scaleBytes(256<<30, datasetScale),
+			L2Bytes:            scaleBytes(6<<20, datasetScale),
+			MaxConcurrentLanes: scaleLanes(80*2048, datasetScale),
+			HBM:                memsys.HBM2V100(),
+			HostDRAM:           memsys.DDR4Quad(),
+			Link:               pcie.Gen3x16(),
+		},
+	}
+}
+
+// scaleLanes scales the hardware thread concurrency with the dataset so
+// the concurrent-streams-to-cache ratio of the full-size machine is
+// preserved (see DESIGN.md).
+func scaleLanes(fullLanes int, datasetScale float64) int {
+	n := int(float64(fullLanes) * Scale * datasetScale)
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// TitanXpPCIe3 returns the HALO comparison platform (Table 3): a Titan Xp
+// 12GB on PCIe 3.0.
+func TitanXpPCIe3(datasetScale float64) SystemConfig {
+	return SystemConfig{
+		Name: "Titan Xp + PCIe 3.0",
+		GPU: gpu.Config{
+			Name:               "Titan Xp 12GB",
+			MemBytes:           scaleBytes(12<<30, datasetScale),
+			HostMemBytes:       scaleBytes(256<<30, datasetScale),
+			L2Bytes:            scaleBytes(3<<20, datasetScale),
+			MaxConcurrentLanes: scaleLanes(60*2048, datasetScale),
+			HBM:                memsys.GDDR5XTitanXp(),
+			HostDRAM:           memsys.DDR4Quad(),
+			Link:               pcie.Gen3x16(),
+		},
+	}
+}
+
+// A100PCIe3 returns the DGX A100 platform (§5.5) with the root port forced
+// to PCIe 3.0 mode.
+func A100PCIe3(datasetScale float64) SystemConfig {
+	cfg := A100PCIe4(datasetScale)
+	cfg.Name = "A100 + PCIe 3.0"
+	cfg.GPU.Link = pcie.Gen3x16()
+	return cfg
+}
+
+// A100PCIe4 returns the DGX A100 platform (§5.5): an A100 40GB on PCIe 4.0
+// x16 with 1TB of host memory.
+func A100PCIe4(datasetScale float64) SystemConfig {
+	return SystemConfig{
+		Name: "A100 + PCIe 4.0",
+		GPU: gpu.Config{
+			Name:               "A100 40GB",
+			MemBytes:           scaleBytes(40<<30, datasetScale),
+			HostMemBytes:       scaleBytes(1<<40, datasetScale),
+			L2Bytes:            scaleBytes(40<<20, datasetScale),
+			MaxConcurrentLanes: scaleLanes(108*2048, datasetScale),
+			HBM:                memsys.HBM2eA100(),
+			HostDRAM:           memsys.DDR4Quad(),
+			Link:               pcie.Gen4x16(),
+		},
+	}
+}
+
+// System is one simulated machine ready to load and traverse graphs.
+type System struct {
+	cfg SystemConfig
+	dev *gpu.Device
+}
+
+// NewSystem builds a System from the given configuration.
+func NewSystem(cfg SystemConfig) *System {
+	return &System{cfg: cfg, dev: gpu.NewDevice(cfg.GPU)}
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// Device exposes the underlying simulated GPU (traffic monitor, clock,
+// kernel log) for instrumentation-heavy callers like the benchmark
+// harness.
+func (s *System) Device() *gpu.Device { return s.dev }
+
+// Load places a graph onto the system: the vertex list in GPU memory, the
+// edge list (and weights) in host memory behind the chosen transport.
+// elemBytes is the edge element width (8 in the paper's main experiments).
+func (s *System) Load(g *Graph, transport Transport, elemBytes int) (*DeviceGraph, error) {
+	return core.Upload(s.dev, g, transport, elemBytes)
+}
+
+// Unload releases a loaded graph's buffers.
+func (s *System) Unload(dg *DeviceGraph) { dg.Free(s.dev) }
+
+// BFS runs breadth-first search from src.
+func (s *System) BFS(dg *DeviceGraph, src int, v Variant) (*Result, error) {
+	return core.BFS(s.dev, dg, src, v)
+}
+
+// SSSP runs single-source shortest path from src.
+func (s *System) SSSP(dg *DeviceGraph, src int, v Variant) (*Result, error) {
+	return core.SSSP(s.dev, dg, src, v)
+}
+
+// CC runs connected components (undirected graphs only).
+func (s *System) CC(dg *DeviceGraph, v Variant) (*Result, error) {
+	return core.CC(s.dev, dg, v)
+}
+
+// Run dispatches by application; src is ignored for CC.
+func (s *System) Run(dg *DeviceGraph, app App, src int, v Variant) (*Result, error) {
+	return core.Run(s.dev, dg, app, src, v)
+}
+
+// ResetStats clears the device clock, monitor, and counters between
+// measurement runs while keeping loaded graphs in place.
+func (s *System) ResetStats() { s.dev.ResetStats() }
+
+// ColdCaches evicts all UVM pages so the next run starts cold.
+func (s *System) ColdCaches() { s.dev.ResetUVMResidency() }
+
+// BuildDataset synthesizes one of the paper's six Table 2 dataset analogs
+// ("GK", "GU", "FS", "ML", "SK", "UK5") at the given scale (1.0 = the
+// standard 1:1000 reduction; use the same scale as the SystemConfig).
+func BuildDataset(sym string, datasetScale float64, seed int64) (*Graph, error) {
+	spec, err := graph.BySym(sym)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(datasetScale, seed), nil
+}
+
+// DatasetSymbols returns the six dataset symbols in Table 2 order.
+func DatasetSymbols() []string {
+	specs := graph.AllSpecs()
+	syms := make([]string, len(specs))
+	for i, s := range specs {
+		syms[i] = s.Sym
+	}
+	return syms
+}
+
+// PickSources deterministically selects k traversal sources with outgoing
+// edges, as in §5.2.
+func PickSources(g *Graph, k int, seed int64) []int {
+	return graph.PickSources(g, k, seed)
+}
+
+// Validate checks a result against the CPU reference implementation of its
+// application.
+func Validate(g *Graph, res *Result) error {
+	if res == nil {
+		return fmt.Errorf("emogi: nil result")
+	}
+	return res.Validate(g)
+}

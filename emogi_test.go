@@ -1,0 +1,258 @@
+package emogi
+
+import (
+	"testing"
+	"time"
+)
+
+// smallScale keeps the public-API tests fast: ~1:50000 of the paper.
+const smallScale = 0.02
+
+func TestSystemConfigs(t *testing.T) {
+	v100 := V100PCIe3(1.0)
+	if v100.GPU.MemBytes != 16<<30/1000 {
+		t.Errorf("V100 memory = %d, want 1:1000 of 16GB", v100.GPU.MemBytes)
+	}
+	xp := TitanXpPCIe3(1.0)
+	if xp.GPU.MemBytes >= v100.GPU.MemBytes {
+		t.Errorf("Titan Xp should have less memory than V100")
+	}
+	a3, a4 := A100PCIe3(1.0), A100PCIe4(1.0)
+	if a3.GPU.MemBytes != a4.GPU.MemBytes {
+		t.Errorf("A100 memory should not depend on link generation")
+	}
+	if a3.GPU.Link.Gen == a4.GPU.Link.Gen {
+		t.Errorf("A100 configs should differ in link generation")
+	}
+	// Scaling scales memory too.
+	half := V100PCIe3(0.5)
+	if half.GPU.MemBytes != v100.GPU.MemBytes/2 {
+		t.Errorf("dataset scale should scale GPU memory")
+	}
+}
+
+func TestBuildDataset(t *testing.T) {
+	for _, sym := range DatasetSymbols() {
+		g, err := BuildDataset(sym, smallScale, 1)
+		if err != nil {
+			t.Fatalf("BuildDataset(%s): %v", sym, err)
+		}
+		if g.NumEdges() == 0 {
+			t.Errorf("%s: no edges", sym)
+		}
+	}
+	if _, err := BuildDataset("nope", 1, 1); err == nil {
+		t.Errorf("unknown dataset accepted")
+	}
+	if len(DatasetSymbols()) != 6 {
+		t.Errorf("want 6 dataset symbols")
+	}
+}
+
+func TestEndToEndBFS(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	g, err := BuildDataset("GK", smallScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := sys.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Unload(dg)
+	src := PickSources(g, 1, 3)[0]
+	res, err := sys.BFS(dg, src, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, res); err != nil {
+		t.Errorf("BFS result invalid: %v", err)
+	}
+	if res.Elapsed <= 0 || res.Stats.PCIeRequests == 0 {
+		t.Errorf("degenerate run: %+v", res)
+	}
+}
+
+func TestEndToEndAllAppsAllTransports(t *testing.T) {
+	g, err := BuildDataset("GU", smallScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PickSources(g, 1, 5)[0]
+	for _, transport := range []Transport{ZeroCopy, UVM} {
+		sys := NewSystem(V100PCIe3(smallScale))
+		dg, err := sys.Load(g, transport, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range []App{BFS, SSSP, CC} {
+			res, err := sys.Run(dg, app, src, Merged)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", transport, app, err)
+			}
+			if err := Validate(g, res); err != nil {
+				t.Errorf("%s/%s: %v", transport, app, err)
+			}
+		}
+	}
+}
+
+func TestRunManyAveraging(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	g, err := BuildDataset("GU", smallScale, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := sys.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := PickSources(g, 3, 11)
+	sum, err := sys.RunMany(dg, BFS, sources, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 3 {
+		t.Fatalf("results = %d, want 3", len(sum.Results))
+	}
+	var total time.Duration
+	for _, r := range sum.Results {
+		total += r.Elapsed
+	}
+	if sum.MeanElapsed != total/3 {
+		t.Errorf("MeanElapsed = %v, want %v", sum.MeanElapsed, total/3)
+	}
+	if sum.MeanBandwidth() <= 0 {
+		t.Errorf("MeanBandwidth should be positive")
+	}
+	if sum.Monitor.Requests == 0 {
+		t.Errorf("monitor delta empty")
+	}
+	amp := sum.IOAmplification(g.EdgeListBytes(8))
+	if amp <= 0 || amp > 3 {
+		t.Errorf("implausible amplification %v", amp)
+	}
+}
+
+func TestRunManyCCRunsOnce(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	g, _ := BuildDataset("GU", smallScale, 7)
+	dg, err := sys.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := sys.RunMany(dg, CC, []int{0, 1, 2}, Merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) != 1 {
+		t.Errorf("CC should run once, got %d runs", len(sum.Results))
+	}
+}
+
+func TestRunManyNoSources(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	g, _ := BuildDataset("GU", smallScale, 7)
+	dg, err := sys.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.RunMany(dg, BFS, nil, Merged); err == nil {
+		t.Errorf("empty source list accepted")
+	}
+}
+
+func TestSpeedupHelpers(t *testing.T) {
+	a := &RunSummary{MeanElapsed: 2 * time.Second}
+	b := &RunSummary{MeanElapsed: 1 * time.Second}
+	if got := Speedup(a, b); got != 2 {
+		t.Errorf("Speedup = %v, want 2", got)
+	}
+	if got := Speedup(a, &RunSummary{}); got != 0 {
+		t.Errorf("zero-time Speedup = %v, want 0", got)
+	}
+	if got := MeanSpeedups([]float64{2, 4}); got != 3 {
+		t.Errorf("MeanSpeedups = %v, want 3", got)
+	}
+}
+
+// TestHeadlineSpeedupDirection: the paper's core claim in miniature —
+// EMOGI Merged+Aligned beats the optimized UVM baseline for BFS on a
+// skewed out-of-memory graph.
+func TestHeadlineSpeedupDirection(t *testing.T) {
+	g, err := BuildDataset("GK", 0.3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sources := PickSources(g, 2, 13)
+
+	sysU := NewSystem(V100PCIe3(0.3))
+	dgU, err := sysU.Load(g, UVM, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uvm, err := sysU.RunMany(dgU, BFS, sources, Merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sysE := NewSystem(V100PCIe3(0.3))
+	dgE, err := sysE.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	em, err := sysE.RunMany(dgE, BFS, sources, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if sp := Speedup(uvm, em); sp < 1.2 {
+		t.Errorf("EMOGI speedup over UVM = %.2fx, want > 1.2x", sp)
+	}
+}
+
+func TestValidateNilResult(t *testing.T) {
+	g, _ := BuildDataset("GU", smallScale, 7)
+	if err := Validate(g, nil); err == nil {
+		t.Errorf("nil result accepted")
+	}
+}
+
+func TestSystemAccessors(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	if sys.Config().Name == "" {
+		t.Errorf("Config should carry the platform name")
+	}
+	if sys.Device() == nil {
+		t.Errorf("Device should be exposed")
+	}
+	g, _ := BuildDataset("GU", smallScale, 7)
+	dg, err := sys.Load(g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PickSources(g, 1, 5)[0]
+	if _, err := sys.SSSP(dg, src, Merged); err != nil {
+		t.Fatalf("SSSP: %v", err)
+	}
+	if _, err := sys.CC(dg, Merged); err != nil {
+		t.Fatalf("CC: %v", err)
+	}
+	if sys.Device().Clock() == 0 {
+		t.Errorf("clock should have advanced")
+	}
+	sys.ResetStats()
+	if sys.Device().Clock() != 0 {
+		t.Errorf("ResetStats should zero the clock")
+	}
+}
+
+func TestRunSummaryZeroCases(t *testing.T) {
+	var rs RunSummary
+	if rs.MeanBandwidth() != 0 {
+		t.Errorf("zero summary bandwidth should be 0")
+	}
+	if rs.IOAmplification(0) != 0 || rs.IOAmplification(100) != 0 {
+		t.Errorf("degenerate amplification should be 0")
+	}
+}

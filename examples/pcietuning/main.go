@@ -1,0 +1,58 @@
+// Pcietuning is the systems-tuning walkthrough of §3.3: it drives the toy
+// 1D traversal through every access pattern on both PCIe generations and
+// prints the resulting request mixes and bandwidths — the experiment you
+// would run (with the paper's FPGA) to decide how to write your kernels.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	emogi "repro"
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+func main() {
+	const elems = 1 << 22 // 16MB of 4-byte elements
+
+	platforms := []struct {
+		name string
+		cfg  emogi.SystemConfig
+	}{
+		{"V100 + PCIe 3.0", emogi.V100PCIe3(1.0)},
+		{"A100 + PCIe 4.0", emogi.A100PCIe4(1.0)},
+	}
+	patterns := []struct {
+		name      string
+		pattern   core.ToyPattern
+		transport core.Transport
+	}{
+		{"strided zero-copy", core.ToyStrided, core.ZeroCopy},
+		{"misaligned zero-copy", core.ToyMergedMisaligned, core.ZeroCopy},
+		{"aligned zero-copy", core.ToyMergedAligned, core.ZeroCopy},
+		{"UVM (for reference)", core.ToyMergedAligned, core.UVM},
+	}
+
+	for _, p := range platforms {
+		link := p.cfg.GPU.Link
+		fmt.Printf("%s — memcpy ceiling %.2f GB/s\n", p.name, link.MemcpyPeak()/1e9)
+		for _, pat := range patterns {
+			dev := gpu.NewDevice(p.cfg.GPU)
+			res, err := core.ToyTraverse(dev, elems, pat.pattern, pat.transport)
+			if err != nil {
+				log.Fatal(err)
+			}
+			eff := res.PCIeBandwidth / link.MemcpyPeak() * 100
+			fmt.Printf("  %-22s %6.2f GB/s  (%5.1f%% of ceiling)  requests: %d\n",
+				pat.name, res.PCIeBandwidth/1e9, eff, res.Snapshot.Requests)
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("takeaways (the paper's §3.3):")
+	fmt.Println("  1. merge lane accesses so the coalescer emits 128B requests;")
+	fmt.Println("  2. shift warps onto 128B boundaries so merged requests stay whole;")
+	fmt.Println("  3. zero-copy then saturates the link and scales with PCIe generation,")
+	fmt.Println("     while UVM stays pinned at its fault-handler ceiling.")
+}

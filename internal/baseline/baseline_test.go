@@ -1,0 +1,280 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+func testDevice(memBytes int64) *gpu.Device {
+	return gpu.NewDevice(gpu.Config{
+		Name:     "test-v100",
+		MemBytes: memBytes,
+		HBM:      memsys.HBM2V100(),
+		HostDRAM: memsys.DDR4Quad(),
+		Link:     pcie.Gen3x16(),
+	})
+}
+
+func weighted(g *graph.CSR) *graph.CSR {
+	g.InitWeights(7, 8, 72)
+	return g
+}
+
+func TestSubwayBFSCorrect(t *testing.T) {
+	g := weighted(graph.RMAT("gk", 512, 10, 0.57, 0.19, 0.19, true, 1))
+	dev := testDevice(0)
+	src := graph.PickSources(g, 1, 3)[0]
+	res, err := SubwayRun(dev, g, core.AppBFS, src, DefaultSubwayConfig())
+	if err != nil {
+		t.Fatalf("SubwayRun: %v", err)
+	}
+	if err := core.ValidateBFS(g, src, res.Values); err != nil {
+		t.Errorf("Subway BFS wrong: %v", err)
+	}
+	if res.Iterations == 0 || res.Elapsed <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+}
+
+func TestSubwaySSSPCorrect(t *testing.T) {
+	g := weighted(graph.Urand("gu", 400, 10, 2))
+	dev := testDevice(0)
+	src := graph.PickSources(g, 1, 5)[0]
+	res, err := SubwayRun(dev, g, core.AppSSSP, src, DefaultSubwayConfig())
+	if err != nil {
+		t.Fatalf("SubwayRun: %v", err)
+	}
+	if err := core.ValidateSSSP(g, src, res.Values); err != nil {
+		t.Errorf("Subway SSSP wrong: %v", err)
+	}
+}
+
+func TestSubwayCCCorrect(t *testing.T) {
+	g := weighted(graph.Social("fs", 512, 10, 4))
+	dev := testDevice(0)
+	res, err := SubwayRun(dev, g, core.AppCC, 0, DefaultSubwayConfig())
+	if err != nil {
+		t.Fatalf("SubwayRun: %v", err)
+	}
+	if err := core.ValidateCC(g, res.Values); err != nil {
+		t.Errorf("Subway CC wrong: %v", err)
+	}
+	if res.Source != -1 {
+		t.Errorf("CC result should have no source")
+	}
+}
+
+func TestSubwayEdgeLimit(t *testing.T) {
+	g := weighted(graph.Dense("ml", 200, 60, 24, 3))
+	dev := testDevice(0)
+	cfg := DefaultSubwayConfig()
+	cfg.MaxEdges = g.NumEdges() - 1
+	_, err := SubwayRun(dev, g, core.AppBFS, 0, cfg)
+	if !errors.Is(err, ErrSubwayUnsupported) {
+		t.Errorf("expected ErrSubwayUnsupported, got %v", err)
+	}
+}
+
+func TestSubwayOOMWithoutPartitioning(t *testing.T) {
+	// A GPU too small for the first full frontier with partitioning
+	// disabled: Subway must fail with OOM, reproducing the paper's GU
+	// observation ("unidentified CUDA out-of-memory errors", §5.6).
+	g := weighted(graph.Urand("gu", 2000, 24, 1))
+	dev := testDevice(96 * 1024)
+	src := graph.PickSources(g, 1, 1)[0]
+	cfg := DefaultSubwayConfig()
+	cfg.Partition = false
+	_, err := SubwayRun(dev, g, core.AppCC, src, cfg)
+	if !errors.Is(err, ErrSubwayOOM) {
+		t.Errorf("expected ErrSubwayOOM, got %v", err)
+	}
+}
+
+func TestSubwayPartitionsOversizedFrontier(t *testing.T) {
+	// The same tiny GPU with partitioning processes the frontier in
+	// chunks and still produces correct results.
+	g := weighted(graph.Urand("gu", 2000, 24, 1))
+	dev := testDevice(96 * 1024)
+	res, err := SubwayRun(dev, g, core.AppCC, 0, DefaultSubwayConfig())
+	if err != nil {
+		t.Fatalf("partitioned Subway failed: %v", err)
+	}
+	if err := core.ValidateCC(g, res.Values); err != nil {
+		t.Errorf("partitioned Subway CC wrong: %v", err)
+	}
+	// Sanity: an unconstrained run must not be slower than the chunked one.
+	devBig := testDevice(0)
+	resBig, err := SubwayRun(devBig, g, core.AppCC, 0, DefaultSubwayConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resBig.Elapsed > res.Elapsed {
+		t.Errorf("chunking should not be faster: %v vs %v", res.Elapsed, resBig.Elapsed)
+	}
+}
+
+func TestSubwayHubExceedsGPU(t *testing.T) {
+	// A single neighbor list bigger than free GPU memory cannot be staged
+	// even with partitioning: hard OOM. Build a star whose hub list alone
+	// (20000 x 4B staging cost) exceeds the GPU memory left after the
+	// 80KB value array.
+	const n = 20000
+	edges := make([]graph.Edge, 0, n-1)
+	for v := uint32(1); v < n; v++ {
+		edges = append(edges, graph.Edge{Src: 0, Dst: v})
+	}
+	g := weighted(graph.FromEdges("star", n, edges, false))
+	dev := testDevice(128 * 1024)
+	_, err := SubwayRun(dev, g, core.AppCC, 0, DefaultSubwayConfig())
+	if !errors.Is(err, ErrSubwayOOM) {
+		t.Errorf("expected ErrSubwayOOM for unsplittable hub, got %v", err)
+	}
+}
+
+func TestSubwayConfigValidation(t *testing.T) {
+	g := weighted(graph.Urand("gu", 200, 8, 1))
+	dev := testDevice(0)
+	cfg := DefaultSubwayConfig()
+	cfg.EdgeBytes = 8
+	if _, err := SubwayRun(dev, g, core.AppBFS, 0, cfg); err == nil {
+		t.Errorf("8-byte Subway accepted; the framework only supports 4")
+	}
+	if _, err := SubwayRun(dev, g, core.AppBFS, -1, DefaultSubwayConfig()); err == nil {
+		t.Errorf("bad source accepted")
+	}
+	unweighted := graph.Urand("u", 100, 6, 2)
+	if _, err := SubwayRun(dev, unweighted, core.AppSSSP, 0, DefaultSubwayConfig()); err == nil {
+		t.Errorf("unweighted SSSP accepted")
+	}
+	directed := graph.Web("w", 200, 8, 3)
+	if _, err := SubwayRun(dev, directed, core.AppCC, 0, DefaultSubwayConfig()); err == nil {
+		t.Errorf("directed CC accepted")
+	}
+	// Zero-value config gets defaults.
+	res, err := SubwayRun(dev, g, core.AppBFS, graph.PickSources(g, 1, 1)[0], SubwayConfig{})
+	if err != nil {
+		t.Fatalf("zero config: %v", err)
+	}
+	if err := core.ValidateBFS(g, res.Source, res.Values); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubwaySyncSlowerOrEqualAsync(t *testing.T) {
+	g := weighted(graph.RMAT("gk", 1024, 12, 0.57, 0.19, 0.19, true, 1))
+	src := graph.PickSources(g, 1, 3)[0]
+	cfgA := DefaultSubwayConfig()
+	devA := testDevice(0)
+	resA, err := SubwayRun(devA, g, core.AppBFS, src, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgS := DefaultSubwayConfig()
+	cfgS.Async = false
+	devS := testDevice(0)
+	resS, err := SubwayRun(devS, g, core.AppBFS, src, cfgS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resS.Elapsed < resA.Elapsed {
+		t.Errorf("sync Subway (%v) should not beat async (%v)", resS.Elapsed, resA.Elapsed)
+	}
+}
+
+func TestHALOBFSCorrect(t *testing.T) {
+	g := weighted(graph.RMAT("gk", 512, 10, 0.57, 0.19, 0.19, true, 1))
+	dev := testDevice(0)
+	src := graph.PickSources(g, 1, 3)[0]
+	res, err := HALORun(dev, g, core.AppBFS, src)
+	if err != nil {
+		t.Fatalf("HALORun: %v", err)
+	}
+	if err := core.ValidateBFS(g, src, res.Values); err != nil {
+		t.Errorf("HALO BFS wrong after remap: %v", err)
+	}
+	if res.Source != src {
+		t.Errorf("source not mapped back: %d", res.Source)
+	}
+}
+
+func TestHALOSSSPCorrect(t *testing.T) {
+	g := weighted(graph.Urand("gu", 300, 10, 2))
+	dev := testDevice(0)
+	src := graph.PickSources(g, 1, 5)[0]
+	res, err := HALORun(dev, g, core.AppSSSP, src)
+	if err != nil {
+		t.Fatalf("HALORun: %v", err)
+	}
+	if err := core.ValidateSSSP(g, src, res.Values); err != nil {
+		t.Errorf("HALO SSSP wrong: %v", err)
+	}
+}
+
+func TestHALOCCCorrect(t *testing.T) {
+	g := weighted(graph.Social("fs", 512, 10, 4))
+	dev := testDevice(0)
+	res, err := HALORun(dev, g, core.AppCC, 0)
+	if err != nil {
+		t.Fatalf("HALORun: %v", err)
+	}
+	if err := core.ValidateCC(g, res.Values); err != nil {
+		t.Errorf("HALO CC wrong after label canonicalization: %v", err)
+	}
+}
+
+func TestHALOBadSource(t *testing.T) {
+	g := weighted(graph.Urand("gu", 100, 8, 1))
+	dev := testDevice(0)
+	if _, err := HALORun(dev, g, core.AppBFS, -2); err == nil {
+		t.Errorf("bad source accepted")
+	}
+}
+
+// TestHALOReducesMigrationsUnderPressure: with GPU memory far smaller than
+// the edge list, the reordered graph should migrate fewer UVM pages than
+// the original ordering on a web-like graph — HALO's entire premise.
+func TestHALOReducesMigrationsUnderPressure(t *testing.T) {
+	g := weighted(graph.RMAT("gk", 4096, 16, 0.57, 0.19, 0.19, true, 11))
+	src := graph.PickSources(g, 1, 3)[0]
+	// Leave only ~20 pages of UVM cache after the ~50KB of explicit
+	// allocations, far below the ~128-page edge list: every iteration
+	// must re-fault the pages its frontier touches.
+	mem := int64(128 * 1024)
+
+	devPlain := testDevice(mem)
+	dgPlain, err := core.Upload(devPlain, g, core.UVM, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resPlain, err := core.BFS(devPlain, dgPlain, src, core.Merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devHalo := testDevice(mem)
+	resHalo, err := HALORun(devHalo, g, core.AppBFS, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resHalo.Stats.UVMMigrations >= resPlain.Stats.UVMMigrations {
+		t.Errorf("HALO migrations (%d) should be below plain UVM (%d)",
+			resHalo.Stats.UVMMigrations, resPlain.Stats.UVMMigrations)
+	}
+}
+
+func TestCanonicalizeLabels(t *testing.T) {
+	in := []uint32{7, 7, 3, 3, 9}
+	got := canonicalizeLabels(in)
+	want := []uint32{0, 0, 2, 2, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("canonicalize[%d] = %d, want %d", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,25 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestClaimsAllPass(t *testing.T) {
+	ds := NewDatasets(Config{Scale: 0.1, Seed: 42, Sources: 1})
+	tb, err := Claims(ds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) < 10 {
+		t.Fatalf("rows = %d, want >= 10 claims", len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		if row[3] != "PASS" {
+			t.Errorf("claim %q FAILED: paper %q, measured %q", row[0], row[1], row[2])
+		}
+	}
+	if !strings.Contains(tb.Render(), "PASS") {
+		t.Errorf("render missing verdicts")
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+
+	emogi "repro"
+)
+
+// SystemNames are the four compared implementations of §5.1.2, in figure
+// order.
+var SystemNames = []string{"UVM", "Naive", "Merged", "Merged+Aligned"}
+
+// systemConfig maps a compared implementation name to its transport and
+// kernel variant.
+func systemConfig(name string) (emogi.Transport, emogi.Variant, error) {
+	switch name {
+	case "UVM":
+		// The optimized UVM baseline uses the same warp-per-vertex kernel;
+		// its performance is dominated by page migration, not coalescing.
+		return emogi.UVM, emogi.Merged, nil
+	case "Naive":
+		return emogi.ZeroCopy, emogi.Naive, nil
+	case "Merged":
+		return emogi.ZeroCopy, emogi.Merged, nil
+	case "Merged+Aligned":
+		return emogi.ZeroCopy, emogi.MergedAligned, nil
+	default:
+		return 0, 0, fmt.Errorf("bench: unknown system %q", name)
+	}
+}
+
+// Cell is one (graph, system) measurement of the BFS case study (§5.3).
+type Cell struct {
+	Graph   string
+	System  string
+	Summary *emogi.RunSummary
+}
+
+// Bandwidth returns the run's average PCIe payload bandwidth.
+func (c *Cell) Bandwidth() float64 { return c.Summary.MeanBandwidth() }
+
+// BFSSweep holds the full §5.3 case study: BFS on every graph under every
+// compared system, sharing one set of sources per graph. Figures 5, 7, 8,
+// 9, and 10 are all views of this sweep.
+type BFSSweep struct {
+	Config     Config
+	MemcpyPeak float64
+	cells      map[string]map[string]*Cell
+}
+
+// Cell returns the (graph, system) measurement.
+func (s *BFSSweep) Cell(graphSym, system string) *Cell {
+	return s.cells[graphSym][system]
+}
+
+// RunBFSSweep executes the case study. Each cell runs on a fresh simulated
+// V100 so its traffic monitor is isolated.
+func RunBFSSweep(ds *Datasets) (*BFSSweep, error) {
+	cfg := ds.Config()
+	sweep := &BFSSweep{
+		Config:     cfg,
+		MemcpyPeak: emogi.V100PCIe3(cfg.Scale).GPU.Link.MemcpyPeak(),
+		cells:      make(map[string]map[string]*Cell),
+	}
+	for _, sym := range AllSyms() {
+		g := ds.Get(sym)
+		sources := ds.Sources(sym)
+		sweep.cells[sym] = make(map[string]*Cell)
+		for _, name := range SystemNames {
+			transport, variant, err := systemConfig(name)
+			if err != nil {
+				return nil, err
+			}
+			sys := emogi.NewSystem(emogi.V100PCIe3(cfg.Scale))
+			dg, err := sys.Load(g, transport, 8)
+			if err != nil {
+				return nil, fmt.Errorf("bench: loading %s for %s: %w", sym, name, err)
+			}
+			sum, err := sys.RunMany(dg, emogi.BFS, sources, variant)
+			if err != nil {
+				return nil, fmt.Errorf("bench: BFS %s/%s: %w", sym, name, err)
+			}
+			sweep.cells[sym][name] = &Cell{Graph: sym, System: name, Summary: sum}
+		}
+	}
+	return sweep, nil
+}
+
+// AppCell is one (app, graph, system) measurement for Figures 11 and 12.
+type AppCell struct {
+	App     emogi.App
+	Graph   string
+	System  string // "UVM" or "EMOGI"
+	Summary *emogi.RunSummary
+}
+
+// AppSweep holds the all-applications comparison of §5.4 (and §5.5 when
+// run on A100 configs): UVM vs fully-optimized EMOGI for SSSP, BFS, CC.
+type AppSweep struct {
+	Config Config
+	cells  map[string]*AppCell
+}
+
+func appKey(app emogi.App, graphSym, system string) string {
+	return app.String() + "/" + graphSym + "/" + system
+}
+
+// Cell returns the (app, graph, system) measurement, or nil if that
+// combination was excluded (directed graphs for CC).
+func (s *AppSweep) Cell(app emogi.App, graphSym, system string) *AppCell {
+	return s.cells[appKey(app, graphSym, system)]
+}
+
+// AppGraphs returns the datasets an application runs on: CC excludes the
+// directed SK and UK5 (§5.4).
+func AppGraphs(app emogi.App) []string {
+	if app == emogi.CC {
+		return UndirectedSyms()
+	}
+	return AllSyms()
+}
+
+// RunAppSweep executes the §5.4 comparison on the given platform
+// configuration builder (e.g. emogi.V100PCIe3 or emogi.A100PCIe4).
+func RunAppSweep(ds *Datasets, platform func(float64) emogi.SystemConfig) (*AppSweep, error) {
+	cfg := ds.Config()
+	sweep := &AppSweep{Config: cfg, cells: make(map[string]*AppCell)}
+	systems := []struct {
+		name      string
+		transport emogi.Transport
+		variant   emogi.Variant
+	}{
+		{"UVM", emogi.UVM, emogi.Merged},
+		{"EMOGI", emogi.ZeroCopy, emogi.MergedAligned},
+	}
+	for _, app := range []emogi.App{emogi.SSSP, emogi.BFS, emogi.CC} {
+		for _, sym := range AppGraphs(app) {
+			g := ds.Get(sym)
+			sources := ds.Sources(sym)
+			for _, sc := range systems {
+				sys := emogi.NewSystem(platform(cfg.Scale))
+				dg, err := sys.Load(g, sc.transport, 8)
+				if err != nil {
+					return nil, fmt.Errorf("bench: loading %s: %w", sym, err)
+				}
+				sum, err := sys.RunMany(dg, app, sources, sc.variant)
+				if err != nil {
+					return nil, fmt.Errorf("bench: %s %s/%s: %w", app, sym, sc.name, err)
+				}
+				sweep.cells[appKey(app, sym, sc.name)] = &AppCell{
+					App: app, Graph: sym, System: sc.name, Summary: sum,
+				}
+			}
+		}
+	}
+	return sweep, nil
+}

@@ -1,0 +1,136 @@
+package bench
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	emogi "repro"
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gpu"
+)
+
+// Table3 compares EMOGI with the prior state of the art (paper §5.6):
+// HALO on a Titan Xp and Subway (async, 4-byte edge elements) on a V100.
+// Subway is attempted on every dataset so its documented failures (GU:
+// out-of-memory, ML: 2^32-edge limit) reproduce as failures.
+func Table3(ds *Datasets) (*Table, error) {
+	t := &Table{
+		Title:  "Table 3: comparison with prior out-of-memory GPU systems",
+		Header: []string{"work", "app", "graph", "prior ms", "EMOGI ms", "speedup"},
+	}
+	cfg := ds.Config()
+
+	// --- HALO (Titan Xp, BFS, 8-byte elements) ---
+	for _, sym := range []string{"ML", "FS", "SK", "UK5"} {
+		g := ds.Get(sym)
+		sources := ds.Sources(sym)
+
+		haloTime, err := runHALOMean(cfg, sym, ds)
+		if err != nil {
+			return nil, fmt.Errorf("bench: HALO on %s: %w", sym, err)
+		}
+		sysE := emogi.NewSystem(emogi.TitanXpPCIe3(cfg.Scale))
+		dgE, err := sysE.Load(g, emogi.ZeroCopy, 8)
+		if err != nil {
+			return nil, err
+		}
+		em, err := sysE.RunMany(dgE, emogi.BFS, sources, emogi.MergedAligned)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("HALO", "BFS", sym,
+			fnum(haloTime.Seconds()*1e3),
+			fnum(em.MeanElapsed.Seconds()*1e3),
+			fnum(float64(haloTime)/float64(em.MeanElapsed)))
+	}
+
+	// --- Subway (V100, 4-byte elements) ---
+	type combo struct {
+		app  emogi.App
+		syms []string
+	}
+	combos := []combo{
+		{emogi.SSSP, []string{"GK", "GU", "FS", "ML", "SK", "UK5"}},
+		{emogi.BFS, []string{"GK", "GU", "FS", "ML", "SK", "UK5"}},
+		{emogi.CC, []string{"GK", "GU", "FS", "ML"}},
+	}
+	for _, cb := range combos {
+		for _, sym := range cb.syms {
+			g := ds.Get(sym)
+			sources := ds.Sources(sym)
+
+			subTime, err := runSubwayMean(cfg, g, cb.app, sources)
+			if err != nil {
+				reason := "error"
+				if errors.Is(err, baseline.ErrSubwayUnsupported) {
+					reason = "unsupported (2^32-edge limit)"
+				} else if errors.Is(err, baseline.ErrSubwayOOM) {
+					reason = "out of memory"
+				}
+				t.AddRow("Subway", cb.app.String(), sym, reason, "-", "-")
+				continue
+			}
+			sysE := emogi.NewSystem(emogi.V100PCIe3(cfg.Scale))
+			dgE, err := sysE.Load(g, emogi.ZeroCopy, 4)
+			if err != nil {
+				return nil, err
+			}
+			em, err := sysE.RunMany(dgE, cb.app, sources, emogi.MergedAligned)
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow("Subway", cb.app.String(), sym,
+				fnum(subTime.Seconds()*1e3),
+				fnum(em.MeanElapsed.Seconds()*1e3),
+				fnum(float64(subTime)/float64(em.MeanElapsed)))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"paper: EMOGI 1.34-4.73x over HALO and Subway across these combinations",
+		"paper: Subway cannot run ML (>2^32 edges; reproduced) and failed on GU with",
+		"CUDA OOM errors; our Subway model partitions oversized frontiers instead,",
+		"so GU rows here measure the design rather than reproduce that bug")
+	return t, nil
+}
+
+// runHALOMean measures the HALO-style baseline (reorder + UVM) on the
+// Titan Xp platform, averaging over the dataset's sources.
+func runHALOMean(cfg Config, sym string, ds *Datasets) (time.Duration, error) {
+	g := ds.Get(sym)
+	sources := ds.Sources(sym)
+	var total time.Duration
+	for _, src := range sources {
+		dev := gpu.NewDevice(emogi.TitanXpPCIe3(cfg.Scale).GPU)
+		res, err := baseline.HALORun(dev, g, core.AppBFS, src)
+		if err != nil {
+			return 0, err
+		}
+		if err := res.Validate(g); err != nil {
+			return 0, fmt.Errorf("HALO produced wrong output: %w", err)
+		}
+		total += res.Elapsed
+	}
+	return total / time.Duration(len(sources)), nil
+}
+
+// runSubwayMean measures the Subway-style baseline on the V100 platform.
+func runSubwayMean(cfg Config, g *emogi.Graph, app emogi.App, sources []int) (time.Duration, error) {
+	if app == emogi.CC {
+		sources = sources[:1]
+	}
+	var total time.Duration
+	for _, src := range sources {
+		dev := gpu.NewDevice(emogi.V100PCIe3(cfg.Scale).GPU)
+		res, err := baseline.SubwayRun(dev, g, app, src, baseline.DefaultSubwayConfig())
+		if err != nil {
+			return 0, err
+		}
+		if err := res.Validate(g); err != nil {
+			return 0, fmt.Errorf("Subway produced wrong output: %w", err)
+		}
+		total += res.Elapsed
+	}
+	return total / time.Duration(len(sources)), nil
+}

@@ -1,0 +1,57 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTable3(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 3 sweep in -short mode")
+	}
+	ds := NewDatasets(tinyConfig())
+	tb, err := Table3(ds)
+	if err != nil {
+		t.Fatalf("Table3: %v", err)
+	}
+	// 4 HALO rows + 6 SSSP + 6 BFS + 4 CC Subway rows.
+	if len(tb.Rows) != 20 {
+		t.Errorf("Table3 rows = %d, want 20", len(tb.Rows))
+	}
+	out := tb.Render()
+	if !strings.Contains(out, "HALO") || !strings.Contains(out, "Subway") {
+		t.Errorf("Table3 missing systems:\n%s", out)
+	}
+	// Every successful comparison row should carry a positive speedup.
+	for _, row := range tb.Rows {
+		if row[5] == "-" {
+			continue
+		}
+		if row[5] == "0" {
+			t.Errorf("zero speedup in row %v", row)
+		}
+	}
+}
+
+func TestFigure12(t *testing.T) {
+	if testing.Short() {
+		t.Skip("two app sweeps in -short mode")
+	}
+	ds := NewDatasets(tinyConfig())
+	tb, err := Figure12(ds)
+	if err != nil {
+		t.Fatalf("Figure12: %v", err)
+	}
+	if len(tb.Rows) != 16 {
+		t.Errorf("Figure12 rows = %d, want 16", len(tb.Rows))
+	}
+	// Normalization: the UVM+3.0 column must be exactly 1 in every row.
+	for _, row := range tb.Rows {
+		if row[2] != "1.00" {
+			t.Errorf("row %v: UVM+3.0 should normalize to 1.00", row)
+		}
+	}
+	if len(tb.Notes) == 0 || !strings.Contains(tb.Notes[0], "link scaling") {
+		t.Errorf("Figure12 missing scaling note")
+	}
+}

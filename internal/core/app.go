@@ -1,0 +1,65 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+// App identifies one of the paper's three graph traversal applications.
+type App int
+
+const (
+	// AppBFS is breadth-first search.
+	AppBFS App = iota
+	// AppSSSP is single-source shortest path.
+	AppSSSP
+	// AppCC is connected components.
+	AppCC
+)
+
+// String returns the paper's abbreviation for the application.
+func (a App) String() string {
+	switch a {
+	case AppBFS:
+		return "BFS"
+	case AppSSSP:
+		return "SSSP"
+	case AppCC:
+		return "CC"
+	default:
+		return fmt.Sprintf("App(%d)", int(a))
+	}
+}
+
+// AllApps returns the applications in the paper's Figure 11 order.
+func AllApps() []App { return []App{AppSSSP, AppBFS, AppCC} }
+
+// Run dispatches to the requested application. src is ignored for CC.
+func Run(dev *gpu.Device, dg *DeviceGraph, app App, src int, variant Variant) (*Result, error) {
+	switch app {
+	case AppBFS:
+		return BFS(dev, dg, src, variant)
+	case AppSSSP:
+		return SSSP(dev, dg, src, variant)
+	case AppCC:
+		return CC(dev, dg, variant)
+	default:
+		return nil, fmt.Errorf("core: unknown application %d", int(app))
+	}
+}
+
+// Validate checks a result's Values against the CPU reference for its app.
+func (r *Result) Validate(g *graph.CSR) error {
+	switch r.App {
+	case "BFS":
+		return ValidateBFS(g, r.Source, r.Values)
+	case "SSSP":
+		return ValidateSSSP(g, r.Source, r.Values)
+	case "CC":
+		return ValidateCC(g, r.Values)
+	default:
+		return fmt.Errorf("core: cannot validate unknown app %q", r.App)
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+// BFS runs level-synchronous breadth-first search from src on the device
+// graph, one kernel launch per level (§4.2: "the total number of kernels
+// launched... is equal to the distance between the source vertex to the
+// furthest reachable vertex"). It returns each vertex's BFS level
+// (graph.InfDist for unreachable vertices).
+func BFS(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
+	n := dg.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
+	}
+	rs, err := newRunState(dev)
+	if err != nil {
+		return nil, err
+	}
+	labels, err := rs.alloc("bfs.labels", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	// Initialize labels to INF with the source at level 0, and model the
+	// initial upload of the label array.
+	for v := 0; v < n; v++ {
+		labels.PutU32(int64(v), graph.InfDist)
+	}
+	labels.PutU32(int64(src), 0)
+	dev.CopyToDevice(int64(n) * 4)
+
+	visit := relaxVisitor(labels, nil, rs.flag, false)
+	iterations := 0
+	for level := uint32(0); ; level++ {
+		rs.clearFlag()
+		launchMatchKernel(dev, dg, variant, "bfs/"+variant.String(), labels, level, level+1, visit)
+		iterations++
+		if !rs.readFlag() {
+			break
+		}
+	}
+	return rs.finish("BFS", variant, dg.Transport, src, labels, n, iterations), nil
+}
+
+// ValidateBFS checks a BFS result against the CPU reference.
+func ValidateBFS(g *graph.CSR, src int, values []uint32) error {
+	want := graph.RefBFS(g, src)
+	if len(values) != len(want) {
+		return fmt.Errorf("core: BFS result length %d, want %d", len(values), len(want))
+	}
+	for v := range want {
+		if values[v] != want[v] {
+			return fmt.Errorf("core: BFS level[%d] = %d, want %d (src %d)",
+				v, values[v], want[v], src)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+)
+
+// CC computes connected components by iterative min-label propagation (the
+// GARDENIA-style baseline [51] the paper starts from): every vertex begins
+// as its own component with the whole vertex set active — "all vertices
+// are set as root vertices and the entire edge list is traversed" (§5.4)
+// — and pushes its label to its neighbors until a fixed point. The final
+// label of each vertex is the minimum vertex ID in its component.
+//
+// The graph must be undirected; the paper excludes the directed SK and
+// UK5 graphs from CC for the same reason.
+func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
+	if dg.Graph.Directed {
+		return nil, fmt.Errorf("core: CC requires an undirected graph (got %s)", dg.Graph.Name)
+	}
+	n := dg.NumVertices()
+	rs, err := newRunState(dev)
+	if err != nil {
+		return nil, err
+	}
+	comp, err := rs.alloc("cc.comp", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := rs.alloc("cc.active0", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	next, err := rs.alloc("cc.active1", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < n; v++ {
+		comp.PutU32(int64(v), uint32(v))
+		cur.PutU32(int64(v), 1)
+	}
+	dev.CopyToDevice(int64(n) * 4 * 2)
+
+	iterations := 0
+	for {
+		rs.clearFlag()
+		visit := relaxVisitor(comp, next, rs.flag, false)
+		launchActiveKernel(dev, dg, variant, "cc/"+variant.String(), comp, cur, false, visit)
+		iterations++
+		if !rs.readFlag() {
+			break
+		}
+		cur, next = next, cur
+		dev.Memset(next, 0)
+	}
+	res := rs.finish("CC", variant, dg.Transport, 0, comp, n, iterations)
+	res.Source = -1 // CC has no source vertex
+	return res, nil
+}
+
+// ValidateCC checks a CC result against the union-find reference.
+func ValidateCC(g *graph.CSR, values []uint32) error {
+	want := graph.RefCC(g)
+	if len(values) != len(want) {
+		return fmt.Errorf("core: CC result length %d, want %d", len(values), len(want))
+	}
+	for v := range want {
+		if values[v] != want[v] {
+			return fmt.Errorf("core: CC label[%d] = %d, want %d", v, values[v], want[v])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestAllBFSImplementationsAgree is the repository's flagship consistency
+// check: every BFS implementation — the three paper variants over both
+// transports, the sub-warp workers, the balanced, compressed, edge-centric
+// and direction-optimized extensions, the multi-GPU engine, and the hybrid
+// CPU-GPU engine — must produce byte-identical level arrays on the same
+// graph and source. Between them these paths exercise every transport,
+// kernel discipline, and coalescing pattern in the simulator.
+func TestAllBFSImplementationsAgree(t *testing.T) {
+	graphs := []*graph.CSR{
+		graph.RMAT("gk", 700, 10, 0.57, 0.19, 0.19, true, 3),
+		graph.Urand("gu", 800, 12, 4),
+		graph.Dense("ml", 150, 40, 16, 5),
+	}
+	type impl struct {
+		name string
+		run  func(g *graph.CSR, src int) ([]uint32, error)
+	}
+	zc := func(v Variant) func(*graph.CSR, int) ([]uint32, error) {
+		return func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFS(dev, dg, src, v)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}
+	}
+	impls := []impl{
+		{"naive", zc(Naive)},
+		{"merged", zc(Merged)},
+		{"merged+aligned", zc(MergedAligned)},
+		{"uvm", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, UVM, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFS(dev, dg, src, Merged)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"4-byte-edges", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 4)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFS(dev, dg, src, MergedAligned)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"worker8", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSWithWorker(dev, dg, src, 8, true)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"worker16-unaligned", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSWithWorker(dev, dg, src, 16, false)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"balanced", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSBalanced(dev, dg, src, 64)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"compressed", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			cdg, err := UploadCompressed(dev, g)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSCompressed(dev, cdg, src)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"edge-centric", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			ec, err := UploadEdgeCentric(dev, g)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSEdgeCentric(dev, ec, src)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"direction-optimized", func(g *graph.CSR, src int) ([]uint32, error) {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				return nil, err
+			}
+			res, err := BFSDirectionOptimized(dev, dg, src, DefaultPushPullConfig())
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"multi-gpu-3", func(g *graph.CSR, src int) ([]uint32, error) {
+			ms, err := NewMultiSystem(multiDevices(3), g, 8)
+			if err != nil {
+				return nil, err
+			}
+			defer ms.Free()
+			res, err := ms.BFS(src)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+		{"hybrid-0.3", func(g *graph.CSR, src int) ([]uint32, error) {
+			h, err := NewHybridSystem(testDevice(), g, 8, DefaultHybridConfig(0.3))
+			if err != nil {
+				return nil, err
+			}
+			defer h.Free()
+			res, err := h.BFS(src)
+			if err != nil {
+				return nil, err
+			}
+			return res.Values, nil
+		}},
+	}
+
+	for _, g := range graphs {
+		src := graph.PickSources(g, 1, 71)[0]
+		want := graph.RefBFS(g, src)
+		for _, im := range impls {
+			t.Run(fmt.Sprintf("%s/%s", g.Name, im.name), func(t *testing.T) {
+				got, err := im.run(g, src)
+				if err != nil {
+					t.Fatalf("%s: %v", im.name, err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("%s: length %d, want %d", im.name, len(got), len(want))
+				}
+				for v := range want {
+					if got[v] != want[v] {
+						t.Fatalf("%s: level[%d] = %d, want %d", im.name, v, got[v], want[v])
+					}
+				}
+			})
+		}
+	}
+}

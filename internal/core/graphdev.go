@@ -1,0 +1,167 @@
+// Package core implements EMOGI itself: zero-copy out-of-memory graph
+// traversal on the simulated GPU. It provides the device-side graph layout
+// (§4.2: vertex list in GPU memory, edge list in host memory), the three
+// kernel access variants the paper evaluates — Naive (Listing 1), Merged
+// (§4.3.1), and Merged+Aligned (§4.3.2 / Listing 2) — and the three
+// traversal applications: BFS, SSSP, and CC.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+)
+
+// Variant selects the kernel access pattern (§5.1.2).
+type Variant int
+
+const (
+	// Naive assigns one GPU thread per vertex; each thread iterates its
+	// neighbor list alone, producing strided 32B requests (Listing 1).
+	Naive Variant = iota
+	// Merged assigns a full 32-thread warp per vertex so the coalescer can
+	// merge lane accesses into large requests (§4.3.1).
+	Merged
+	// MergedAligned additionally shifts each warp's start down to the
+	// closest preceding 128-byte boundary, masking the underflowed lanes
+	// (§4.3.2, Listing 2's blue lines).
+	MergedAligned
+)
+
+// String returns the paper's name for the variant.
+func (v Variant) String() string {
+	switch v {
+	case Naive:
+		return "Naive"
+	case Merged:
+		return "Merged"
+	case MergedAligned:
+		return "Merged+Aligned"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Transport selects where the edge list lives.
+type Transport int
+
+const (
+	// ZeroCopy pins the edge list in host memory and has GPU threads read
+	// it directly with cache-line-sized PCIe requests (EMOGI).
+	ZeroCopy Transport = iota
+	// UVM places the edge list in managed memory with read-mostly advice;
+	// pages migrate to GPU memory on fault (the baseline, §5.1.2(a)).
+	UVM
+)
+
+// String returns a short name for the transport.
+func (t Transport) String() string {
+	switch t {
+	case ZeroCopy:
+		return "zerocopy"
+	case UVM:
+		return "uvm"
+	default:
+		return fmt.Sprintf("Transport(%d)", int(t))
+	}
+}
+
+// DeviceGraph is a CSR graph laid out across the simulated system per
+// §4.2: offsets (the vertex list) in GPU memory, edge destinations and
+// weights in host memory (pinned or managed).
+type DeviceGraph struct {
+	Graph     *graph.CSR
+	Transport Transport
+	// EdgeBytes is the edge element width: 8 in the paper's main
+	// experiments, 4 for the Subway comparison (Table 3).
+	EdgeBytes int
+
+	Offsets *memsys.Buffer // GPU, 8-byte elements, len n+1
+	Edges   *memsys.Buffer // host, EdgeBytes elements, len |E|
+	Weights *memsys.Buffer // host, 4-byte elements, len |E| (nil if unweighted)
+}
+
+// NumVertices returns |V|.
+func (dg *DeviceGraph) NumVertices() int { return dg.Graph.NumVertices() }
+
+// ElemsPerCacheLine returns how many edge elements fit one 128B line: the
+// alignment quantum of the MergedAligned variant (16 for 8-byte elements —
+// Listing 2's `& ~0xF` — or 32 for 4-byte).
+func (dg *DeviceGraph) ElemsPerCacheLine() int64 {
+	return int64(memsys.CacheLineBytes / dg.EdgeBytes)
+}
+
+// Upload places g into the device's memory system. The offsets array
+// always goes to GPU memory ("GPU memory is sufficient for the vertex
+// list", §4.2); edges and weights go to pinned host memory (ZeroCopy) or
+// managed memory (UVM).
+func Upload(dev *gpu.Device, g *graph.CSR, transport Transport, edgeBytes int) (*DeviceGraph, error) {
+	if edgeBytes != 4 && edgeBytes != 8 {
+		return nil, fmt.Errorf("core: unsupported edge element width %d", edgeBytes)
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("core: refusing to upload invalid graph: %w", err)
+	}
+	n := g.NumVertices()
+	e := g.NumEdges()
+
+	space := memsys.SpaceHostPinned
+	if transport == UVM {
+		space = memsys.SpaceUVM
+	}
+	arena := dev.Arena()
+
+	offsets, err := arena.Alloc(g.Name+".offsets", memsys.SpaceGPU, int64(n+1)*8, memsys.WithElem(8))
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating vertex list: %w", err)
+	}
+	edges, err := arena.Alloc(g.Name+".edges", space, e*int64(edgeBytes), memsys.WithElem(edgeBytes))
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating edge list: %w", err)
+	}
+	dg := &DeviceGraph{
+		Graph:     g,
+		Transport: transport,
+		EdgeBytes: edgeBytes,
+		Offsets:   offsets,
+		Edges:     edges,
+	}
+	for v := 0; v <= n; v++ {
+		offsets.PutU64(int64(v), uint64(g.Offsets[v]))
+	}
+	if edgeBytes == 8 {
+		for i, d := range g.Dst {
+			edges.PutU64(int64(i), uint64(d))
+		}
+	} else {
+		for i, d := range g.Dst {
+			edges.PutU32(int64(i), d)
+		}
+	}
+	if g.Weights != nil {
+		weights, err := arena.Alloc(g.Name+".weights", space, e*4, memsys.WithElem(4))
+		if err != nil {
+			return nil, fmt.Errorf("core: allocating weight list: %w", err)
+		}
+		for i, w := range g.Weights {
+			weights.PutU32(int64(i), w)
+		}
+		dg.Weights = weights
+	}
+	// Explicit GPU allocations changed: refresh the UVM caching capacity.
+	dev.ResetUVMResidency()
+	return dg, nil
+}
+
+// Free releases the device graph's buffers.
+func (dg *DeviceGraph) Free(dev *gpu.Device) {
+	arena := dev.Arena()
+	arena.Free(dg.Offsets)
+	arena.Free(dg.Edges)
+	if dg.Weights != nil {
+		arena.Free(dg.Weights)
+	}
+	dev.ResetUVMResidency()
+}

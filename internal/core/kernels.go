@@ -1,0 +1,114 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+)
+
+// The three applications share two kernel launch disciplines:
+//
+//   - match kernels (BFS): a vertex is active when its state equals the
+//     current level, and it pushes the constant level+1 to its neighbors.
+//   - active-set kernels (SSSP, CC): a vertex is active when its entry in
+//     an explicit active bitmap is set, and it pushes its own state value
+//     (plus the edge weight for SSSP).
+//
+// Each discipline comes in the three access variants of §5.1.2: Naive
+// (thread per vertex, Listing 1), Merged (warp per vertex, §4.3.1), and
+// MergedAligned (warp per vertex shifted to the 128B boundary, §4.3.2).
+
+// launchMatchKernel runs one BFS-style iteration.
+func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
+	state *memsys.Buffer, match, pushVal uint32, visit visitFn) {
+
+	n := dg.NumVertices()
+	switch variant {
+	case Naive:
+		warps := (n + gpu.WarpSize - 1) / gpu.WarpSize
+		dev.Launch(name, warps, func(w *gpu.Warp) {
+			vbase := int64(w.ID()) * gpu.WarpSize
+			var idx [gpu.WarpSize]int64
+			lanes := gpu.MaskNone
+			for l := 0; l < gpu.WarpSize; l++ {
+				if v := vbase + int64(l); v < int64(n) {
+					idx[l] = v
+					lanes = lanes.Set(l)
+				}
+			}
+			states := w.GatherU32(state, &idx, lanes)
+			active := gpu.MaskNone
+			var srcVals [gpu.WarpSize]uint32
+			for l := 0; l < gpu.WarpSize; l++ {
+				if lanes.Has(l) && states[l] == match {
+					active = active.Set(l)
+					srcVals[l] = pushVal
+				}
+			}
+			walkStrided(w, dg, vbase, active, &srcVals, false, visit)
+		})
+	case Merged, MergedAligned:
+		aligned := variant == MergedAligned
+		dev.Launch(name, n, func(w *gpu.Warp) {
+			v := int64(w.ID())
+			if w.ScalarU32(state, v) != match {
+				return
+			}
+			walkMerged(w, dg, v, pushVal, aligned, false, visit)
+		})
+	}
+}
+
+// launchActiveKernel runs one SSSP/CC-style iteration over the explicit
+// active set. needW selects whether edge weights are gathered.
+func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
+	state, active *memsys.Buffer, needW bool, visit visitFn) {
+
+	n := dg.NumVertices()
+	switch variant {
+	case Naive:
+		warps := (n + gpu.WarpSize - 1) / gpu.WarpSize
+		dev.Launch(name, warps, func(w *gpu.Warp) {
+			vbase := int64(w.ID()) * gpu.WarpSize
+			var idx [gpu.WarpSize]int64
+			lanes := gpu.MaskNone
+			for l := 0; l < gpu.WarpSize; l++ {
+				if v := vbase + int64(l); v < int64(n) {
+					idx[l] = v
+					lanes = lanes.Set(l)
+				}
+			}
+			acts := w.GatherU32(active, &idx, lanes)
+			actMask := gpu.MaskNone
+			for l := 0; l < gpu.WarpSize; l++ {
+				if lanes.Has(l) && acts[l] != 0 {
+					actMask = actMask.Set(l)
+				}
+			}
+			if actMask == gpu.MaskNone {
+				return
+			}
+			srcVals := w.GatherU32(state, &idx, actMask)
+			work := gpu.MaskNone
+			for l := 0; l < gpu.WarpSize; l++ {
+				if actMask.Has(l) && srcVals[l] != graph.InfDist {
+					work = work.Set(l)
+				}
+			}
+			walkStrided(w, dg, vbase, work, &srcVals, needW, visit)
+		})
+	case Merged, MergedAligned:
+		aligned := variant == MergedAligned
+		dev.Launch(name, n, func(w *gpu.Warp) {
+			v := int64(w.ID())
+			if w.ScalarU32(active, v) == 0 {
+				return
+			}
+			sv := w.ScalarU32(state, v)
+			if sv == graph.InfDist {
+				return
+			}
+			walkMerged(w, dg, v, sv, aligned, needW, visit)
+		})
+	}
+}

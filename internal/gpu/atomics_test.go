@@ -1,0 +1,127 @@
+package gpu
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/memsys"
+)
+
+// TestAtomicMinConvergesProperty: for any sequence of atomicMin operations
+// over any lane/warp partitioning, each cell ends at the minimum of its
+// initial value and every value ever pushed at it — order independence is
+// what the traversal algorithms rely on.
+func TestAtomicMinConvergesProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const cells = 16
+		d := testDevice()
+		buf := d.Arena().MustAlloc("cells", memsys.SpaceGPU, cells*4)
+		want := make([]uint32, cells)
+		for i := range want {
+			want[i] = 1000
+			buf.PutU32(int64(i), 1000)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		// Partition ops into random warp batches with random lane masks.
+		d.Launch("minprop", 1, func(w *Warp) {
+			i := 0
+			for i < len(ops) {
+				var idx [WarpSize]int64
+				var val [WarpSize]uint32
+				mask := MaskNone
+				batch := 1 + rng.Intn(WarpSize)
+				for l := 0; l < batch && i < len(ops); l++ {
+					cell := int64(ops[i]) % cells
+					v := uint32(ops[i]) % 2000
+					idx[l] = cell
+					val[l] = v
+					mask = mask.Set(l)
+					if v < want[cell] {
+						want[cell] = v
+					}
+					i++
+				}
+				w.AtomicMinU32(buf, &idx, &val, mask)
+			}
+		})
+		for c := int64(0); c < cells; c++ {
+			if buf.U32(c) != want[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAtomicCASLinearizesProperty: within one warp call, exactly one lane
+// wins each contended CAS chain, and the final value is the last winning
+// lane's proposal under the documented ascending-lane serialization.
+func TestAtomicCASLinearizesProperty(t *testing.T) {
+	f := func(vals [WarpSize]uint8) bool {
+		d := testDevice()
+		buf := d.Arena().MustAlloc("cas", memsys.SpaceGPU, 64)
+		buf.PutU32(0, 7)
+		var winner = -1
+		d.Launch("cas", 1, func(w *Warp) {
+			var idx [WarpSize]int64
+			var cmp, val [WarpSize]uint32
+			for l := 0; l < WarpSize; l++ {
+				cmp[l] = 7
+				val[l] = uint32(vals[l]) + 100 // never equal to 7
+			}
+			old := w.AtomicCASU32(buf, &idx, &cmp, &val, MaskFull)
+			for l := 0; l < WarpSize; l++ {
+				if old[l] == 7 {
+					if winner != -1 {
+						winner = -2 // two winners: violation
+						return
+					}
+					winner = l
+				}
+			}
+		})
+		// Lane 0 must win under ascending serialization, and the cell must
+		// hold its proposal.
+		return winner == 0 && buf.U32(0) == uint32(vals[0])+100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestScatterGatherRoundTripProperty: scattering values and gathering them
+// back through the warp API is the identity for any index permutation
+// without duplicates.
+func TestScatterGatherRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		d := testDevice()
+		buf := d.Arena().MustAlloc("rt", memsys.SpaceGPU, 1<<12)
+		rng := rand.New(rand.NewSource(seed))
+		perm := rng.Perm(512)
+		var idx [WarpSize]int64
+		var val [WarpSize]uint32
+		for l := 0; l < WarpSize; l++ {
+			idx[l] = int64(perm[l])
+			val[l] = rng.Uint32()
+		}
+		ok := true
+		d.Launch("rt", 1, func(w *Warp) {
+			w.ScatterU32(buf, &idx, &val, MaskFull)
+			w.InvalidateMRU()
+			got := w.GatherU32(buf, &idx, MaskFull)
+			for l := 0; l < WarpSize; l++ {
+				if got[l] != val[l] {
+					ok = false
+				}
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,395 @@
+// Package gpu implements a warp-level SIMT execution model: kernels are Go
+// functions run one warp at a time against real buffer data, with every
+// memory access routed through a coalescing unit that emits the same
+// 32/64/96/128-byte transactions a real GPU emits (paper Figure 3), and a
+// roofline time model that converts the resulting traffic into simulated
+// kernel time.
+//
+// The simulator is deterministic: warps execute in ascending ID order and
+// all stat accumulation is sequential, so every experiment is reproducible
+// bit-for-bit.
+package gpu
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+	"repro/internal/uvm"
+)
+
+// WarpSize is the number of threads (lanes) per warp.
+const WarpSize = 32
+
+// Config describes one simulated GPU and its attachment to the host.
+type Config struct {
+	Name string
+
+	// MemBytes is the GPU global memory capacity. Explicit allocations and
+	// migrated UVM pages share it.
+	MemBytes int64
+
+	// HostMemBytes is the host DRAM capacity backing pinned and UVM
+	// allocations.
+	HostMemBytes int64
+
+	// HBM models GPU global memory bandwidth.
+	HBM memsys.DRAMModel
+
+	// HostDRAM models the host memory behind the PCIe root complex.
+	HostDRAM memsys.DRAMModel
+
+	// Link is the CPU-GPU interconnect.
+	Link pcie.LinkConfig
+
+	// LaunchOverhead is the fixed driver+hardware cost of one kernel launch.
+	LaunchOverhead time.Duration
+
+	// CopyOverhead is the fixed driver cost of one explicit memcpy call.
+	CopyOverhead time.Duration
+
+	// WarpInstrPerSec is the aggregate warp-instruction throughput used for
+	// the compute term of the roofline. Graph traversal is bandwidth-bound,
+	// so this only matters as a floor for fully in-memory runs.
+	WarpInstrPerSec float64
+
+	// L2Bytes is the GPU cache capacity available to hold zero-copy
+	// sectors between a thread's sequential touches. Scaled along with
+	// MemBytes in scaled systems. When the concurrent stream footprint
+	// exceeds it, per-thread sector reuse is lost and elements are
+	// re-fetched — the paper's §3.3 "frequent cacheline evictions ...
+	// transferring more bytes to the GPU compared to the original
+	// dataset".
+	L2Bytes int64
+
+	// MaxConcurrentLanes is the hardware thread concurrency (V100: 80 SMs
+	// x 2048 threads). Scaled along with MemBytes in scaled systems so
+	// the streams-vs-cache ratio of the full-size machine is preserved.
+	MaxConcurrentLanes int
+
+	// PerWarpOutstanding is the number of host-memory read requests one
+	// warp can keep in flight (load/store unit scoreboard depth). It
+	// bounds a single warp's streaming rate and therefore the critical
+	// path of kernels with extremely long neighbor lists — the load
+	// imbalance the paper's §6 discusses delegating to workload-balancing
+	// schemes [38, 39].
+	PerWarpOutstanding int
+
+	// ThrashSensitivity converts the concurrent-stream footprint ratio
+	// into a reuse-miss fraction: miss = clamp01(sensitivity * footprint /
+	// L2Bytes). It is below 1 because LRU strongly favors the short reuse
+	// distances of sequential streams. Calibrated once against Figure 9's
+	// Naive-vs-UVM ratio (paper: 0.73x on average; see the thrash
+	// sensitivity ablation for the sweep this value came from).
+	ThrashSensitivity float64
+}
+
+// KernelStats aggregates one kernel launch's activity and its simulated
+// elapsed time.
+type KernelStats struct {
+	Name  string
+	Warps int
+
+	WarpInstrs uint64
+
+	// GPU-local traffic.
+	HBMBytes uint64
+
+	// Zero-copy traffic (requests that crossed the link individually).
+	PCIeRequests     uint64
+	PCIePayloadBytes uint64
+
+	// Host DRAM bytes actually served (includes 64B-burst rounding).
+	HostDRAMBytes uint64
+
+	// UVM activity.
+	UVMMigrations uint64
+	UVMHits       uint64
+
+	// Zero-copy sector reuse accounting for the L2 thrash model: potential
+	// per-lane sector reuses observed, total lanes that streamed zero-copy
+	// data, and the re-fetch requests actually charged at finish time.
+	ZCSectorReuses uint64
+	ZCActiveLanes  uint64
+	ZCRefetches    uint64
+
+	// MaxWarpHostReqs is the largest number of host-memory requests issued
+	// by any single (virtual) warp: the kernel's latency-bound critical
+	// path. Aggregated by maximum, not sum.
+	MaxWarpHostReqs uint64
+
+	// Roofline terms, in seconds.
+	WireSeconds      float64
+	TagSeconds       float64
+	UVMSerialSeconds float64
+
+	Elapsed time.Duration
+}
+
+// Add folds other into s (used for run-level aggregation).
+func (s *KernelStats) Add(o *KernelStats) {
+	s.Warps += o.Warps
+	s.WarpInstrs += o.WarpInstrs
+	s.HBMBytes += o.HBMBytes
+	s.PCIeRequests += o.PCIeRequests
+	s.PCIePayloadBytes += o.PCIePayloadBytes
+	s.HostDRAMBytes += o.HostDRAMBytes
+	s.UVMMigrations += o.UVMMigrations
+	s.UVMHits += o.UVMHits
+	s.ZCSectorReuses += o.ZCSectorReuses
+	s.ZCActiveLanes += o.ZCActiveLanes
+	s.ZCRefetches += o.ZCRefetches
+	if o.MaxWarpHostReqs > s.MaxWarpHostReqs {
+		s.MaxWarpHostReqs = o.MaxWarpHostReqs
+	}
+	s.WireSeconds += o.WireSeconds
+	s.TagSeconds += o.TagSeconds
+	s.UVMSerialSeconds += o.UVMSerialSeconds
+	s.Elapsed += o.Elapsed
+}
+
+// Sub returns s - prev, field by field. Use with two Total() snapshots to
+// isolate one run's activity.
+func (s KernelStats) Sub(prev KernelStats) KernelStats {
+	return KernelStats{
+		Name:             s.Name,
+		Warps:            s.Warps - prev.Warps,
+		WarpInstrs:       s.WarpInstrs - prev.WarpInstrs,
+		HBMBytes:         s.HBMBytes - prev.HBMBytes,
+		PCIeRequests:     s.PCIeRequests - prev.PCIeRequests,
+		PCIePayloadBytes: s.PCIePayloadBytes - prev.PCIePayloadBytes,
+		HostDRAMBytes:    s.HostDRAMBytes - prev.HostDRAMBytes,
+		UVMMigrations:    s.UVMMigrations - prev.UVMMigrations,
+		UVMHits:          s.UVMHits - prev.UVMHits,
+		ZCSectorReuses:   s.ZCSectorReuses - prev.ZCSectorReuses,
+		ZCActiveLanes:    s.ZCActiveLanes - prev.ZCActiveLanes,
+		ZCRefetches:      s.ZCRefetches - prev.ZCRefetches,
+		MaxWarpHostReqs:  s.MaxWarpHostReqs, // max-aggregated; delta is the value itself
+		WireSeconds:      s.WireSeconds - prev.WireSeconds,
+		TagSeconds:       s.TagSeconds - prev.TagSeconds,
+		UVMSerialSeconds: s.UVMSerialSeconds - prev.UVMSerialSeconds,
+		Elapsed:          s.Elapsed - prev.Elapsed,
+	}
+}
+
+// Device is one simulated GPU attached to host memory over a PCIe link.
+type Device struct {
+	cfg   Config
+	arena *memsys.Arena
+	uvmgr *uvm.Manager
+	mon   pcie.Monitor
+
+	clock   time.Duration
+	kernels []*KernelStats
+	total   KernelStats
+}
+
+// NewDevice creates a device with a fresh memory arena and UVM manager.
+func NewDevice(cfg Config) *Device {
+	if cfg.LaunchOverhead == 0 {
+		cfg.LaunchOverhead = 8 * time.Microsecond
+	}
+	if cfg.CopyOverhead == 0 {
+		cfg.CopyOverhead = 10 * time.Microsecond
+	}
+	if cfg.WarpInstrPerSec == 0 {
+		cfg.WarpInstrPerSec = 1.2e11
+	}
+	if cfg.L2Bytes == 0 {
+		cfg.L2Bytes = 6 << 20 // full-size V100 L2
+	}
+	if cfg.MaxConcurrentLanes == 0 {
+		cfg.MaxConcurrentLanes = 80 * 2048
+	}
+	if cfg.ThrashSensitivity == 0 {
+		cfg.ThrashSensitivity = 0.40
+	}
+	if cfg.PerWarpOutstanding == 0 {
+		cfg.PerWarpOutstanding = 32
+	}
+	d := &Device{
+		cfg:   cfg,
+		arena: memsys.NewArena(cfg.MemBytes, cfg.HostMemBytes),
+	}
+	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
+	return d
+}
+
+// uvmCapacityPages computes how many UVM pages fit in GPU memory not
+// claimed by explicit allocations.
+func (d *Device) uvmCapacityPages() int {
+	if d.cfg.MemBytes <= 0 {
+		return -1 // uncapped device: unlimited UVM caching
+	}
+	free := d.cfg.MemBytes - d.arena.GPUUsed()
+	if free < 0 {
+		free = 0
+	}
+	return int(free / int64(memsys.PageBytes))
+}
+
+// Config returns the device configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Arena returns the device's memory arena for allocations.
+func (d *Device) Arena() *memsys.Arena { return d.arena }
+
+// UVM returns the device's UVM manager.
+func (d *Device) UVM() *uvm.Manager { return d.uvmgr }
+
+// Monitor returns the PCIe traffic monitor observing this device's link.
+func (d *Device) Monitor() *pcie.Monitor { return &d.mon }
+
+// Clock returns the simulated time elapsed on this device.
+func (d *Device) Clock() time.Duration { return d.clock }
+
+// Kernels returns per-launch statistics in launch order.
+func (d *Device) Kernels() []*KernelStats { return d.kernels }
+
+// Total returns aggregate statistics over all launches and copies.
+func (d *Device) Total() KernelStats { return d.total }
+
+// ResetStats clears the clock, kernel log, monitor, and UVM statistics,
+// but keeps allocations and UVM residency. Use ResetUVMResidency for a cold
+// run.
+func (d *Device) ResetStats() {
+	d.clock = 0
+	d.kernels = nil
+	d.total = KernelStats{}
+	d.mon.Reset()
+}
+
+// ResetUVMResidency evicts all UVM pages so the next run starts cold, and
+// refreshes the UVM capacity from current free GPU memory.
+func (d *Device) ResetUVMResidency() {
+	d.uvmgr.Reset()
+	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
+}
+
+// Launch executes a kernel: body is invoked once per warp with warp IDs
+// 0..warps-1 in order. It returns the launch's statistics after advancing
+// the simulated clock.
+func (d *Device) Launch(name string, warps int, body func(w *Warp)) *KernelStats {
+	if warps < 0 {
+		panic(fmt.Sprintf("gpu: Launch %q with negative warp count %d", name, warps))
+	}
+	ks := &KernelStats{Name: name, Warps: warps}
+	w := Warp{dev: d, ks: ks}
+	for id := 0; id < warps; id++ {
+		w.id = id
+		w.resetMRU()
+		w.zcLanes = 0
+		w.hostReqs = 0
+		body(&w)
+		ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
+		w.flushCriticalPath()
+	}
+	d.finish(ks)
+	return ks
+}
+
+// finish converts a kernel's traffic into elapsed time via the roofline
+// model and advances the clock.
+func (d *Device) finish(ks *KernelStats) {
+	d.chargeThrash(ks)
+	pcieTime := pcie.StreamSeconds(ks.WireSeconds, ks.TagSeconds)
+	hbmTime := d.cfg.HBM.ServiceSeconds(int64(ks.HBMBytes))
+	dramTime := d.cfg.HostDRAM.ServiceSeconds(int64(ks.HostDRAMBytes))
+	compTime := float64(ks.WarpInstrs) / d.cfg.WarpInstrPerSec
+	// Latency-bound critical path: the busiest warp streams at most
+	// PerWarpOutstanding requests per round trip.
+	critTime := float64(ks.MaxWarpHostReqs) * d.cfg.Link.RTT.Seconds() /
+		float64(d.cfg.PerWarpOutstanding)
+	bottleneck := pcieTime
+	for _, t := range []float64{hbmTime, dramTime, compTime, ks.UVMSerialSeconds, critTime} {
+		if t > bottleneck {
+			bottleneck = t
+		}
+	}
+	ks.Elapsed = d.cfg.LaunchOverhead + time.Duration(bottleneck*float64(time.Second))
+	d.clock += ks.Elapsed
+	d.kernels = append(d.kernels, ks)
+	d.total.Add(ks)
+	d.mon.Sample(d.clock)
+}
+
+// chargeThrash applies the §3.3 cache-thrash model: per-lane zero-copy
+// sector reuse (the warp MRU) only survives in L2 while the concurrent
+// stream footprint fits. The surviving fraction scales the observed reuses
+// into 32-byte re-fetch requests, charged to the link, host DRAM, and the
+// traffic monitor exactly like first fetches.
+func (d *Device) chargeThrash(ks *KernelStats) {
+	if ks.ZCSectorReuses == 0 {
+		return
+	}
+	streams := ks.ZCActiveLanes
+	if hw := uint64(d.cfg.MaxConcurrentLanes); streams > hw {
+		streams = hw
+	}
+	footprint := float64(streams) * float64(memsys.SectorBytes)
+	missFrac := d.cfg.ThrashSensitivity * footprint / float64(d.cfg.L2Bytes)
+	if missFrac > 1 {
+		missFrac = 1
+	}
+	extra := uint64(float64(ks.ZCSectorReuses) * missFrac)
+	if extra == 0 {
+		return
+	}
+	ks.ZCRefetches = extra
+	ks.PCIeRequests += extra
+	ks.PCIePayloadBytes += extra * uint64(memsys.SectorBytes)
+	ks.WireSeconds += float64(extra) * d.cfg.Link.WireSeconds(memsys.SectorBytes)
+	ks.TagSeconds += float64(extra) * d.cfg.Link.TagSeconds()
+	ks.HostDRAMBytes += extra * uint64(d.cfg.HostDRAM.ServedBytes(memsys.SectorBytes))
+	d.mon.RecordN(memsys.SectorBytes, d.cfg.Link.TLPOverheadBytes, extra)
+}
+
+// CopyToDevice models an explicit host-to-device bulk transfer of n bytes
+// (e.g. Subway's subgraph upload). The transfer crosses the link at memcpy
+// peak and is recorded by the monitor.
+func (d *Device) CopyToDevice(n int64) time.Duration {
+	return d.bulk(n, true)
+}
+
+// CopyToHost models a device-to-host transfer of n bytes (result download,
+// frontier flag readback).
+func (d *Device) CopyToHost(n int64) time.Duration {
+	return d.bulk(n, false)
+}
+
+func (d *Device) bulk(n int64, record bool) time.Duration {
+	if n < 0 {
+		panic("gpu: negative copy size")
+	}
+	dt := d.cfg.CopyOverhead + time.Duration(d.cfg.Link.BulkSeconds(n)*float64(time.Second))
+	if record && n > 0 {
+		d.mon.RecordBulk(n, d.cfg.Link.TLPOverheadBytes)
+	}
+	d.clock += dt
+	d.total.Elapsed += dt
+	d.mon.Sample(d.clock)
+	return dt
+}
+
+// Memset fills a GPU-resident buffer with v, modeling a cudaMemsetAsync:
+// the cost is the buffer size at HBM bandwidth, with no launch overhead
+// (it is a stream operation).
+func (d *Device) Memset(b *memsys.Buffer, v byte) {
+	for i := range b.Data {
+		b.Data[i] = v
+	}
+	dt := time.Duration(d.cfg.HBM.ServiceSeconds(b.Size()) * float64(time.Second))
+	d.clock += dt
+	d.total.Elapsed += dt
+}
+
+// HostCompute advances the clock by a host-side CPU cost (e.g. Subway's
+// subgraph generation). It is serialized with device work.
+func (d *Device) HostCompute(dt time.Duration) {
+	if dt < 0 {
+		panic("gpu: negative host compute time")
+	}
+	d.clock += dt
+	d.total.Elapsed += dt
+}

@@ -1,0 +1,389 @@
+package gpu
+
+import (
+	"fmt"
+
+	"repro/internal/memsys"
+)
+
+// Mask selects active lanes of a warp; bit i is lane i.
+type Mask uint32
+
+// MaskFull has all 32 lanes active.
+const MaskFull Mask = 0xFFFFFFFF
+
+// MaskNone has no lanes active.
+const MaskNone Mask = 0
+
+// MaskFirstN returns a mask with lanes 0..n-1 active. n is clamped to
+// [0, WarpSize].
+func MaskFirstN(n int) Mask {
+	if n <= 0 {
+		return 0
+	}
+	if n >= WarpSize {
+		return MaskFull
+	}
+	return Mask(uint32(1)<<uint(n) - 1)
+}
+
+// Has reports whether lane i is active.
+func (m Mask) Has(i int) bool { return m&(1<<uint(i)) != 0 }
+
+// Set returns m with lane i active.
+func (m Mask) Set(i int) Mask { return m | 1<<uint(i) }
+
+// Clear returns m with lane i inactive.
+func (m Mask) Clear(i int) Mask { return m &^ (1 << uint(i)) }
+
+// Count returns the number of active lanes.
+func (m Mask) Count() int {
+	n := 0
+	for v := uint32(m); v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+const invalidSector = ^uint64(0)
+
+// Warp is the execution context passed to kernel bodies: 32 lanes executing
+// in lock step. All memory traffic flows through the coalescing unit, which
+// reproduces the request patterns of the paper's Figure 3.
+type Warp struct {
+	dev *Device
+	ks  *KernelStats
+	id  int
+
+	// mru is the per-lane most-recently-touched 32B sector, modeling the L1
+	// behaviour behind §3.3's "each thread generates a new 32-byte request
+	// every time it crosses a 32-byte address boundary": repeated loads
+	// within a lane's current sector do not re-issue requests.
+	mru [WarpSize]uint64
+
+	// coalescer scratch (no allocation on the hot path)
+	sectors [2 * WarpSize]uint64
+
+	// zcLanes marks lanes that streamed zero-copy data during this warp's
+	// execution, feeding the L2 thrash model's concurrency estimate.
+	zcLanes uint32
+
+	// hostReqs counts host-memory requests issued by the current (virtual)
+	// warp, feeding the latency-bound critical-path term.
+	hostReqs uint64
+}
+
+// ID returns the warp's global index within the launch grid.
+func (w *Warp) ID() int { return w.id }
+
+// LaneCount returns WarpSize; provided for readable kernel code.
+func (w *Warp) LaneCount() int { return WarpSize }
+
+// Instr accounts n extra warp instructions (loop and branch bookkeeping).
+func (w *Warp) Instr(n int) { w.ks.WarpInstrs += uint64(n) }
+
+func (w *Warp) resetMRU() {
+	for i := range w.mru {
+		w.mru[i] = invalidSector
+	}
+}
+
+// InvalidateMRU clears the per-lane sector reuse state, e.g. at a
+// synchronization point.
+func (w *Warp) InvalidateMRU() { w.resetMRU() }
+
+// flushCriticalPath folds the current virtual warp's host request count
+// into the kernel's critical-path maximum and starts a new virtual warp.
+func (w *Warp) flushCriticalPath() {
+	if w.hostReqs > w.ks.MaxWarpHostReqs {
+		w.ks.MaxWarpHostReqs = w.hostReqs
+	}
+	w.hostReqs = 0
+}
+
+// SplitWorker declares a virtual warp boundary: the work that follows is
+// executed by a different hardware warp in a workload-balanced kernel, so
+// it does not extend this warp's latency critical path. Used by the
+// balanced traversal extension (paper §6: "workload balancing between long
+// and short neighbor lists [38, 39] can be added on top of EMOGI").
+func (w *Warp) SplitWorker() { w.flushCriticalPath() }
+
+// access is the coalescing unit. For each active lane it computes the
+// touched 32-byte sector; sectors already in the lane's MRU are L1 hits
+// (reads only). The remaining sectors are grouped by 128-byte cache line
+// and each contiguous sector run within a line becomes one memory request
+// of 32, 64, 96, or 128 bytes, dispatched to the buffer's backing space.
+//
+// Element accesses must not straddle sector boundaries: callers guarantee
+// element-aligned indices (4- or 8-byte elements on matching alignment),
+// which real allocators guarantee too.
+func (w *Warp) access(buf *memsys.Buffer, off *[WarpSize]int64, mask Mask, write bool) {
+	w.ks.WarpInstrs++
+	if mask == 0 {
+		return
+	}
+	n := 0
+	for lane := 0; lane < WarpSize; lane++ {
+		if !mask.Has(lane) {
+			continue
+		}
+		addr := buf.Base + uint64(off[lane])
+		sector := addr >> 5
+		if !write {
+			if w.mru[lane] == sector {
+				// Sector reuse. For zero-copy data the reuse must survive
+				// in the shared L2 until this touch; the thrash model at
+				// kernel finish converts a concurrency-dependent fraction
+				// of these into 32B re-fetches (§3.3).
+				if buf.Space == memsys.SpaceHostPinned {
+					w.ks.ZCSectorReuses++
+				}
+				continue
+			}
+			w.mru[lane] = sector
+			if buf.Space == memsys.SpaceHostPinned {
+				w.zcLanes |= 1 << uint(lane)
+			}
+		}
+		w.sectors[n] = sector
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	// Sort the touched sectors (insertion sort; n <= 32, mostly sorted for
+	// merged access patterns) and deduplicate.
+	s := w.sectors[:n]
+	for i := 1; i < n; i++ {
+		v := s[i]
+		j := i - 1
+		for j >= 0 && s[j] > v {
+			s[j+1] = s[j]
+			j--
+		}
+		s[j+1] = v
+	}
+	m := 1
+	for i := 1; i < n; i++ {
+		if s[i] != s[m-1] {
+			s[m] = s[i]
+			m++
+		}
+	}
+	s = s[:m]
+	// Emit one request per contiguous sector run within a 128B line.
+	runStart := 0
+	for i := 1; i <= m; i++ {
+		if i < m && s[i] == s[i-1]+1 && s[i]>>2 == s[runStart]>>2 {
+			continue
+		}
+		first := s[runStart]
+		size := (i - runStart) * memsys.SectorBytes
+		w.dispatch(buf, first<<5, size)
+		runStart = i
+	}
+}
+
+// dispatch routes one coalesced request to the buffer's backing space and
+// performs the corresponding accounting.
+func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
+	d := w.dev
+	ks := w.ks
+	switch buf.Space {
+	case memsys.SpaceGPU:
+		ks.HBMBytes += uint64(size)
+
+	case memsys.SpaceHostPinned:
+		w.hostReqs++
+		ks.PCIeRequests++
+		ks.PCIePayloadBytes += uint64(size)
+		ks.WireSeconds += d.cfg.Link.WireSeconds(size)
+		ks.TagSeconds += d.cfg.Link.TagSeconds()
+		ks.HostDRAMBytes += uint64(d.cfg.HostDRAM.ServedBytes(size))
+		d.mon.Record(size, d.cfg.Link.TLPOverheadBytes)
+
+	case memsys.SpaceUVM:
+		off := int64(addr - buf.Base)
+		pb := int64(d.uvmgr.Config().PageBytes)
+		pagesTouched := int((off+int64(size)-1)/pb - off/pb + 1)
+		migrated := d.uvmgr.Touch(buf, off, size)
+		if migrated > 0 {
+			bytes := d.uvmgr.MigrationWireBytes(migrated)
+			ks.UVMMigrations += uint64(migrated)
+			ks.PCIePayloadBytes += uint64(bytes)
+			ks.WireSeconds += d.cfg.Link.BulkSeconds(bytes)
+			// The single-threaded UVM driver serializes fault handling
+			// with the page transfer (§2.2): the pipeline term is handler
+			// cost plus transfer time per page, which is what keeps UVM at
+			// ~9.1 GB/s even though the wire could do 12.3 (Figure 4) and
+			// what prevents UVM from scaling to PCIe 4.0 (Figure 12).
+			ks.UVMSerialSeconds += d.uvmgr.FaultCPUTime(migrated).Seconds() +
+				d.cfg.Link.BulkSeconds(bytes)
+			ks.HostDRAMBytes += uint64(bytes)
+			d.mon.RecordBulk(bytes, d.cfg.Link.TLPOverheadBytes)
+		}
+		ks.UVMHits += uint64(pagesTouched - migrated)
+		// After migration the access is served from GPU memory.
+		ks.HBMBytes += uint64(size)
+
+	default:
+		panic(fmt.Sprintf("gpu: access to buffer %q in unknown space %d", buf.Name, buf.Space))
+	}
+}
+
+// --- typed gathers, scatters, scalars, atomics ---
+
+// GatherU64 loads 64-bit elements: lane i reads buf[idx[i]] when active.
+func (w *Warp) GatherU64(buf *memsys.Buffer, idx *[WarpSize]int64, mask Mask) [WarpSize]uint64 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 8
+		}
+	}
+	w.access(buf, &off, mask, false)
+	var out [WarpSize]uint64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			out[i] = buf.U64(idx[i])
+		}
+	}
+	return out
+}
+
+// GatherU32 loads 32-bit elements: lane i reads buf[idx[i]] when active.
+func (w *Warp) GatherU32(buf *memsys.Buffer, idx *[WarpSize]int64, mask Mask) [WarpSize]uint32 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, false)
+	var out [WarpSize]uint32
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			out[i] = buf.U32(idx[i])
+		}
+	}
+	return out
+}
+
+// ScatterU32 stores 32-bit elements: lane i writes val[i] to buf[idx[i]].
+func (w *Warp) ScatterU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint32, mask Mask) {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, true)
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			buf.PutU32(idx[i], val[i])
+		}
+	}
+}
+
+// ScatterU64 stores 64-bit elements.
+func (w *Warp) ScatterU64(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint64, mask Mask) {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 8
+		}
+	}
+	w.access(buf, &off, mask, true)
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			buf.PutU64(idx[i], val[i])
+		}
+	}
+}
+
+// ScalarU64 loads one 64-bit element through lane 0 (a uniform load
+// broadcast to the warp).
+func (w *Warp) ScalarU64(buf *memsys.Buffer, idx int64) uint64 {
+	var off [WarpSize]int64
+	off[0] = idx * 8
+	w.access(buf, &off, 1, false)
+	return buf.U64(idx)
+}
+
+// ScalarU32 loads one 32-bit element through lane 0.
+func (w *Warp) ScalarU32(buf *memsys.Buffer, idx int64) uint32 {
+	var off [WarpSize]int64
+	off[0] = idx * 4
+	w.access(buf, &off, 1, false)
+	return buf.U32(idx)
+}
+
+// PairU64 loads buf[idx] and buf[idx+1] through two lanes — the classic
+// "start = offset[v]; end = offset[v+1]" neighbor-list bounds read, which
+// usually coalesces into a single request.
+func (w *Warp) PairU64(buf *memsys.Buffer, idx int64) (uint64, uint64) {
+	var off [WarpSize]int64
+	off[0] = idx * 8
+	off[1] = (idx + 1) * 8
+	w.access(buf, &off, 3, false)
+	return buf.U64(idx), buf.U64(idx + 1)
+}
+
+// StoreScalarU32 stores one 32-bit element through lane 0.
+func (w *Warp) StoreScalarU32(buf *memsys.Buffer, idx int64, v uint32) {
+	var off [WarpSize]int64
+	off[0] = idx * 4
+	w.access(buf, &off, 1, true)
+	buf.PutU32(idx, v)
+}
+
+// AtomicMinU32 performs per-lane atomicMin on buf[idx[i]] with val[i],
+// returning the previous values. Lanes are applied in ascending order,
+// which is one legal serialization of the hardware's arbitrary order; all
+// the algorithms built on it (BFS/SSSP/CC relaxations) are commutative and
+// idempotent, so the choice does not affect results.
+func (w *Warp) AtomicMinU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint32, mask Mask) [WarpSize]uint32 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, true)
+	var old [WarpSize]uint32
+	for i := 0; i < WarpSize; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		cur := buf.U32(idx[i])
+		old[i] = cur
+		if val[i] < cur {
+			buf.PutU32(idx[i], val[i])
+		}
+	}
+	return old
+}
+
+// AtomicCASU32 performs per-lane compare-and-swap: if buf[idx[i]] == cmp[i]
+// it is set to val[i]; the previous value is returned.
+func (w *Warp) AtomicCASU32(buf *memsys.Buffer, idx *[WarpSize]int64, cmp, val *[WarpSize]uint32, mask Mask) [WarpSize]uint32 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, true)
+	var old [WarpSize]uint32
+	for i := 0; i < WarpSize; i++ {
+		if !mask.Has(i) {
+			continue
+		}
+		cur := buf.U32(idx[i])
+		old[i] = cur
+		if cur == cmp[i] {
+			buf.PutU32(idx[i], val[i])
+		}
+	}
+	return old
+}

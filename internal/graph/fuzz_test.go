@@ -1,0 +1,73 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzRead hardens the binary CSR reader against arbitrary input: it must
+// either return an error or a graph that passes Validate — never panic,
+// never accept a structurally broken graph.
+func FuzzRead(f *testing.F) {
+	// Seed with a valid serialization and a few mutations.
+	var buf bytes.Buffer
+	g := FromEdges("seed", 8, []Edge{{0, 1}, {1, 2}, {2, 3}, {3, 0}}, false)
+	g.InitWeights(1, 8, 72)
+	if err := g.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add(valid[:8])
+	f.Add([]byte("EMOGICSR garbage"))
+	f.Add([]byte{})
+	mut := append([]byte{}, valid...)
+	mut[20] ^= 0xFF
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if vErr := g.Validate(); vErr != nil {
+			t.Fatalf("Read accepted an invalid graph: %v", vErr)
+		}
+	})
+}
+
+// FuzzFromEdges hardens construction: any arc soup over a small vertex set
+// must produce a valid, symmetric (when undirected) CSR.
+func FuzzFromEdges(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 2, 2, 0}, true)
+	f.Add([]byte{5, 5, 5, 5}, false)
+	f.Add([]byte{}, true)
+	f.Fuzz(func(t *testing.T, raw []byte, directed bool) {
+		const n = 32
+		edges := make([]Edge, 0, len(raw)/2)
+		for i := 0; i+1 < len(raw); i += 2 {
+			edges = append(edges, Edge{uint32(raw[i]) % n, uint32(raw[i+1]) % n})
+		}
+		g := FromEdges("fz", n, edges, directed)
+		if err := g.Validate(); err != nil {
+			t.Fatalf("invalid CSR from FromEdges: %v", err)
+		}
+		// Round-trip through the binary format must be lossless.
+		var buf bytes.Buffer
+		if err := g.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		r, err := Read(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v", err)
+		}
+		if r.NumEdges() != g.NumEdges() || r.NumVertices() != g.NumVertices() {
+			t.Fatalf("round trip changed sizes")
+		}
+		for i := range g.Dst {
+			if r.Dst[i] != g.Dst[i] {
+				t.Fatalf("round trip changed arc %d", i)
+			}
+		}
+	})
+}

@@ -1,0 +1,237 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Binary CSR serialization, used by cmd/graphgen to cache generated
+// datasets between benchmark runs. The format is little-endian:
+//
+//	magic   [8]byte  "EMOGICSR"
+//	version uint32   (1)
+//	flags   uint32   bit0 = directed, bit1 = has weights
+//	nameLen uint32, name bytes
+//	n       uint64   vertex count
+//	e       uint64   arc count
+//	offsets (n+1) x uint64
+//	dst     e x uint32
+//	weights e x uint32 (if flagged)
+
+var csrMagic = [8]byte{'E', 'M', 'O', 'G', 'I', 'C', 'S', 'R'}
+
+const csrVersion = 1
+
+// Write serializes the graph to w.
+func (g *CSR) Write(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<20)
+	if _, err := bw.Write(csrMagic[:]); err != nil {
+		return err
+	}
+	var flags uint32
+	if g.Directed {
+		flags |= 1
+	}
+	if g.Weights != nil {
+		flags |= 2
+	}
+	name := []byte(g.Name)
+	for _, v := range []uint32{csrVersion, flags, uint32(len(name))} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	for _, v := range []uint64{uint64(g.NumVertices()), uint64(g.NumEdges())} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if err := writeUint64Slice(bw, g.Offsets); err != nil {
+		return err
+	}
+	if err := writeUint32Slice(bw, g.Dst); err != nil {
+		return err
+	}
+	if g.Weights != nil {
+		if err := writeUint32Slice(bw, g.Weights); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a graph written by Write and validates it.
+func Read(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	var magic [8]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("graph: reading magic: %w", err)
+	}
+	if magic != csrMagic {
+		return nil, fmt.Errorf("graph: bad magic %q", magic[:])
+	}
+	var version, flags, nameLen uint32
+	for _, p := range []*uint32{&version, &flags, &nameLen} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	if version != csrVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", version)
+	}
+	if nameLen > 1<<16 {
+		return nil, fmt.Errorf("graph: implausible name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var n, e uint64
+	for _, p := range []*uint64{&n, &e} {
+		if err := binary.Read(br, binary.LittleEndian, p); err != nil {
+			return nil, err
+		}
+	}
+	const maxReasonable = 1 << 33
+	if n > maxReasonable || e > maxReasonable {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d e=%d", n, e)
+	}
+	// Arrays are grown incrementally while reading rather than
+	// pre-allocated from the header's claims, so a forged header cannot
+	// force a huge allocation: the stream must actually contain the bytes.
+	g := &CSR{
+		Name:     string(name),
+		Directed: flags&1 != 0,
+	}
+	offsets, err := readUint64Grow(br, n+1)
+	if err != nil {
+		return nil, err
+	}
+	g.Offsets = offsets
+	if g.Dst, err = readUint32Grow(br, e); err != nil {
+		return nil, err
+	}
+	if flags&2 != 0 {
+		if g.Weights, err = readUint32Grow(br, e); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: deserialized graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// WriteFile serializes the graph to the named file.
+func (g *CSR) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := g.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile deserializes a graph from the named file.
+func ReadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func writeUint64Slice(w io.Writer, s []int64) error {
+	buf := make([]byte, 8*4096)
+	for off := 0; off < len(s); {
+		chunk := len(s) - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint64(buf[i*8:], uint64(s[off+i]))
+		}
+		if _, err := w.Write(buf[:chunk*8]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// readUint64Grow reads count little-endian uint64s, growing the result as
+// the bytes arrive (see Read for why this is not pre-allocated).
+func readUint64Grow(r io.Reader, count uint64) ([]int64, error) {
+	buf := make([]byte, 8*4096)
+	out := make([]int64, 0, min64(count, 4096))
+	for off := uint64(0); off < count; {
+		chunk := count - off
+		if chunk > 4096 {
+			chunk = 4096
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*8]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < chunk; i++ {
+			out = append(out, int64(binary.LittleEndian.Uint64(buf[i*8:])))
+		}
+		off += chunk
+	}
+	return out, nil
+}
+
+func writeUint32Slice(w io.Writer, s []uint32) error {
+	buf := make([]byte, 4*8192)
+	for off := 0; off < len(s); {
+		chunk := len(s) - off
+		if chunk > 8192 {
+			chunk = 8192
+		}
+		for i := 0; i < chunk; i++ {
+			binary.LittleEndian.PutUint32(buf[i*4:], s[off+i])
+		}
+		if _, err := w.Write(buf[:chunk*4]); err != nil {
+			return err
+		}
+		off += chunk
+	}
+	return nil
+}
+
+// readUint32Grow reads count little-endian uint32s with incremental
+// growth.
+func readUint32Grow(r io.Reader, count uint64) ([]uint32, error) {
+	buf := make([]byte, 4*8192)
+	out := make([]uint32, 0, min64(count, 8192))
+	for off := uint64(0); off < count; {
+		chunk := count - off
+		if chunk > 8192 {
+			chunk = 8192
+		}
+		if _, err := io.ReadFull(r, buf[:chunk*4]); err != nil {
+			return nil, err
+		}
+		for i := uint64(0); i < chunk; i++ {
+			out = append(out, binary.LittleEndian.Uint32(buf[i*4:]))
+		}
+		off += chunk
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

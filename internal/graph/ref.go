@@ -1,0 +1,191 @@
+package graph
+
+import "container/heap"
+
+// This file holds the host-side reference implementations used to validate
+// every simulated GPU traversal: queue-based BFS, Dijkstra SSSP, and
+// union-find connected components. They are also the "ground truth" the
+// test suite checks property-style against all generator families.
+
+// InfDist is the "unvisited / unreachable" sentinel used by both the
+// reference and GPU implementations (0xFFFFFFFF, as a CUDA kernel would
+// initialize a 4-byte distance array).
+const InfDist = ^uint32(0)
+
+// RefBFS returns each vertex's BFS level from src (InfDist if unreachable).
+func RefBFS(g *CSR, src int) []uint32 {
+	n := g.NumVertices()
+	level := make([]uint32, n)
+	for i := range level {
+		level[i] = InfDist
+	}
+	if src < 0 || src >= n {
+		return level
+	}
+	level[src] = 0
+	queue := []int{src}
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		next := level[v] + 1
+		for _, u := range g.Neighbors(v) {
+			if level[u] == InfDist {
+				level[u] = next
+				queue = append(queue, int(u))
+			}
+		}
+	}
+	return level
+}
+
+// distHeap is a binary min-heap of (vertex, dist) pairs for Dijkstra.
+type distHeap struct {
+	v []int
+	d []uint32
+}
+
+func (h *distHeap) Len() int           { return len(h.v) }
+func (h *distHeap) Less(i, j int) bool { return h.d[i] < h.d[j] }
+func (h *distHeap) Swap(i, j int) {
+	h.v[i], h.v[j] = h.v[j], h.v[i]
+	h.d[i], h.d[j] = h.d[j], h.d[i]
+}
+func (h *distHeap) Push(x any) {
+	p := x.([2]uint32)
+	h.v = append(h.v, int(p[0]))
+	h.d = append(h.d, p[1])
+}
+func (h *distHeap) Pop() any {
+	n := len(h.v) - 1
+	p := [2]uint32{uint32(h.v[n]), h.d[n]}
+	h.v = h.v[:n]
+	h.d = h.d[:n]
+	return p
+}
+
+// RefSSSP returns each vertex's shortest-path distance from src using
+// Dijkstra's algorithm (all weights are positive). Unweighted graphs use
+// weight 1 per edge.
+func RefSSSP(g *CSR, src int) []uint32 {
+	n := g.NumVertices()
+	dist := make([]uint32, n)
+	for i := range dist {
+		dist[i] = InfDist
+	}
+	if src < 0 || src >= n {
+		return dist
+	}
+	dist[src] = 0
+	h := &distHeap{}
+	heap.Push(h, [2]uint32{uint32(src), 0})
+	for h.Len() > 0 {
+		p := heap.Pop(h).([2]uint32)
+		v, d := int(p[0]), p[1]
+		if d > dist[v] {
+			continue // stale entry
+		}
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, u := range ns {
+			w := uint32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			nd := d + w
+			if nd < dist[u] {
+				dist[u] = nd
+				heap.Push(h, [2]uint32{u, nd})
+			}
+		}
+	}
+	return dist
+}
+
+// RefCC returns each vertex's connected-component label: the smallest
+// vertex ID in its component, which is the fixed point that GPU min-label
+// propagation converges to. The graph must be undirected.
+func RefCC(g *CSR) []uint32 {
+	n := g.NumVertices()
+	parent := make([]int32, n)
+	for i := range parent {
+		parent[i] = int32(i)
+	}
+	var find func(x int32) int32
+	find = func(x int32) int32 {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]] // path halving
+			x = parent[x]
+		}
+		return x
+	}
+	for v := 0; v < n; v++ {
+		for _, u := range g.Neighbors(v) {
+			a, b := find(int32(v)), find(int32(u))
+			if a == b {
+				continue
+			}
+			// Union by smaller root ID so roots end up being component minima.
+			if a < b {
+				parent[b] = a
+			} else {
+				parent[a] = b
+			}
+		}
+	}
+	labels := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		labels[v] = uint32(find(int32(v)))
+	}
+	return labels
+}
+
+// ReachableCount returns how many vertices have a finite value in the
+// given level/distance array — handy for picking useful BFS sources.
+func ReachableCount(dist []uint32) int {
+	n := 0
+	for _, d := range dist {
+		if d != InfDist {
+			n++
+		}
+	}
+	return n
+}
+
+// PickSources deterministically picks k source vertices with non-zero
+// out-degree, mimicking §5.2's "64 random vertices... results are removed
+// when the selected vertices have no outgoing edges". The same seed yields
+// the same sources for every implementation under comparison.
+func PickSources(g *CSR, k int, seed int64) []int {
+	n := g.NumVertices()
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, 0, k)
+	x := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for attempts := 0; len(out) < k && attempts < 10*n+k; attempts++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		v := int(x % uint64(n))
+		if g.Degree(v) > 0 {
+			out = append(out, v)
+		}
+	}
+	// Fallback for graphs that are almost all isolated vertices: take any
+	// vertices with edges, cycling if there are fewer than k.
+	if len(out) < k {
+		var candidates []int
+		for v := 0; v < n; v++ {
+			if g.Degree(v) > 0 {
+				candidates = append(candidates, v)
+			}
+		}
+		if len(candidates) == 0 {
+			return nil
+		}
+		for i := 0; len(out) < k; i++ {
+			out = append(out, candidates[i%len(candidates)])
+		}
+	}
+	return out
+}

@@ -1,0 +1,207 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestRefBFSFigure1(t *testing.T) {
+	g := diamond()
+	level := RefBFS(g, 4)
+	// From vertex 4: neighbors 1, 2, 3 at level 1; vertex 0 at level 2.
+	want := []uint32{2, 1, 1, 1, 0}
+	for v, w := range want {
+		if level[v] != w {
+			t.Errorf("level[%d] = %d, want %d", v, level[v], w)
+		}
+	}
+}
+
+func TestRefBFSUnreachable(t *testing.T) {
+	g := FromEdges("two", 4, []Edge{{0, 1}, {2, 3}}, false)
+	level := RefBFS(g, 0)
+	if level[1] != 1 {
+		t.Errorf("level[1] = %d, want 1", level[1])
+	}
+	if level[2] != InfDist || level[3] != InfDist {
+		t.Errorf("other component should be unreachable")
+	}
+	if ReachableCount(level) != 2 {
+		t.Errorf("ReachableCount = %d, want 2", ReachableCount(level))
+	}
+}
+
+func TestRefBFSBadSource(t *testing.T) {
+	g := diamond()
+	level := RefBFS(g, -1)
+	if ReachableCount(level) != 0 {
+		t.Errorf("negative source should reach nothing")
+	}
+	level = RefBFS(g, 99)
+	if ReachableCount(level) != 0 {
+		t.Errorf("out-of-range source should reach nothing")
+	}
+}
+
+func TestRefSSSPUnweighted(t *testing.T) {
+	g := diamond()
+	dist := RefSSSP(g, 4)
+	level := RefBFS(g, 4)
+	for v := range dist {
+		if dist[v] != level[v] {
+			t.Errorf("unweighted SSSP != BFS at %d: %d vs %d", v, dist[v], level[v])
+		}
+	}
+}
+
+func TestRefSSSPWeighted(t *testing.T) {
+	// Path 0-1-2 with weights 1,1 vs direct edge 0-2 with weight 10:
+	// shortest path to 2 should be 2 via vertex 1.
+	g := FromEdges("w", 3, []Edge{{0, 1}, {1, 2}, {0, 2}}, false)
+	g.Weights = make([]uint32, len(g.Dst))
+	setW := func(u, v int, w uint32) {
+		ns := g.Neighbors(u)
+		for i, x := range ns {
+			if int(x) == v {
+				g.Weights[g.Offsets[u]+int64(i)] = w
+			}
+		}
+	}
+	setW(0, 1, 1)
+	setW(1, 0, 1)
+	setW(1, 2, 1)
+	setW(2, 1, 1)
+	setW(0, 2, 10)
+	setW(2, 0, 10)
+	dist := RefSSSP(g, 0)
+	if dist[2] != 2 {
+		t.Errorf("dist[2] = %d, want 2 (path through 1)", dist[2])
+	}
+	if dist[1] != 1 {
+		t.Errorf("dist[1] = %d, want 1", dist[1])
+	}
+}
+
+func TestRefCC(t *testing.T) {
+	g := FromEdges("cc", 7, []Edge{{0, 1}, {1, 2}, {3, 4}, {5, 5}}, false)
+	labels := RefCC(g)
+	// Component {0,1,2} -> 0; {3,4} -> 3; isolated 5, 6 -> themselves.
+	want := []uint32{0, 0, 0, 3, 3, 5, 6}
+	for v, w := range want {
+		if labels[v] != w {
+			t.Errorf("label[%d] = %d, want %d", v, labels[v], w)
+		}
+	}
+}
+
+func TestRefCCSingleComponent(t *testing.T) {
+	g := diamond()
+	labels := RefCC(g)
+	for v, l := range labels {
+		if l != 0 {
+			t.Errorf("label[%d] = %d, want 0", v, l)
+		}
+	}
+}
+
+// TestRefAlgorithmsConsistency cross-checks the three references on all
+// generator families: BFS levels are a lower bound on hop counts, SSSP
+// respects triangle inequality along edges, CC labels equal per-component
+// minima and are consistent with BFS reachability.
+func TestRefAlgorithmsConsistency(t *testing.T) {
+	graphs := []*CSR{
+		RMAT("gk", 512, 12, 0.57, 0.19, 0.19, true, 1),
+		Urand("gu", 400, 12, 2),
+		Dense("ml", 150, 40, 16, 3),
+		Social("fs", 512, 12, 4),
+	}
+	for _, g := range graphs {
+		g.InitWeights(5, 8, 72)
+		src := PickSources(g, 1, 7)[0]
+		level := RefBFS(g, src)
+		dist := RefSSSP(g, src)
+		cc := RefCC(g)
+		for v := 0; v < g.NumVertices(); v++ {
+			// BFS and SSSP agree on reachability.
+			if (level[v] == InfDist) != (dist[v] == InfDist) {
+				t.Fatalf("%s: reachability disagreement at %d", g.Name, v)
+			}
+			// Reachable vertices share the source's component.
+			if level[v] != InfDist && cc[v] != cc[src] {
+				t.Fatalf("%s: vertex %d reachable but in another component", g.Name, v)
+			}
+			// CC label is the component minimum: label <= v, and
+			// label's own label is itself.
+			if cc[v] > uint32(v) {
+				t.Fatalf("%s: label[%d] = %d exceeds vertex ID", g.Name, v, cc[v])
+			}
+			if cc[cc[v]] != cc[v] {
+				t.Fatalf("%s: label of label differs at %d", g.Name, v)
+			}
+			// Edge relaxation: SSSP is a fixed point.
+			ns, ws := g.Neighbors(v), g.NeighborWeights(v)
+			if dist[v] != InfDist {
+				for i, u := range ns {
+					if dist[u] > dist[v]+ws[i] {
+						t.Fatalf("%s: unrelaxed edge %d->%d", g.Name, v, u)
+					}
+				}
+				// BFS level fixed point too.
+				for _, u := range ns {
+					if level[u] > level[v]+1 {
+						t.Fatalf("%s: BFS level gap on edge %d->%d", g.Name, v, u)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPickSourcesDeterministicAndValid(t *testing.T) {
+	g := RMAT("g", 1024, 8, 0.57, 0.19, 0.19, true, 1)
+	a := PickSources(g, 16, 5)
+	b := PickSources(g, 16, 5)
+	if len(a) != 16 {
+		t.Fatalf("got %d sources, want 16", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sources not deterministic")
+		}
+		if g.Degree(a[i]) == 0 {
+			t.Errorf("source %d has no outgoing edges", a[i])
+		}
+	}
+	c := PickSources(g, 16, 6)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Errorf("different seeds gave identical sources")
+	}
+}
+
+func TestPickSourcesDegenerate(t *testing.T) {
+	// All isolated vertices: no valid sources.
+	empty := &CSR{Offsets: make([]int64, 11)}
+	if got := PickSources(empty, 4, 1); got != nil {
+		t.Errorf("expected nil for all-isolated graph, got %v", got)
+	}
+	// Single connected pair: cycling fallback fills k sources.
+	g := FromEdges("pair", 10, []Edge{{3, 7}}, false)
+	srcs := PickSources(g, 5, 1)
+	if len(srcs) != 5 {
+		t.Fatalf("got %d sources, want 5", len(srcs))
+	}
+	for _, s := range srcs {
+		if s != 3 && s != 7 {
+			t.Errorf("source %d has no edges", s)
+		}
+	}
+	var zero *CSR = &CSR{Offsets: []int64{0}}
+	if got := PickSources(zero, 3, 1); got != nil {
+		t.Errorf("empty graph should give nil sources")
+	}
+}

@@ -1,0 +1,280 @@
+// Package memsys provides the simulated memory substrate: a single virtual
+// address arena with typed buffers placed in one of three spaces (GPU global
+// memory, pinned zero-copy host memory, or UVM-managed memory), plus simple
+// bandwidth models for host DDR4 DRAM and GPU HBM2.
+//
+// Buffers carry real backing bytes: simulated kernels actually read and
+// write data through them, so graph traversal results are functionally
+// correct, not just performance-modeled.
+package memsys
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Space identifies where a buffer physically lives and therefore which
+// transport a GPU access to it takes.
+type Space uint8
+
+const (
+	// SpaceGPU is GPU global memory (HBM). Accesses are local to the GPU.
+	SpaceGPU Space = iota
+	// SpaceHostPinned is pinned host memory accessed via zero-copy: every
+	// GPU access becomes a cache-line-sized PCIe read/write.
+	SpaceHostPinned
+	// SpaceUVM is managed memory: accesses fault 4KB pages into GPU memory
+	// on demand, after which they are served from HBM.
+	SpaceUVM
+)
+
+// String returns a short human-readable name for the space.
+func (s Space) String() string {
+	switch s {
+	case SpaceGPU:
+		return "gpu"
+	case SpaceHostPinned:
+		return "zerocopy"
+	case SpaceUVM:
+		return "uvm"
+	default:
+		return fmt.Sprintf("space(%d)", uint8(s))
+	}
+}
+
+// CacheLineBytes is the GPU cache line size; the coalescing unit merges
+// accesses within one line into a single request.
+const CacheLineBytes = 128
+
+// SectorBytes is the minimum external memory transaction size (one L2
+// sector); all PCIe requests are whole multiples of it.
+const SectorBytes = 32
+
+// PageBytes is the UVM migration granularity (one system page).
+const PageBytes = 4096
+
+// Buffer is a device-visible allocation. Base is its simulated virtual
+// address; Data is the real backing store.
+type Buffer struct {
+	Name  string
+	Space Space
+	Base  uint64
+	Data  []byte
+
+	// Elem is the element width in bytes used by typed accessors for this
+	// buffer's primary payload (4 or 8). Informational; accessors below
+	// take explicit widths.
+	Elem int
+
+	// pageState is used by the UVM manager for SpaceUVM buffers; nil
+	// otherwise. Each entry tracks residency of one 4KB page.
+	pageState []bool
+}
+
+// Size returns the buffer length in bytes.
+func (b *Buffer) Size() int64 { return int64(len(b.Data)) }
+
+// Pages returns the number of 4KB pages the buffer spans.
+func (b *Buffer) Pages() int {
+	return int((b.Size() + PageBytes - 1) / PageBytes)
+}
+
+// PageResident reports whether page i is resident in GPU memory. Only
+// meaningful for SpaceUVM buffers.
+func (b *Buffer) PageResident(i int) bool {
+	return b.pageState != nil && i < len(b.pageState) && b.pageState[i]
+}
+
+// SetPageResident marks page i's residency. Used by the UVM manager.
+func (b *Buffer) SetPageResident(i int, resident bool) {
+	if b.pageState == nil {
+		b.pageState = make([]bool, b.Pages())
+	}
+	b.pageState[i] = resident
+}
+
+// ResetPages clears all page residency (e.g. between experiment runs).
+func (b *Buffer) ResetPages() {
+	for i := range b.pageState {
+		b.pageState[i] = false
+	}
+}
+
+// U64 reads the 64-bit little-endian element at index i.
+func (b *Buffer) U64(i int64) uint64 {
+	return binary.LittleEndian.Uint64(b.Data[i*8:])
+}
+
+// PutU64 writes the 64-bit element at index i.
+func (b *Buffer) PutU64(i int64, v uint64) {
+	binary.LittleEndian.PutUint64(b.Data[i*8:], v)
+}
+
+// U32 reads the 32-bit little-endian element at index i.
+func (b *Buffer) U32(i int64) uint32 {
+	return binary.LittleEndian.Uint32(b.Data[i*4:])
+}
+
+// PutU32 writes the 32-bit element at index i.
+func (b *Buffer) PutU32(i int64, v uint32) {
+	binary.LittleEndian.PutUint32(b.Data[i*4:], v)
+}
+
+// Arena hands out non-overlapping virtual address ranges and tracks
+// capacity consumption per space. It corresponds to the union of
+// cudaMalloc / cudaMallocHost / cudaMallocManaged address ranges.
+type Arena struct {
+	nextVA  uint64
+	buffers []*Buffer
+
+	GPUCapacity  int64 // HBM bytes available for explicit SpaceGPU buffers
+	HostCapacity int64 // host DRAM bytes for pinned + UVM backing
+
+	gpuUsed  int64
+	hostUsed int64
+}
+
+// NewArena creates an arena with the given capacities in bytes. A zero
+// capacity means unlimited (useful in unit tests).
+func NewArena(gpuCapacity, hostCapacity int64) *Arena {
+	return &Arena{
+		// Start away from address zero and keep the base 4KB-aligned,
+		// like a real allocator would.
+		nextVA:       1 << 20,
+		GPUCapacity:  gpuCapacity,
+		HostCapacity: hostCapacity,
+	}
+}
+
+// AllocOption adjusts allocation placement.
+type AllocOption func(*allocConfig)
+
+type allocConfig struct {
+	align      uint64
+	baseOffset uint64
+	elem       int
+}
+
+// WithAlign sets the base alignment in bytes (default 4096). Must be a
+// power of two.
+func WithAlign(align uint64) AllocOption {
+	return func(c *allocConfig) { c.align = align }
+}
+
+// WithBaseOffset shifts the buffer base by the given bytes after alignment.
+// Used by misalignment experiments to emulate data that does not start on a
+// 128-byte boundary.
+func WithBaseOffset(off uint64) AllocOption {
+	return func(c *allocConfig) { c.baseOffset = off }
+}
+
+// WithElem records the element width metadata (4 or 8 bytes).
+func WithElem(elem int) AllocOption {
+	return func(c *allocConfig) { c.elem = elem }
+}
+
+// ErrOutOfMemory is returned when an allocation exceeds the space capacity.
+type ErrOutOfMemory struct {
+	Space     Space
+	Requested int64
+	Used      int64
+	Capacity  int64
+}
+
+func (e *ErrOutOfMemory) Error() string {
+	return fmt.Sprintf("memsys: out of %s memory: requested %d bytes, %d/%d used",
+		e.Space, e.Requested, e.Used, e.Capacity)
+}
+
+// Alloc creates a buffer of the given size in the given space.
+func (a *Arena) Alloc(name string, space Space, size int64, opts ...AllocOption) (*Buffer, error) {
+	if size < 0 {
+		return nil, fmt.Errorf("memsys: negative allocation size %d", size)
+	}
+	cfg := allocConfig{align: uint64(PageBytes), elem: 8}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.align == 0 || cfg.align&(cfg.align-1) != 0 {
+		return nil, fmt.Errorf("memsys: alignment %d is not a power of two", cfg.align)
+	}
+	switch space {
+	case SpaceGPU:
+		if a.GPUCapacity > 0 && a.gpuUsed+size > a.GPUCapacity {
+			return nil, &ErrOutOfMemory{Space: space, Requested: size, Used: a.gpuUsed, Capacity: a.GPUCapacity}
+		}
+		a.gpuUsed += size
+	case SpaceHostPinned, SpaceUVM:
+		if a.HostCapacity > 0 && a.hostUsed+size > a.HostCapacity {
+			return nil, &ErrOutOfMemory{Space: space, Requested: size, Used: a.hostUsed, Capacity: a.HostCapacity}
+		}
+		a.hostUsed += size
+	default:
+		return nil, fmt.Errorf("memsys: unknown space %d", space)
+	}
+
+	base := (a.nextVA + cfg.align - 1) &^ (cfg.align - 1)
+	base += cfg.baseOffset
+	b := &Buffer{
+		Name:  name,
+		Space: space,
+		Base:  base,
+		Data:  make([]byte, size),
+		Elem:  cfg.elem,
+	}
+	if space == SpaceUVM {
+		b.pageState = make([]bool, b.Pages())
+	}
+	a.nextVA = base + uint64(size)
+	a.buffers = append(a.buffers, b)
+	return b, nil
+}
+
+// MustAlloc is Alloc that panics on failure; used where capacity is known
+// to suffice (test setup, fixed-size metadata buffers).
+func (a *Arena) MustAlloc(name string, space Space, size int64, opts ...AllocOption) *Buffer {
+	b, err := a.Alloc(name, space, size, opts...)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Free releases a buffer's capacity accounting. The buffer must have come
+// from this arena. Virtual addresses are not recycled (monotone allocator),
+// which keeps traces unambiguous.
+func (a *Arena) Free(b *Buffer) {
+	for i, x := range a.buffers {
+		if x == b {
+			a.buffers = append(a.buffers[:i], a.buffers[i+1:]...)
+			switch b.Space {
+			case SpaceGPU:
+				a.gpuUsed -= b.Size()
+			case SpaceHostPinned, SpaceUVM:
+				a.hostUsed -= b.Size()
+			}
+			return
+		}
+	}
+	panic("memsys: Free of buffer not owned by arena")
+}
+
+// GPUUsed returns the bytes currently allocated in GPU space.
+func (a *Arena) GPUUsed() int64 { return a.gpuUsed }
+
+// HostUsed returns the bytes currently allocated in host space
+// (pinned + UVM backing).
+func (a *Arena) HostUsed() int64 { return a.hostUsed }
+
+// GPUFree returns the remaining explicit-allocation HBM capacity, or -1 if
+// the arena is uncapped.
+func (a *Arena) GPUFree() int64 {
+	if a.GPUCapacity <= 0 {
+		return -1
+	}
+	return a.GPUCapacity - a.gpuUsed
+}
+
+// Buffers returns the live buffers in allocation order. The returned slice
+// is shared and must not be mutated.
+func (a *Arena) Buffers() []*Buffer { return a.buffers }

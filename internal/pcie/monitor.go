@@ -1,0 +1,206 @@
+package pcie
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// Monitor observes the request stream crossing the link, playing the role
+// of the paper's FPGA-based PCIe traffic monitor (§3.2): it records request
+// counts by size, payload and wire bytes, and per-interval bandwidth
+// samples, without perturbing the stream.
+type Monitor struct {
+	sizeHist  stats.Histogram
+	wireBytes uint64
+	series    stats.TimeSeries
+
+	// interval state for bandwidth sampling
+	intervalBytes uint64
+	intervalStart time.Duration
+
+	// bounded raw request trace (see EnableTrace)
+	trace      []TraceEntry
+	traceLimit int
+}
+
+// Record notes one request of the given payload size with the given wire
+// overhead bytes.
+func (m *Monitor) Record(payloadBytes, overheadBytes int) {
+	m.RecordN(payloadBytes, overheadBytes, 1)
+}
+
+// RecordN notes n identical requests of the given payload size.
+func (m *Monitor) RecordN(payloadBytes, overheadBytes int, n uint64) {
+	if n == 0 {
+		return
+	}
+	m.sizeHist.AddN(int64(payloadBytes), n)
+	m.wireBytes += n * uint64(payloadBytes+overheadBytes)
+	m.intervalBytes += n * uint64(payloadBytes)
+	for i := uint64(0); i < n && m.traceLimit > 0 && len(m.trace) < m.traceLimit; i++ {
+		m.traceAdd(payloadBytes, false)
+	}
+}
+
+// RecordBulk notes a bulk (DMA) transfer of n payload bytes moved as
+// maximum-size requests, e.g. a UVM page migration or cudaMemcpy.
+func (m *Monitor) RecordBulk(n int64, overheadBytes int) {
+	if n <= 0 {
+		return
+	}
+	full := n / 128
+	if full > 0 {
+		m.sizeHist.AddN(128, uint64(full))
+		m.wireBytes += uint64(full) * uint64(128+overheadBytes)
+		m.intervalBytes += uint64(full) * 128
+		for i := int64(0); i < full && m.traceLimit > 0 && len(m.trace) < m.traceLimit; i++ {
+			m.traceAdd(128, true)
+		}
+	}
+	if rem := n % 128; rem != 0 {
+		m.sizeHist.Add(rem)
+		m.wireBytes += uint64(rem) + uint64(overheadBytes)
+		m.intervalBytes += uint64(rem)
+		m.traceAdd(int(rem), true)
+	}
+}
+
+// Sample closes the current bandwidth-sampling interval at simulated time
+// now, appending (now, bytes/elapsed) to the time series. Intervals are
+// typically kernel launches.
+func (m *Monitor) Sample(now time.Duration) {
+	elapsed := now - m.intervalStart
+	if elapsed > 0 {
+		m.series.Append(now, float64(m.intervalBytes)/elapsed.Seconds())
+	}
+	m.intervalStart = now
+	m.intervalBytes = 0
+}
+
+// Requests returns the total number of requests observed.
+func (m *Monitor) Requests() uint64 { return m.sizeHist.Total() }
+
+// PayloadBytes returns the total payload bytes observed.
+func (m *Monitor) PayloadBytes() uint64 { return uint64(m.sizeHist.Sum()) }
+
+// WireBytes returns the total wire bytes (payload + per-request overhead).
+func (m *Monitor) WireBytes() uint64 { return m.wireBytes }
+
+// SizeHistogram returns a copy of the request-size histogram.
+func (m *Monitor) SizeHistogram() *stats.Histogram { return m.sizeHist.Clone() }
+
+// SizeFraction returns the fraction of requests with the given payload size.
+func (m *Monitor) SizeFraction(size int) float64 {
+	return m.sizeHist.Fraction(int64(size))
+}
+
+// Bandwidth returns the bandwidth time series sampled via Sample.
+func (m *Monitor) Bandwidth() *stats.TimeSeries { return &m.series }
+
+// AverageBandwidth returns the time-weighted mean of the sampled bandwidth.
+func (m *Monitor) AverageBandwidth() float64 { return m.series.TimeWeightedMean() }
+
+// Reset clears all observations, keeping the trace configuration.
+func (m *Monitor) Reset() {
+	m.sizeHist.Reset()
+	m.wireBytes = 0
+	m.series = stats.TimeSeries{}
+	m.intervalBytes = 0
+	m.intervalStart = 0
+	if m.traceLimit > 0 {
+		m.trace = m.trace[:0]
+	}
+}
+
+// Merge folds the counting state of another monitor into m. Bandwidth time
+// series are not merged (they are per-device observations).
+func (m *Monitor) Merge(other *Monitor) {
+	if other == nil {
+		return
+	}
+	m.sizeHist.Merge(&other.sizeHist)
+	m.wireBytes += other.wireBytes
+	m.intervalBytes += other.intervalBytes
+}
+
+// Snapshot is an immutable summary of a monitor's counters, suitable for
+// attaching to experiment results.
+type Snapshot struct {
+	Requests     uint64
+	PayloadBytes uint64
+	WireBytes    uint64
+	BySize       map[int64]uint64
+	AvgBandwidth float64
+}
+
+// Snapshot captures the monitor's current counters.
+func (m *Monitor) Snapshot() Snapshot {
+	by := make(map[int64]uint64)
+	for _, k := range m.sizeHist.Keys() {
+		by[k] = m.sizeHist.Count(k)
+	}
+	return Snapshot{
+		Requests:     m.Requests(),
+		PayloadBytes: m.PayloadBytes(),
+		WireBytes:    m.WireBytes(),
+		BySize:       by,
+		AvgBandwidth: m.AverageBandwidth(),
+	}
+}
+
+// String renders the snapshot compactly for logs and test output.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "reqs=%d payload=%d wire=%d", s.Requests, s.PayloadBytes, s.WireBytes)
+	keys := make([]int64, 0, len(s.BySize))
+	for k := range s.BySize {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Fprintf(&b, " %dB:%d", k, s.BySize[k])
+	}
+	return b.String()
+}
+
+// TraceEntry is one recorded request: payload size in bytes and whether it
+// was part of a bulk (DMA) transfer rather than an individual zero-copy
+// read.
+type TraceEntry struct {
+	Size int32
+	Bulk bool
+}
+
+// EnableTrace starts recording up to limit individual request entries —
+// the raw stream view the paper's FPGA exposes, bounded so long runs don't
+// accumulate unbounded memory. Passing 0 disables tracing.
+func (m *Monitor) EnableTrace(limit int) {
+	m.traceLimit = limit
+	if limit > 0 {
+		m.trace = make([]TraceEntry, 0, min(limit, 4096))
+	} else {
+		m.trace = nil
+	}
+}
+
+// Trace returns the recorded entries in arrival order. The returned slice
+// is shared with the monitor and must not be mutated.
+func (m *Monitor) Trace() []TraceEntry { return m.trace }
+
+// traceAdd records one entry if tracing is on and under the limit.
+func (m *Monitor) traceAdd(size int, bulk bool) {
+	if m.traceLimit > 0 && len(m.trace) < m.traceLimit {
+		m.trace = append(m.trace, TraceEntry{Size: int32(size), Bulk: bulk})
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,209 @@
+package pcie
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestMonitorRecord(t *testing.T) {
+	var m Monitor
+	m.Record(32, 24)
+	m.Record(128, 24)
+	m.Record(128, 24)
+	if got := m.Requests(); got != 3 {
+		t.Errorf("Requests = %d, want 3", got)
+	}
+	if got := m.PayloadBytes(); got != 288 {
+		t.Errorf("PayloadBytes = %d, want 288", got)
+	}
+	if got := m.WireBytes(); got != 288+3*24 {
+		t.Errorf("WireBytes = %d, want %d", got, 288+3*24)
+	}
+	if got := m.SizeFraction(128); got != 2.0/3.0 {
+		t.Errorf("SizeFraction(128) = %v, want 2/3", got)
+	}
+}
+
+func TestMonitorRecordBulk(t *testing.T) {
+	var m Monitor
+	m.RecordBulk(4096, 24)
+	if got := m.Requests(); got != 32 {
+		t.Errorf("4KB bulk should be 32 x 128B requests, got %d", got)
+	}
+	if got := m.PayloadBytes(); got != 4096 {
+		t.Errorf("PayloadBytes = %d, want 4096", got)
+	}
+	m.Reset()
+	m.RecordBulk(200, 24)
+	// 200 = 128 + 72
+	if m.Requests() != 2 || m.PayloadBytes() != 200 {
+		t.Errorf("bulk 200B: reqs=%d payload=%d", m.Requests(), m.PayloadBytes())
+	}
+	if m.SizeHistogram().Count(72) != 1 {
+		t.Errorf("remainder request not recorded")
+	}
+	m.Reset()
+	m.RecordBulk(0, 24)
+	m.RecordBulk(-5, 24)
+	if m.Requests() != 0 {
+		t.Errorf("non-positive bulk should be no-op")
+	}
+}
+
+func TestMonitorBandwidthSampling(t *testing.T) {
+	var m Monitor
+	m.Record(128, 0)
+	m.Record(128, 0)
+	m.Sample(1 * time.Microsecond) // 256 B over 1us = 256 MB/s
+	m.Record(128, 0)
+	m.Sample(2 * time.Microsecond) // 128 B over 1us = 128 MB/s
+	pts := m.Bandwidth().Points()
+	if len(pts) != 2 {
+		t.Fatalf("samples = %d, want 2", len(pts))
+	}
+	if pts[0].V != 256e6 {
+		t.Errorf("first sample = %v, want 256e6", pts[0].V)
+	}
+	if pts[1].V != 128e6 {
+		t.Errorf("second sample = %v, want 128e6", pts[1].V)
+	}
+	if got := m.AverageBandwidth(); got != 192e6 {
+		t.Errorf("AverageBandwidth = %v, want 192e6", got)
+	}
+}
+
+func TestMonitorSampleZeroElapsed(t *testing.T) {
+	var m Monitor
+	m.Record(32, 0)
+	m.Sample(0) // zero-width interval must not panic or record
+	if m.Bandwidth().Len() != 0 {
+		t.Errorf("zero-width interval should not produce a sample")
+	}
+}
+
+func TestMonitorReset(t *testing.T) {
+	var m Monitor
+	m.Record(64, 24)
+	m.Sample(time.Microsecond)
+	m.Reset()
+	if m.Requests() != 0 || m.WireBytes() != 0 || m.Bandwidth().Len() != 0 {
+		t.Errorf("Reset did not clear state")
+	}
+}
+
+func TestMonitorMerge(t *testing.T) {
+	var a, b Monitor
+	a.Record(32, 24)
+	b.Record(128, 24)
+	b.Record(128, 24)
+	a.Merge(&b)
+	if a.Requests() != 3 {
+		t.Errorf("merged Requests = %d, want 3", a.Requests())
+	}
+	if a.PayloadBytes() != 288 {
+		t.Errorf("merged PayloadBytes = %d, want 288", a.PayloadBytes())
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestSnapshot(t *testing.T) {
+	var m Monitor
+	m.Record(32, 24)
+	m.Record(128, 24)
+	s := m.Snapshot()
+	if s.Requests != 2 || s.PayloadBytes != 160 {
+		t.Errorf("snapshot counters wrong: %+v", s)
+	}
+	if s.BySize[32] != 1 || s.BySize[128] != 1 {
+		t.Errorf("snapshot BySize wrong: %+v", s.BySize)
+	}
+	str := s.String()
+	for _, want := range []string{"reqs=2", "32B:1", "128B:1"} {
+		if !strings.Contains(str, want) {
+			t.Errorf("String() = %q missing %q", str, want)
+		}
+	}
+}
+
+// Property: conservation — the histogram total always equals Requests and
+// payload bytes always equal the histogram weighted sum, regardless of the
+// mix of Record and RecordBulk calls.
+func TestMonitorConservationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		var m Monitor
+		var wantPayload uint64
+		for i := 0; i < 200; i++ {
+			if rng.Intn(4) == 0 {
+				n := int64(rng.Intn(5000))
+				m.RecordBulk(n, 24)
+				if n > 0 {
+					wantPayload += uint64(n)
+				}
+			} else {
+				size := 32 * (1 + rng.Intn(4))
+				m.Record(size, 24)
+				wantPayload += uint64(size)
+			}
+		}
+		if m.PayloadBytes() != wantPayload {
+			t.Fatalf("payload bytes %d, want %d", m.PayloadBytes(), wantPayload)
+		}
+		hist := m.SizeHistogram()
+		if hist.Total() != m.Requests() {
+			t.Fatalf("histogram total %d != requests %d", hist.Total(), m.Requests())
+		}
+		if uint64(hist.Sum()) != wantPayload {
+			t.Fatalf("histogram sum %d != payload %d", hist.Sum(), wantPayload)
+		}
+		if m.WireBytes() < m.PayloadBytes() {
+			t.Fatalf("wire bytes below payload bytes")
+		}
+	}
+}
+
+func TestMonitorTrace(t *testing.T) {
+	var m Monitor
+	m.EnableTrace(5)
+	m.Record(32, 24)
+	m.Record(128, 24)
+	m.RecordBulk(300, 24) // 128 + 128 + 44
+	m.Record(96, 24)      // over the limit: dropped
+	tr := m.Trace()
+	if len(tr) != 5 {
+		t.Fatalf("trace length = %d, want 5 (bounded)", len(tr))
+	}
+	want := []TraceEntry{{32, false}, {128, false}, {128, true}, {128, true}, {44, true}}
+	for i, w := range want {
+		if tr[i] != w {
+			t.Errorf("trace[%d] = %+v, want %+v", i, tr[i], w)
+		}
+	}
+	// Reset keeps tracing enabled but clears entries.
+	m.Reset()
+	if len(m.Trace()) != 0 {
+		t.Errorf("Reset should clear the trace")
+	}
+	m.Record(64, 24)
+	if len(m.Trace()) != 1 {
+		t.Errorf("tracing should continue after Reset")
+	}
+	// Disabling drops the buffer.
+	m.EnableTrace(0)
+	m.Record(32, 24)
+	if m.Trace() != nil {
+		t.Errorf("disabled trace should be nil")
+	}
+}
+
+func TestMonitorTraceOffByDefault(t *testing.T) {
+	var m Monitor
+	for i := 0; i < 100; i++ {
+		m.Record(32, 24)
+	}
+	if m.Trace() != nil {
+		t.Errorf("tracing must be opt-in")
+	}
+}

@@ -1,0 +1,119 @@
+// Package stats provides the small statistics substrate shared by the
+// simulator's traffic monitor and the experiment harness: integer-keyed
+// histograms, weighted CDFs, running summaries, and time series.
+//
+// Everything in this package is deterministic and allocation-conscious; the
+// hot path (Histogram.Add) is called once per simulated PCIe request.
+package stats
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Histogram counts occurrences of integer-valued observations, such as PCIe
+// request sizes in bytes. The zero value is ready to use.
+type Histogram struct {
+	counts map[int64]uint64
+	total  uint64
+	sum    int64
+}
+
+// Add records one observation of value v.
+func (h *Histogram) Add(v int64) { h.AddN(v, 1) }
+
+// AddN records n observations of value v.
+func (h *Histogram) AddN(v int64, n uint64) {
+	if n == 0 {
+		return
+	}
+	if h.counts == nil {
+		h.counts = make(map[int64]uint64)
+	}
+	h.counts[v] += n
+	h.total += n
+	h.sum += v * int64(n)
+}
+
+// Count returns the number of observations with value v.
+func (h *Histogram) Count(v int64) uint64 {
+	return h.counts[v]
+}
+
+// Total returns the total number of observations.
+func (h *Histogram) Total() uint64 { return h.total }
+
+// Sum returns the sum of all observed values (e.g. total bytes when the
+// histogram keys are request sizes).
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Fraction returns the fraction of observations with value v, in [0, 1].
+// It returns 0 for an empty histogram.
+func (h *Histogram) Fraction(v int64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.counts[v]) / float64(h.total)
+}
+
+// Mean returns the mean observed value, or 0 for an empty histogram.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Keys returns the distinct observed values in ascending order.
+func (h *Histogram) Keys() []int64 {
+	keys := make([]int64, 0, len(h.counts))
+	for k := range h.counts {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// Merge adds all observations from other into h. Merging preserves totals:
+// after the call, h.Total() has grown by other.Total().
+func (h *Histogram) Merge(other *Histogram) {
+	if other == nil {
+		return
+	}
+	for k, n := range other.counts {
+		h.AddN(k, n)
+	}
+}
+
+// Reset discards all observations.
+func (h *Histogram) Reset() {
+	h.counts = nil
+	h.total = 0
+	h.sum = 0
+}
+
+// Clone returns an independent copy of h.
+func (h *Histogram) Clone() *Histogram {
+	c := &Histogram{total: h.total, sum: h.sum}
+	if h.counts != nil {
+		c.counts = make(map[int64]uint64, len(h.counts))
+		for k, v := range h.counts {
+			c.counts[k] = v
+		}
+	}
+	return c
+}
+
+// String renders the histogram as "key:count" pairs in ascending key order,
+// which keeps test failure output readable.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	for i, k := range h.Keys() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%d:%d", k, h.counts[k])
+	}
+	return b.String()
+}

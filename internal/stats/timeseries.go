@@ -1,0 +1,76 @@
+package stats
+
+import "time"
+
+// Point is one sample in a TimeSeries.
+type Point struct {
+	T time.Duration // simulated time at the end of the sample window
+	V float64       // value over the window (e.g. bandwidth in bytes/sec)
+}
+
+// TimeSeries records values over simulated time, used to render
+// bandwidth-over-time traces like the paper's Figure 4. The zero value is
+// ready to use.
+type TimeSeries struct {
+	pts []Point
+}
+
+// Append adds a sample. Samples should be appended in non-decreasing time
+// order; Append panics otherwise to catch accounting bugs early.
+func (ts *TimeSeries) Append(t time.Duration, v float64) {
+	if n := len(ts.pts); n > 0 && t < ts.pts[n-1].T {
+		panic("stats: TimeSeries samples must be time-ordered")
+	}
+	ts.pts = append(ts.pts, Point{T: t, V: v})
+}
+
+// Points returns the recorded samples. The returned slice is shared with the
+// series and must not be mutated.
+func (ts *TimeSeries) Points() []Point { return ts.pts }
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.pts) }
+
+// TimeWeightedMean returns the mean value weighted by the duration each
+// sample covers (from the previous sample's time, or zero for the first).
+// It returns 0 for an empty series.
+func (ts *TimeSeries) TimeWeightedMean() float64 {
+	if len(ts.pts) == 0 {
+		return 0
+	}
+	var sum float64
+	var total time.Duration
+	prev := time.Duration(0)
+	for _, p := range ts.pts {
+		w := p.T - prev
+		if w <= 0 {
+			// Zero-width windows (back-to-back instantaneous samples)
+			// contribute nothing but are not an error.
+			prev = p.T
+			continue
+		}
+		sum += p.V * w.Seconds()
+		total += w
+		prev = p.T
+	}
+	if total <= 0 {
+		// All samples at t=0: fall back to the plain mean.
+		s := 0.0
+		for _, p := range ts.pts {
+			s += p.V
+		}
+		return s / float64(len(ts.pts))
+	}
+	return sum / total.Seconds()
+}
+
+// Peak returns the largest sample value, or 0 for an empty series.
+func (ts *TimeSeries) Peak() float64 {
+	peak := 0.0
+	for _, p := range ts.pts {
+		if p.V > peak {
+			peak = p.V
+		}
+	}
+	return peak
+}

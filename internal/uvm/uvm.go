@@ -1,0 +1,264 @@
+// Package uvm simulates NVIDIA's Unified Virtual Memory subsystem as the
+// paper's baseline transport: on-demand migration of 4KB pages from host to
+// GPU memory on first touch, LRU eviction under oversubscription, and a
+// serialized CPU-side fault handler whose fixed per-page cost is what keeps
+// UVM from scaling with faster interconnects (§5.5 / Figure 12).
+//
+// The edge-list buffers the baselines place in UVM space are read-only and
+// advised cudaMemAdviseSetReadMostly, so migration duplicates pages into
+// GPU memory with no writeback or invalidation traffic — exactly the
+// paper's "optimized UVM" configuration (§5.1.2(a)).
+package uvm
+
+import (
+	"time"
+
+	"repro/internal/memsys"
+)
+
+// Config holds the UVM driver model parameters.
+type Config struct {
+	// PageBytes is the migration granularity (4KB system pages).
+	PageBytes int
+
+	// CapacityPages is the number of pages of GPU memory available to hold
+	// migrated UVM pages (GPU memory left over after explicit allocations).
+	// Zero means no page can be cached (every touch bounces: the page is
+	// migrated, used, and immediately reclaimed). Negative means unlimited.
+	CapacityPages int
+
+	// FaultCPUSeconds is the effective serialized CPU cost per migrated
+	// page: fault interception, batch handling, and page-table updates in
+	// the single-threaded UVM driver, amortized over typical batch sizes.
+	// Calibrated so a streaming UVM read reaches the paper's measured
+	// ~9.1 GB/s on PCIe 3.0 (Figure 4): 4096B / 9.1 GB/s - 4096B / 12.3
+	// GB/s ≈ 117ns.
+	FaultCPUSeconds float64
+
+	// BlockPages is the driver's migration granule in pages: on a fault,
+	// the whole aligned block containing the faulting page is migrated
+	// (the UVM driver's tree-based density prefetcher pulls aligned
+	// power-of-two regions, up to 2MB). This is the main source of the
+	// paper's UVM I/O read amplification on scattered accesses (Figure
+	// 10): one needed neighbor list drags in its whole block. Sequential
+	// streams are unaffected (every prefetched page gets used). Values
+	// <= 1 disable prefetching.
+	BlockPages int
+}
+
+// DefaultConfig returns the calibrated driver model: 4KB pages migrated in
+// 64KB prefetch blocks.
+func DefaultConfig(capacityPages int) Config {
+	return Config{
+		PageBytes:       memsys.PageBytes,
+		CapacityPages:   capacityPages,
+		FaultCPUSeconds: 117e-9,
+		BlockPages:      32,
+	}
+}
+
+// Stats aggregates UVM activity. Times are accounted by the GPU device's
+// kernel roofline; Stats only counts events and bytes.
+type Stats struct {
+	Faults         uint64 // page faults taken (== migrations; no prefetch model)
+	Migrations     uint64 // pages moved host -> GPU
+	Evictions      uint64 // pages dropped from GPU memory (read-mostly: no writeback)
+	HostBytesMoved uint64 // bytes transferred over the interconnect
+	HBMHits        uint64 // accesses served from already-resident pages
+}
+
+// Add folds other into s.
+func (s *Stats) Add(other Stats) {
+	s.Faults += other.Faults
+	s.Migrations += other.Migrations
+	s.Evictions += other.Evictions
+	s.HostBytesMoved += other.HostBytesMoved
+	s.HBMHits += other.HBMHits
+}
+
+// pageKey identifies one page of one UVM buffer.
+type pageKey struct {
+	buf  *memsys.Buffer
+	page int
+}
+
+// Manager tracks residency of UVM pages in GPU memory with LRU replacement.
+type Manager struct {
+	cfg   Config
+	stats Stats
+
+	// Intrusive LRU over resident pages: map into a doubly-linked list.
+	lru      map[pageKey]*lruNode
+	head     *lruNode // most recently used
+	tail     *lruNode // least recently used
+	resident int
+}
+
+type lruNode struct {
+	key        pageKey
+	prev, next *lruNode
+}
+
+// NewManager creates a manager with the given configuration.
+func NewManager(cfg Config) *Manager {
+	if cfg.PageBytes <= 0 {
+		cfg.PageBytes = memsys.PageBytes
+	}
+	return &Manager{cfg: cfg, lru: make(map[pageKey]*lruNode)}
+}
+
+// Config returns the manager's configuration.
+func (m *Manager) Config() Config { return m.cfg }
+
+// Stats returns a copy of the accumulated statistics.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// Resident returns the number of currently resident pages.
+func (m *Manager) Resident() int { return m.resident }
+
+// Touch services a GPU access of size bytes at byte offset off within buf,
+// migrating any non-resident pages the access overlaps — plus, for each
+// faulting page, the rest of its aligned prefetch block (BlockPages). It
+// returns the number of pages migrated now (0 if fully resident).
+// Residency recency is updated for every overlapped page.
+func (m *Manager) Touch(buf *memsys.Buffer, off int64, size int) (migrated int) {
+	if size <= 0 {
+		return 0
+	}
+	pb := int64(m.cfg.PageBytes)
+	first := off / pb
+	last := (off + int64(size) - 1) / pb
+	for p := first; p <= last; p++ {
+		key := pageKey{buf, int(p)}
+		if node, ok := m.lru[key]; ok {
+			m.moveToFront(node)
+			m.stats.HBMHits++
+			continue
+		}
+		migrated += m.faultBlock(buf, p)
+	}
+	return migrated
+}
+
+// faultBlock migrates the aligned prefetch block containing page p,
+// skipping already-resident pages, and returns the number migrated.
+func (m *Manager) faultBlock(buf *memsys.Buffer, p int64) int {
+	block := int64(m.cfg.BlockPages)
+	if block <= 1 {
+		m.fault(pageKey{buf, int(p)}, buf)
+		return 1
+	}
+	start := p / block * block
+	end := start + block
+	if limit := int64(buf.Pages()); end > limit {
+		end = limit
+	}
+	migrated := 0
+	for q := start; q < end; q++ {
+		key := pageKey{buf, int(q)}
+		if _, ok := m.lru[key]; ok {
+			continue
+		}
+		m.fault(key, buf)
+		migrated++
+	}
+	return migrated
+}
+
+// fault migrates one page in, evicting the LRU page if at capacity.
+func (m *Manager) fault(key pageKey, buf *memsys.Buffer) {
+	if m.cfg.CapacityPages == 0 {
+		// Bounce: the page is transferred and used, but GPU memory has no
+		// room to keep it; it is reclaimed before any reuse.
+		m.stats.Faults++
+		m.stats.Migrations++
+		m.stats.Evictions++
+		m.stats.HostBytesMoved += uint64(m.cfg.PageBytes)
+		return
+	}
+	if m.cfg.CapacityPages > 0 {
+		for m.resident >= m.cfg.CapacityPages && m.tail != nil {
+			m.evictLRU()
+		}
+	}
+	node := &lruNode{key: key}
+	m.lru[key] = node
+	m.pushFront(node)
+	m.resident++
+	buf.SetPageResident(key.page, true)
+	m.stats.Faults++
+	m.stats.Migrations++
+	m.stats.HostBytesMoved += uint64(m.cfg.PageBytes)
+}
+
+// evictLRU drops the least recently used page. Read-mostly pages are
+// duplicates of host data, so eviction is free of writeback traffic.
+func (m *Manager) evictLRU() {
+	node := m.tail
+	if node == nil {
+		return
+	}
+	m.unlink(node)
+	delete(m.lru, node.key)
+	m.resident--
+	node.key.buf.SetPageResident(node.key.page, false)
+	m.stats.Evictions++
+}
+
+// Reset clears residency and statistics (between experiment runs).
+func (m *Manager) Reset() {
+	for key := range m.lru {
+		key.buf.SetPageResident(key.page, false)
+	}
+	m.lru = make(map[pageKey]*lruNode)
+	m.head, m.tail = nil, nil
+	m.resident = 0
+	m.stats = Stats{}
+}
+
+// MigrationWireBytes returns the interconnect payload bytes for n migrated
+// pages.
+func (m *Manager) MigrationWireBytes(n int) int64 {
+	return int64(n) * int64(m.cfg.PageBytes)
+}
+
+// FaultCPUTime returns the serialized CPU handler time for n migrated pages.
+func (m *Manager) FaultCPUTime(n int) time.Duration {
+	return time.Duration(float64(n) * m.cfg.FaultCPUSeconds * float64(time.Second))
+}
+
+// --- intrusive LRU list plumbing ---
+
+func (m *Manager) pushFront(n *lruNode) {
+	n.prev = nil
+	n.next = m.head
+	if m.head != nil {
+		m.head.prev = n
+	}
+	m.head = n
+	if m.tail == nil {
+		m.tail = n
+	}
+}
+
+func (m *Manager) unlink(n *lruNode) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		m.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		m.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (m *Manager) moveToFront(n *lruNode) {
+	if m.head == n {
+		return
+	}
+	m.unlink(n)
+	m.pushFront(n)
+}

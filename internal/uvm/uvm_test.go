@@ -1,0 +1,319 @@
+package uvm
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/memsys"
+)
+
+// noPrefetch returns a config with block prefetching disabled, for tests
+// that exercise single-page mechanics.
+func noPrefetch(capacity int) Config {
+	cfg := DefaultConfig(capacity)
+	cfg.BlockPages = 1
+	return cfg
+}
+
+func newTestBuffer(t *testing.T, pages int) *memsys.Buffer {
+	t.Helper()
+	a := memsys.NewArena(0, 0)
+	return a.MustAlloc("uvm", memsys.SpaceUVM, int64(pages*memsys.PageBytes))
+}
+
+func TestTouchMigratesOnFirstAccess(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	m := NewManager(noPrefetch(-1))
+	if got := m.Touch(b, 0, 32); got != 1 {
+		t.Errorf("first touch migrated %d pages, want 1", got)
+	}
+	if got := m.Touch(b, 64, 32); got != 0 {
+		t.Errorf("same-page touch migrated %d pages, want 0", got)
+	}
+	st := m.Stats()
+	if st.Migrations != 1 || st.Faults != 1 {
+		t.Errorf("stats = %+v, want 1 migration/fault", st)
+	}
+	if st.HBMHits != 1 {
+		t.Errorf("HBMHits = %d, want 1", st.HBMHits)
+	}
+	if st.HostBytesMoved != uint64(memsys.PageBytes) {
+		t.Errorf("HostBytesMoved = %d, want %d", st.HostBytesMoved, memsys.PageBytes)
+	}
+	if !b.PageResident(0) {
+		t.Errorf("page 0 should be resident")
+	}
+}
+
+func TestTouchSpanningPages(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	m := NewManager(noPrefetch(-1))
+	// Access crossing a page boundary: offset 4090, 32 bytes -> pages 0,1.
+	if got := m.Touch(b, 4090, 32); got != 2 {
+		t.Errorf("boundary-crossing touch migrated %d pages, want 2", got)
+	}
+	if !b.PageResident(0) || !b.PageResident(1) {
+		t.Errorf("both overlapped pages should be resident")
+	}
+}
+
+func TestTouchZeroSize(t *testing.T) {
+	b := newTestBuffer(t, 1)
+	m := NewManager(noPrefetch(-1))
+	if got := m.Touch(b, 0, 0); got != 0 {
+		t.Errorf("zero-size touch migrated %d pages", got)
+	}
+	if m.Stats().Faults != 0 {
+		t.Errorf("zero-size touch should not fault")
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	m := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: 2})
+	touchPage := func(p int) int { return m.Touch(b, int64(p*memsys.PageBytes), 8) }
+
+	touchPage(0)
+	touchPage(1)
+	touchPage(0) // refresh page 0; page 1 is now LRU
+	if got := touchPage(2); got != 1 {
+		t.Fatalf("page 2 touch migrated %d, want 1", got)
+	}
+	if b.PageResident(1) {
+		t.Errorf("page 1 (LRU) should have been evicted")
+	}
+	if !b.PageResident(0) || !b.PageResident(2) {
+		t.Errorf("pages 0 and 2 should be resident")
+	}
+	if m.Stats().Evictions != 1 {
+		t.Errorf("Evictions = %d, want 1", m.Stats().Evictions)
+	}
+	if m.Resident() != 2 {
+		t.Errorf("Resident = %d, want 2", m.Resident())
+	}
+}
+
+func TestThrashing(t *testing.T) {
+	// Working set of 8 pages with capacity 2: round-robin touches must
+	// migrate every time (the UVM thrash the paper describes in §2.2).
+	b := newTestBuffer(t, 8)
+	m := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: 2})
+	for round := 0; round < 3; round++ {
+		for p := 0; p < 8; p++ {
+			if got := m.Touch(b, int64(p*memsys.PageBytes), 8); got != 1 {
+				t.Fatalf("round %d page %d: migrated %d, want 1 (thrash)", round, p, got)
+			}
+		}
+	}
+	st := m.Stats()
+	if st.Migrations != 24 {
+		t.Errorf("Migrations = %d, want 24", st.Migrations)
+	}
+	if st.HBMHits != 0 {
+		t.Errorf("HBMHits = %d, want 0 under thrash", st.HBMHits)
+	}
+}
+
+func TestZeroCapacityBounces(t *testing.T) {
+	b := newTestBuffer(t, 2)
+	m := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: 0})
+	for i := 0; i < 5; i++ {
+		if got := m.Touch(b, 0, 8); got != 1 {
+			t.Fatalf("touch %d migrated %d, want 1 (bounce)", i, got)
+		}
+	}
+	st := m.Stats()
+	if st.Migrations != 5 || st.Evictions != 5 {
+		t.Errorf("stats = %+v, want 5 migrations and evictions", st)
+	}
+	if m.Resident() != 0 {
+		t.Errorf("Resident = %d, want 0", m.Resident())
+	}
+	if b.PageResident(0) {
+		t.Errorf("page should never stay resident at zero capacity")
+	}
+}
+
+func TestUnlimitedCapacity(t *testing.T) {
+	b := newTestBuffer(t, 100)
+	m := NewManager(noPrefetch(-1))
+	for p := 0; p < 100; p++ {
+		m.Touch(b, int64(p*memsys.PageBytes), 8)
+	}
+	if m.Resident() != 100 {
+		t.Errorf("Resident = %d, want 100", m.Resident())
+	}
+	if m.Stats().Evictions != 0 {
+		t.Errorf("unlimited capacity should never evict")
+	}
+}
+
+func TestReset(t *testing.T) {
+	b := newTestBuffer(t, 4)
+	m := NewManager(noPrefetch(-1))
+	m.Touch(b, 0, 8)
+	m.Touch(b, memsys.PageBytes, 8)
+	m.Reset()
+	if m.Resident() != 0 {
+		t.Errorf("Resident after Reset = %d", m.Resident())
+	}
+	if m.Stats().Migrations != 0 {
+		t.Errorf("stats not cleared by Reset")
+	}
+	if b.PageResident(0) || b.PageResident(1) {
+		t.Errorf("buffer residency not cleared by Reset")
+	}
+	// Pages fault again after reset.
+	if got := m.Touch(b, 0, 8); got != 1 {
+		t.Errorf("post-reset touch migrated %d, want 1", got)
+	}
+}
+
+func TestCostHelpers(t *testing.T) {
+	m := NewManager(noPrefetch(-1))
+	if got := m.MigrationWireBytes(3); got != 3*memsys.PageBytes {
+		t.Errorf("MigrationWireBytes(3) = %d", got)
+	}
+	cpu := m.FaultCPUTime(10)
+	if cpu <= 0 {
+		t.Errorf("FaultCPUTime should be positive, got %v", cpu)
+	}
+	if got := m.FaultCPUTime(0); got != 0 {
+		t.Errorf("FaultCPUTime(0) = %v, want 0", got)
+	}
+}
+
+func TestStatsAdd(t *testing.T) {
+	a := Stats{Faults: 1, Migrations: 2, Evictions: 3, HostBytesMoved: 4, HBMHits: 5}
+	b := Stats{Faults: 10, Migrations: 20, Evictions: 30, HostBytesMoved: 40, HBMHits: 50}
+	a.Add(b)
+	if a.Faults != 11 || a.Migrations != 22 || a.Evictions != 33 ||
+		a.HostBytesMoved != 44 || a.HBMHits != 55 {
+		t.Errorf("Stats.Add wrong: %+v", a)
+	}
+}
+
+func TestDefaultConfigCalibration(t *testing.T) {
+	cfg := DefaultConfig(100)
+	if cfg.PageBytes != 4096 {
+		t.Errorf("PageBytes = %d, want 4096", cfg.PageBytes)
+	}
+	// Calibration anchor: streaming UVM bandwidth should land near the
+	// paper's ~9.1 GB/s on PCIe 3.0. 4096B / (4096B/12.3GB/s + cpu).
+	wire := 4096.0 / 12.34e9
+	bw := 4096.0 / (wire + cfg.FaultCPUSeconds)
+	if bw < 8.6e9 || bw > 9.6e9 {
+		t.Errorf("streaming UVM bandwidth = %.2f GB/s, want ~9.1", bw/1e9)
+	}
+}
+
+// Invariant: resident count never exceeds capacity; migrations - evictions
+// equals residency; residency map matches buffer page flags.
+func TestLRUInvariantsRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	pages := 32
+	b := newTestBuffer(t, pages)
+	for _, capacity := range []int{1, 2, 7, 16, 100} {
+		m := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: capacity})
+		for i := 0; i < 2000; i++ {
+			off := rng.Int63n(int64(pages*memsys.PageBytes) - 64)
+			m.Touch(b, off, 1+rng.Intn(64))
+			if capacity > 0 && m.Resident() > capacity {
+				t.Fatalf("capacity %d exceeded: resident=%d", capacity, m.Resident())
+			}
+			st := m.Stats()
+			if st.Migrations-st.Evictions != uint64(m.Resident()) {
+				t.Fatalf("migrations-evictions=%d != resident=%d",
+					st.Migrations-st.Evictions, m.Resident())
+			}
+		}
+		// Residency flags agree with the manager's view.
+		flagged := 0
+		for p := 0; p < pages; p++ {
+			if b.PageResident(p) {
+				flagged++
+			}
+		}
+		if flagged != m.Resident() {
+			t.Fatalf("capacity %d: buffer flags %d != resident %d", capacity, flagged, m.Resident())
+		}
+		m.Reset()
+	}
+}
+
+func TestBlockPrefetch(t *testing.T) {
+	b := newTestBuffer(t, 64)
+	cfg := DefaultConfig(-1)
+	cfg.BlockPages = 16
+	m := NewManager(cfg)
+	// Touching one byte in page 3 migrates its whole aligned 16-page block.
+	if got := m.Touch(b, 3*memsys.PageBytes, 8); got != 16 {
+		t.Fatalf("block fault migrated %d pages, want 16", got)
+	}
+	for p := 0; p < 16; p++ {
+		if !b.PageResident(p) {
+			t.Errorf("page %d of the block should be resident", p)
+		}
+	}
+	if b.PageResident(16) {
+		t.Errorf("page outside the block should not be resident")
+	}
+	// Any further touch within the block is free.
+	if got := m.Touch(b, 15*memsys.PageBytes, 8); got != 0 {
+		t.Errorf("in-block touch migrated %d pages, want 0", got)
+	}
+	// A touch in the next block pulls exactly that block.
+	if got := m.Touch(b, 20*memsys.PageBytes, 8); got != 16 {
+		t.Errorf("next-block touch migrated %d pages, want 16", got)
+	}
+}
+
+func TestBlockPrefetchClippedAtBufferEnd(t *testing.T) {
+	b := newTestBuffer(t, 20) // last block has only 4 pages
+	cfg := DefaultConfig(-1)
+	cfg.BlockPages = 16
+	m := NewManager(cfg)
+	if got := m.Touch(b, 17*memsys.PageBytes, 8); got != 4 {
+		t.Errorf("clipped block migrated %d pages, want 4", got)
+	}
+}
+
+func TestBlockPrefetchSkipsResident(t *testing.T) {
+	b := newTestBuffer(t, 32)
+	m := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: -1,
+		FaultCPUSeconds: 117e-9, BlockPages: 4})
+	m.Touch(b, 1*memsys.PageBytes, 8) // pages 0-3 via block fault
+	if got := m.Touch(b, 2*memsys.PageBytes, 8); got != 0 {
+		t.Errorf("resident block re-migrated %d pages", got)
+	}
+	if m.Resident() != 4 {
+		t.Errorf("resident = %d, want 4", m.Resident())
+	}
+	// Under capacity pressure the block fill itself evicts: a 4-page block
+	// into a 3-page budget leaves 3 resident.
+	m2 := NewManager(Config{PageBytes: memsys.PageBytes, CapacityPages: 3,
+		FaultCPUSeconds: 117e-9, BlockPages: 4})
+	if got := m2.Touch(b, 0, 8); got != 4 {
+		t.Fatalf("block fault migrated %d, want 4", got)
+	}
+	if m2.Resident() != 3 {
+		t.Fatalf("resident = %d, want 3", m2.Resident())
+	}
+}
+
+// TestBlockPrefetchStreamingNoWaste: a sequential scan with prefetching
+// moves each page exactly once — block migration does not change the
+// streaming calibration.
+func TestBlockPrefetchStreamingNoWaste(t *testing.T) {
+	pages := 64
+	b := newTestBuffer(t, pages)
+	cfg := DefaultConfig(-1)
+	m := NewManager(cfg)
+	total := 0
+	for p := 0; p < pages; p++ {
+		total += m.Touch(b, int64(p*memsys.PageBytes), 8)
+	}
+	if total != pages {
+		t.Errorf("streaming migrated %d pages, want %d", total, pages)
+	}
+}

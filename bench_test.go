@@ -8,7 +8,9 @@ package emogi_test
 // same runners at full scale.
 
 import (
+	"fmt"
 	"testing"
+	"time"
 
 	emogi "repro"
 	"repro/internal/bench"
@@ -378,6 +380,46 @@ func BenchmarkRefAlgorithms(b *testing.B) {
 			graph.RefCC(g)
 		}
 	})
+}
+
+// BenchmarkLaunchWorkers measures host wall-clock scaling of the parallel
+// launch engine: the same zero-copy Merged+Aligned BFS run with 1, 2, 4,
+// and 8 worker goroutines per kernel launch. Simulated results are
+// bit-for-bit identical across the worker counts (enforced by
+// internal/core/parallel_test.go); only the wall-clock time here should
+// change, and only on hosts with that many cores to offer.
+func BenchmarkLaunchWorkers(b *testing.B) {
+	g, err := emogi.BuildDataset("GK", 0.3, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := emogi.PickSources(g, 1, 1)[0]
+	var refElapsed time.Duration
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("%d", workers), func(b *testing.B) {
+			cfg := emogi.V100PCIe3(0.3)
+			cfg.Workers = workers
+			sys := emogi.NewSystem(cfg)
+			dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			var res *emogi.Result
+			for i := 0; i < b.N; i++ {
+				if res, err = sys.BFS(dg, src, emogi.MergedAligned); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if workers == 1 {
+				refElapsed = res.Elapsed
+			} else if refElapsed != 0 && res.Elapsed != refElapsed {
+				b.Fatalf("simulated time diverged at %d workers: %v vs %v", workers, res.Elapsed, refElapsed)
+			}
+			b.ReportMetric(float64(g.NumEdges()*int64(b.N))/b.Elapsed().Seconds(), "sim-edges/s")
+		})
+	}
 }
 
 // BenchmarkAblations runs the six design-choice ablations at quick scale

@@ -30,6 +30,7 @@ func main() {
 		seed      = flag.Int64("seed", 42, "generator and source seed")
 		sources   = flag.Int("sources", 3, "sources averaged per measurement (paper uses 64)")
 		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
+		workers   = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS, 1 = serial; results are identical)")
 		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,fig3..fig12,ablation-*")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
 		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.txt")
@@ -41,6 +42,7 @@ func main() {
 	if *quick {
 		cfg = bench.QuickConfig()
 	}
+	cfg.Workers = *workers
 
 	want := map[string]bool{}
 	if *only != "" {

@@ -72,6 +72,13 @@ const Scale = 1.0 / 1000.0
 type SystemConfig struct {
 	Name string
 	GPU  gpu.Config
+
+	// Workers, when non-zero, overrides GPU.Workers: the number of host
+	// goroutines each kernel launch spreads its warps over (0 selects
+	// GOMAXPROCS, 1 runs warps serially). Simulated results — values,
+	// iteration counts, elapsed time, every counter — are bit-for-bit
+	// identical for every worker count; only host wall-clock time changes.
+	Workers int
 }
 
 // scaleBytes scales a full-size capacity down by Scale times the user's
@@ -163,6 +170,9 @@ type System struct {
 
 // NewSystem builds a System from the given configuration.
 func NewSystem(cfg SystemConfig) *System {
+	if cfg.Workers != 0 {
+		cfg.GPU.Workers = cfg.Workers
+	}
 	return &System{cfg: cfg, dev: gpu.NewDevice(cfg.GPU)}
 }
 

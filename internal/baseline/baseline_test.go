@@ -27,6 +27,7 @@ func weighted(g *graph.CSR) *graph.CSR {
 }
 
 func TestSubwayBFSCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.RMAT("gk", 512, 10, 0.57, 0.19, 0.19, true, 1))
 	dev := testDevice(0)
 	src := graph.PickSources(g, 1, 3)[0]
@@ -43,6 +44,7 @@ func TestSubwayBFSCorrect(t *testing.T) {
 }
 
 func TestSubwaySSSPCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Urand("gu", 400, 10, 2))
 	dev := testDevice(0)
 	src := graph.PickSources(g, 1, 5)[0]
@@ -56,6 +58,7 @@ func TestSubwaySSSPCorrect(t *testing.T) {
 }
 
 func TestSubwayCCCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Social("fs", 512, 10, 4))
 	dev := testDevice(0)
 	res, err := SubwayRun(dev, g, core.AppCC, 0, DefaultSubwayConfig())
@@ -71,6 +74,7 @@ func TestSubwayCCCorrect(t *testing.T) {
 }
 
 func TestSubwayEdgeLimit(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Dense("ml", 200, 60, 24, 3))
 	dev := testDevice(0)
 	cfg := DefaultSubwayConfig()
@@ -82,6 +86,7 @@ func TestSubwayEdgeLimit(t *testing.T) {
 }
 
 func TestSubwayOOMWithoutPartitioning(t *testing.T) {
+	t.Parallel()
 	// A GPU too small for the first full frontier with partitioning
 	// disabled: Subway must fail with OOM, reproducing the paper's GU
 	// observation ("unidentified CUDA out-of-memory errors", §5.6).
@@ -97,6 +102,7 @@ func TestSubwayOOMWithoutPartitioning(t *testing.T) {
 }
 
 func TestSubwayPartitionsOversizedFrontier(t *testing.T) {
+	t.Parallel()
 	// The same tiny GPU with partitioning processes the frontier in
 	// chunks and still produces correct results.
 	g := weighted(graph.Urand("gu", 2000, 24, 1))
@@ -120,6 +126,7 @@ func TestSubwayPartitionsOversizedFrontier(t *testing.T) {
 }
 
 func TestSubwayHubExceedsGPU(t *testing.T) {
+	t.Parallel()
 	// A single neighbor list bigger than free GPU memory cannot be staged
 	// even with partitioning: hard OOM. Build a star whose hub list alone
 	// (20000 x 4B staging cost) exceeds the GPU memory left after the
@@ -138,6 +145,7 @@ func TestSubwayHubExceedsGPU(t *testing.T) {
 }
 
 func TestSubwayConfigValidation(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Urand("gu", 200, 8, 1))
 	dev := testDevice(0)
 	cfg := DefaultSubwayConfig()
@@ -167,6 +175,7 @@ func TestSubwayConfigValidation(t *testing.T) {
 }
 
 func TestSubwaySyncSlowerOrEqualAsync(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.RMAT("gk", 1024, 12, 0.57, 0.19, 0.19, true, 1))
 	src := graph.PickSources(g, 1, 3)[0]
 	cfgA := DefaultSubwayConfig()
@@ -188,6 +197,7 @@ func TestSubwaySyncSlowerOrEqualAsync(t *testing.T) {
 }
 
 func TestHALOBFSCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.RMAT("gk", 512, 10, 0.57, 0.19, 0.19, true, 1))
 	dev := testDevice(0)
 	src := graph.PickSources(g, 1, 3)[0]
@@ -204,6 +214,7 @@ func TestHALOBFSCorrect(t *testing.T) {
 }
 
 func TestHALOSSSPCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Urand("gu", 300, 10, 2))
 	dev := testDevice(0)
 	src := graph.PickSources(g, 1, 5)[0]
@@ -217,6 +228,7 @@ func TestHALOSSSPCorrect(t *testing.T) {
 }
 
 func TestHALOCCCorrect(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Social("fs", 512, 10, 4))
 	dev := testDevice(0)
 	res, err := HALORun(dev, g, core.AppCC, 0)
@@ -229,6 +241,7 @@ func TestHALOCCCorrect(t *testing.T) {
 }
 
 func TestHALOBadSource(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.Urand("gu", 100, 8, 1))
 	dev := testDevice(0)
 	if _, err := HALORun(dev, g, core.AppBFS, -2); err == nil {
@@ -240,6 +253,7 @@ func TestHALOBadSource(t *testing.T) {
 // the edge list, the reordered graph should migrate fewer UVM pages than
 // the original ordering on a web-like graph — HALO's entire premise.
 func TestHALOReducesMigrationsUnderPressure(t *testing.T) {
+	t.Parallel()
 	g := weighted(graph.RMAT("gk", 4096, 16, 0.57, 0.19, 0.19, true, 11))
 	src := graph.PickSources(g, 1, 3)[0]
 	// Leave only ~20 pages of UVM cache after the ~50KB of explicit
@@ -269,6 +283,7 @@ func TestHALOReducesMigrationsUnderPressure(t *testing.T) {
 }
 
 func TestCanonicalizeLabels(t *testing.T) {
+	t.Parallel()
 	in := []uint32{7, 7, 3, 3, 9}
 	got := canonicalizeLabels(in)
 	want := []uint32{0, 0, 2, 2, 4}

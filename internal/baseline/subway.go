@@ -278,6 +278,9 @@ func launchSubwayKernel(dev *gpu.Device, sub *graph.Subgraph, app core.App, lo i
 
 	edgeBytes := dstBuf.Elem
 	nAct := int(offBuf.Size()/8) - 1
+	// Serial launch: the kernel reads source values from the live relax
+	// target and marks the host-side active slice from inside the body,
+	// both of which are unsafe under concurrent warp execution.
 	return dev.Launch("subway/"+app.String(), nAct, func(w *gpu.Warp) {
 		i := int64(w.ID())
 		start, end := w.PairU64(offBuf, i)
@@ -334,5 +337,5 @@ func launchSubwayKernel(dev *gpu.Device, sub *graph.Subgraph, app core.App, lo i
 				}
 			}
 		}
-	})
+	}, gpu.Serial())
 }

@@ -17,6 +17,7 @@ func parseMS(t *testing.T, cell string) float64 {
 }
 
 func TestAblationUVMBlock(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationUVMBlock(ds)
 	if err != nil {
@@ -38,6 +39,7 @@ func TestAblationUVMBlock(t *testing.T) {
 }
 
 func TestAblationWorkerSize(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationWorkerSize(ds)
 	if err != nil {
@@ -57,6 +59,7 @@ func TestAblationWorkerSize(t *testing.T) {
 }
 
 func TestAblationBalance(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationBalance(ds)
 	if err != nil {
@@ -74,6 +77,7 @@ func TestAblationBalance(t *testing.T) {
 }
 
 func TestAblationCompression(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationCompression(ds)
 	if err != nil {
@@ -90,6 +94,7 @@ func TestAblationCompression(t *testing.T) {
 }
 
 func TestAblationMultiGPU(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationMultiGPU(ds)
 	if err != nil {
@@ -104,6 +109,7 @@ func TestAblationMultiGPU(t *testing.T) {
 }
 
 func TestAblationThrash(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationThrash(ds)
 	if err != nil {
@@ -126,6 +132,7 @@ func TestAblationThrash(t *testing.T) {
 }
 
 func TestAblationHybrid(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationHybrid(ds)
 	if err != nil {
@@ -146,6 +153,7 @@ func TestAblationHybrid(t *testing.T) {
 }
 
 func TestAblationLink(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationLink(ds)
 	if err != nil {
@@ -166,6 +174,7 @@ func TestAblationLink(t *testing.T) {
 }
 
 func TestAblationEdgeCentric(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationEdgeCentric(ds)
 	if err != nil {
@@ -182,6 +191,7 @@ func TestAblationEdgeCentric(t *testing.T) {
 }
 
 func TestAblationDirectionOpt(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	tb, err := AblationDirectionOpt(ds)
 	if err != nil {

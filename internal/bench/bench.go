@@ -27,6 +27,10 @@ type Config struct {
 	// Sources is the number of BFS/SSSP source vertices averaged per
 	// measurement (the paper uses 64; the default trades that for runtime).
 	Sources int
+	// Workers is the per-launch host worker count passed to every system
+	// the harness builds (0 = GOMAXPROCS, 1 = serial). Simulated results
+	// are identical for every value; only wall-clock time changes.
+	Workers int
 }
 
 // DefaultConfig returns the full-size configuration used for EXPERIMENTS.md.
@@ -54,6 +58,13 @@ func NewDatasets(cfg Config) *Datasets {
 
 // Config returns the dataset configuration.
 func (d *Datasets) Config() Config { return d.cfg }
+
+// System builds a simulated machine for the given platform configuration,
+// applying the harness worker count.
+func (c Config) System(sc emogi.SystemConfig) *emogi.System {
+	sc.Workers = c.Workers
+	return emogi.NewSystem(sc)
+}
 
 // Get returns the named dataset, building it on first use.
 func (d *Datasets) Get(sym string) *graph.CSR {

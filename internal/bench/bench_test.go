@@ -42,6 +42,7 @@ func TestFormatHelpers(t *testing.T) {
 }
 
 func TestDatasetsCache(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	a := ds.Get("GK")
 	b := ds.Get("GK")
@@ -54,6 +55,7 @@ func TestDatasetsCache(t *testing.T) {
 }
 
 func TestTable1And2(t *testing.T) {
+	t.Parallel()
 	cfg := tinyConfig()
 	ds := NewDatasets(cfg)
 	t1 := Table1(cfg)
@@ -73,6 +75,7 @@ func TestTable1And2(t *testing.T) {
 }
 
 func TestFigure3And4(t *testing.T) {
+	t.Parallel()
 	cfg := tinyConfig()
 	f3, err := Figure3(cfg)
 	if err != nil {
@@ -95,6 +98,7 @@ func TestFigure3And4(t *testing.T) {
 }
 
 func TestFigure6(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	f6 := Figure6(ds)
 	if len(f6.Rows) != 6 {
@@ -117,6 +121,7 @@ func TestFigure6(t *testing.T) {
 }
 
 func TestBFSSweepAndFigures(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	sweep, err := RunBFSSweep(ds)
 	if err != nil {
@@ -146,6 +151,7 @@ func TestBFSSweepAndFigures(t *testing.T) {
 }
 
 func TestAppSweepAndFigure11(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(tinyConfig())
 	sweep, err := RunAppSweep(ds, emogi.V100PCIe3)
 	if err != nil {

@@ -127,7 +127,7 @@ func Claims(ds *Datasets) (*Table, error) {
 
 	// --- PCIe 4.0 scaling ---
 	runA100 := func(platform func(float64) emogi.SystemConfig, transport core.Transport, v core.Variant) *core.Result {
-		sys := emogi.NewSystem(platform(cfg.Scale))
+		sys := cfg.System(platform(cfg.Scale))
 		dg, err := sys.Load(g, transport, 8)
 		if err != nil {
 			panic(err)

@@ -6,6 +6,7 @@ import (
 )
 
 func TestClaimsAllPass(t *testing.T) {
+	t.Parallel()
 	ds := NewDatasets(Config{Scale: 0.1, Seed: 42, Sources: 1})
 	tb, err := Claims(ds)
 	if err != nil {

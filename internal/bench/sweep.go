@@ -71,7 +71,7 @@ func RunBFSSweep(ds *Datasets) (*BFSSweep, error) {
 			if err != nil {
 				return nil, err
 			}
-			sys := emogi.NewSystem(emogi.V100PCIe3(cfg.Scale))
+			sys := cfg.System(emogi.V100PCIe3(cfg.Scale))
 			dg, err := sys.Load(g, transport, 8)
 			if err != nil {
 				return nil, fmt.Errorf("bench: loading %s for %s: %w", sym, name, err)
@@ -138,7 +138,7 @@ func RunAppSweep(ds *Datasets, platform func(float64) emogi.SystemConfig) (*AppS
 			g := ds.Get(sym)
 			sources := ds.Sources(sym)
 			for _, sc := range systems {
-				sys := emogi.NewSystem(platform(cfg.Scale))
+				sys := cfg.System(platform(cfg.Scale))
 				dg, err := sys.Load(g, sc.transport, 8)
 				if err != nil {
 					return nil, fmt.Errorf("bench: loading %s: %w", sym, err)

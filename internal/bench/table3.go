@@ -31,7 +31,7 @@ func Table3(ds *Datasets) (*Table, error) {
 		if err != nil {
 			return nil, fmt.Errorf("bench: HALO on %s: %w", sym, err)
 		}
-		sysE := emogi.NewSystem(emogi.TitanXpPCIe3(cfg.Scale))
+		sysE := cfg.System(emogi.TitanXpPCIe3(cfg.Scale))
 		dgE, err := sysE.Load(g, emogi.ZeroCopy, 8)
 		if err != nil {
 			return nil, err
@@ -72,7 +72,7 @@ func Table3(ds *Datasets) (*Table, error) {
 				t.AddRow("Subway", cb.app.String(), sym, reason, "-", "-")
 				continue
 			}
-			sysE := emogi.NewSystem(emogi.V100PCIe3(cfg.Scale))
+			sysE := cfg.System(emogi.V100PCIe3(cfg.Scale))
 			dgE, err := sysE.Load(g, emogi.ZeroCopy, 4)
 			if err != nil {
 				return nil, err

@@ -6,6 +6,7 @@ import (
 )
 
 func TestTable3(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("table 3 sweep in -short mode")
 	}
@@ -34,6 +35,7 @@ func TestTable3(t *testing.T) {
 }
 
 func TestFigure12(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("two app sweeps in -short mode")
 	}

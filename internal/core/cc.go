@@ -14,6 +14,11 @@ import (
 // — and pushes its label to its neighbors until a fixed point. The final
 // label of each vertex is the minimum vertex ID in its component.
 //
+// Like SSSP, propagation is bulk-synchronous: active vertices read their
+// label from a round-boundary snapshot while atomic-min updates land in
+// the live array, which keeps runs bit-for-bit reproducible under the
+// parallel launch engine (see the SSSP comment).
+//
 // The graph must be undirected; the paper excludes the directed SK and
 // UK5 graphs from CC for the same reason.
 func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
@@ -26,6 +31,10 @@ func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 		return nil, err
 	}
 	comp, err := rs.alloc("cc.comp", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	compRead, err := rs.alloc("cc.compread", int64(n)*4)
 	if err != nil {
 		return nil, err
 	}
@@ -46,8 +55,9 @@ func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 	iterations := 0
 	for {
 		rs.clearFlag()
+		dev.CopyOnDevice(compRead, comp) // round-boundary snapshot for source reads
 		visit := relaxVisitor(comp, next, rs.flag, false)
-		launchActiveKernel(dev, dg, variant, "cc/"+variant.String(), comp, cur, false, visit)
+		launchActiveKernel(dev, dg, variant, "cc/"+variant.String(), compRead, cur, false, visit)
 		iterations++
 		if !rs.readFlag() {
 			break

@@ -15,6 +15,7 @@ import (
 // graph and source. Between them these paths exercise every transport,
 // kernel discipline, and coalescing pattern in the simulator.
 func TestAllBFSImplementationsAgree(t *testing.T) {
+	t.Parallel()
 	graphs := []*graph.CSR{
 		graph.RMAT("gk", 700, 10, 0.57, 0.19, 0.19, true, 3),
 		graph.Urand("gu", 800, 12, 4),

@@ -18,6 +18,15 @@ import (
 // (thread per vertex, Listing 1), Merged (warp per vertex, §4.3.1), and
 // MergedAligned (warp per vertex shifted to the 128B boundary, §4.3.2).
 
+// Parallel-determinism contract: kernels launched here run their warps on
+// several workers at once (gpu.Config.Workers). A match kernel's activity
+// predicate (state == match) is stable within a launch — entries only move
+// from InfDist to match+1, and neither value equals match — so every
+// warp's traffic depends on its ID alone. Active-set kernels additionally
+// read per-vertex source values; callers must pass a `state` buffer the
+// launch does not mutate (a snapshot of the relax target, see SSSP/CC) so
+// those reads are stable too.
+
 // launchMatchKernel runs one BFS-style iteration.
 func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
 	state *memsys.Buffer, match, pushVal uint32, visit visitFn) {
@@ -60,7 +69,9 @@ func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name s
 }
 
 // launchActiveKernel runs one SSSP/CC-style iteration over the explicit
-// active set. needW selects whether edge weights are gathered.
+// active set. needW selects whether edge weights are gathered. state is
+// the buffer active vertices read their source value from; per the
+// contract above it must not be written during the launch.
 func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
 	state, active *memsys.Buffer, needW bool, visit visitFn) {
 

@@ -168,6 +168,9 @@ func (ms *MultiSystem) run(app App, src int) (*Result, error) {
 			dev.CopyToDevice(4)
 			visit := relaxVisitor(val, nil, flag, needW)
 			dg := ms.dgs[i]
+			// Serial launch: the kernel reads each source's value from the
+			// live relax target (chained relaxation, no snapshot), so its
+			// traffic depends on warp execution order.
 			dev.Launch("mgpu/"+app.String(), hi-lo, func(w *gpu.Warp) {
 				v := int64(lo + w.ID())
 				if w.ScalarU32(act, v) == 0 {
@@ -182,7 +185,7 @@ func (ms *MultiSystem) run(app App, src int) (*Result, error) {
 					push = sv + 1
 				}
 				walkMerged(w, dg, v, push, true, needW, visit)
-			})
+			}, gpu.Serial())
 			dev.CopyToHost(4)
 			dev.CopyToHost(int64(n) * 4) // replica download for the reduce
 			if dt := dev.Clock() - clockMark[i]; dt > levelMax {

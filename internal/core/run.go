@@ -108,9 +108,18 @@ func (rs *runState) finish(app string, variant Variant, transport Transport, src
 // relaxVisitor builds the shared edge visitor of all three applications:
 // for each traversed edge it computes the candidate value (source value,
 // plus the edge weight if addWeight), atomically lowers the destination's
-// entry in target, and on success raises the convergence flag and, when
-// nextActive is non-nil, marks the destination active for the next
-// iteration.
+// entry in target, and folds the per-lane success predicate into the
+// convergence flag and, when nextActive is non-nil, the next-iteration
+// active bitmap.
+//
+// Parallel-determinism contract: which lane observes its atomic-min
+// succeed depends on warp execution order, but whether ANY candidate beat
+// a destination's starting value this launch does not (the first lane to
+// reach the round's minimum always observes success). The success bits
+// therefore feed only commutative ORs, and both stores are issued
+// unconditionally — the traffic depends on mask alone, never on race
+// outcomes — so results and stats are bit-for-bit identical for any
+// worker count (see DESIGN.md, "Parallel execution engine").
 func relaxVisitor(target, nextActive, flag *memsys.Buffer, addWeight bool) visitFn {
 	return func(w *gpu.Warp, mask gpu.Mask, dst *[gpu.WarpSize]uint32, wgt, srcVal *[gpu.WarpSize]uint32) {
 		var idx [gpu.WarpSize]int64
@@ -127,22 +136,17 @@ func relaxVisitor(target, nextActive, flag *memsys.Buffer, addWeight bool) visit
 			}
 		}
 		old := w.AtomicMinU32(target, &idx, &val, mask)
-		upd := gpu.MaskNone
+		var bits [gpu.WarpSize]uint32
+		anySet := uint32(0)
 		for l := 0; l < gpu.WarpSize; l++ {
 			if mask.Has(l) && old[l] > val[l] {
-				upd = upd.Set(l)
+				bits[l] = 1
+				anySet = 1
 			}
-		}
-		if upd == gpu.MaskNone {
-			return
 		}
 		if nextActive != nil {
-			var ones [gpu.WarpSize]uint32
-			for l := 0; l < gpu.WarpSize; l++ {
-				ones[l] = 1
-			}
-			w.ScatterU32(nextActive, &idx, &ones, upd)
+			w.AtomicOrU32(nextActive, &idx, &bits, mask)
 		}
-		w.StoreScalarU32(flag, 0, 1)
+		w.AtomicOrScalarU32(flag, 0, anySet)
 	}
 }

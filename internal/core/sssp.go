@@ -13,6 +13,16 @@ import (
 // distance improved last round relaxes its outgoing edges; the run
 // converges when no distance changes. Edge weights stream from host
 // memory alongside the destinations.
+//
+// Relaxations are bulk-synchronous (Jacobi): each round, active vertices
+// read their distance from a device-side snapshot taken at the round
+// boundary while atomic-min updates land in the live array — the same
+// racy-read/atomic-write structure a real GPU kernel has, with the
+// snapshot making the reads independent of warp execution order so runs
+// are bit-for-bit reproducible under the parallel launch engine.
+// Intra-round chaining (a warp reusing a distance another warp lowered
+// moments earlier) is given up; the fixed point is identical, reached in
+// a few more launches.
 func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
 	n := dg.NumVertices()
 	if src < 0 || src >= n {
@@ -26,6 +36,10 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 		return nil, err
 	}
 	dist, err := rs.alloc("sssp.dist", int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	distRead, err := rs.alloc("sssp.distread", int64(n)*4)
 	if err != nil {
 		return nil, err
 	}
@@ -47,8 +61,9 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 	iterations := 0
 	for {
 		rs.clearFlag()
+		dev.CopyOnDevice(distRead, dist) // round-boundary snapshot for source reads
 		visit := relaxVisitor(dist, next, rs.flag, true)
-		launchActiveKernel(dev, dg, variant, "sssp/"+variant.String(), dist, cur, true, visit)
+		launchActiveKernel(dev, dg, variant, "sssp/"+variant.String(), distRead, cur, true, visit)
 		iterations++
 		if !rs.readFlag() {
 			break

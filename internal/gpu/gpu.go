@@ -5,13 +5,22 @@
 // roofline time model that converts the resulting traffic into simulated
 // kernel time.
 //
-// The simulator is deterministic: warps execute in ascending ID order and
-// all stat accumulation is sequential, so every experiment is reproducible
-// bit-for-bit.
+// The simulator is deterministic and, since the parallel execution engine,
+// that determinism no longer depends on running warps one at a time: Launch
+// shards the warp ID range across a pool of host worker goroutines
+// (Config.Workers; 1 reproduces the historical serial path), each worker
+// accumulates into a private stats shard, and shards are merged in
+// ascending shard order at the launch barrier. Every merged quantity is
+// either a commutative integer reduction (sums, a max) or a float derived
+// from merged integers after the barrier, so totals, thrash charging, and
+// the simulated clock are bit-for-bit identical for every worker count.
+// Order-dependent state stays off the parallel path: launches that can
+// touch UVM-managed memory run serial (the LRU residency bookkeeping is
+// order-dependent), and kernels whose bodies are order-sensitive pass the
+// Serial launch option. See DESIGN.md, "Parallel execution engine".
 package gpu
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/memsys"
@@ -75,6 +84,13 @@ type Config struct {
 	// imbalance the paper's §6 discusses delegating to workload-balancing
 	// schemes [38, 39].
 	PerWarpOutstanding int
+
+	// Workers is the number of host worker goroutines a kernel launch
+	// spreads its warps over. 0 selects runtime.GOMAXPROCS(0); 1 executes
+	// warps serially in ascending ID order (the historical engine).
+	// Results are bit-for-bit identical for every value — see the package
+	// comment and DESIGN.md for the determinism argument.
+	Workers int
 
 	// ThrashSensitivity converts the concurrent-stream footprint ratio
 	// into a reuse-miss fraction: miss = clamp01(sensitivity * footprint /
@@ -267,31 +283,24 @@ func (d *Device) ResetUVMResidency() {
 	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
 }
 
-// Launch executes a kernel: body is invoked once per warp with warp IDs
-// 0..warps-1 in order. It returns the launch's statistics after advancing
-// the simulated clock.
-func (d *Device) Launch(name string, warps int, body func(w *Warp)) *KernelStats {
-	if warps < 0 {
-		panic(fmt.Sprintf("gpu: Launch %q with negative warp count %d", name, warps))
+// finish folds the per-size zero-copy request counts into the link roofline
+// terms, converts the kernel's traffic into elapsed time, and advances the
+// clock. zc holds the count of 32/64/96/128-byte zero-copy requests; the
+// wire and tag seconds are derived here, after the shard merge, so the
+// float accumulation order — and therefore the simulated time — is
+// independent of how the launch was partitioned across workers.
+func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64) {
+	var zcReqs uint64
+	for i, n := range zc {
+		if n == 0 {
+			continue
+		}
+		zcReqs += n
+		ks.WireSeconds += float64(n) * d.cfg.Link.WireSeconds((i+1)*memsys.SectorBytes)
 	}
-	ks := &KernelStats{Name: name, Warps: warps}
-	w := Warp{dev: d, ks: ks}
-	for id := 0; id < warps; id++ {
-		w.id = id
-		w.resetMRU()
-		w.zcLanes = 0
-		w.hostReqs = 0
-		body(&w)
-		ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
-		w.flushCriticalPath()
+	if zcReqs > 0 {
+		ks.TagSeconds += float64(zcReqs) * d.cfg.Link.TagSeconds()
 	}
-	d.finish(ks)
-	return ks
-}
-
-// finish converts a kernel's traffic into elapsed time via the roofline
-// model and advances the clock.
-func (d *Device) finish(ks *KernelStats) {
 	d.chargeThrash(ks)
 	pcieTime := pcie.StreamSeconds(ks.WireSeconds, ks.TagSeconds)
 	hbmTime := d.cfg.HBM.ServiceSeconds(int64(ks.HBMBytes))
@@ -370,6 +379,23 @@ func (d *Device) bulk(n int64, record bool) time.Duration {
 	d.total.Elapsed += dt
 	d.mon.Sample(d.clock)
 	return dt
+}
+
+// CopyOnDevice models a device-to-device copy of src into dst
+// (cudaMemcpyDeviceToDevice): the data moves at HBM bandwidth — one read
+// plus one write of the payload — with no link traffic and no launch
+// overhead (it is a stream operation). Both buffers must be GPU-resident.
+func (d *Device) CopyOnDevice(dst, src *memsys.Buffer) {
+	if dst.Space != memsys.SpaceGPU || src.Space != memsys.SpaceGPU {
+		panic("gpu: CopyOnDevice requires GPU-resident buffers")
+	}
+	if dst.Size() < src.Size() {
+		panic("gpu: CopyOnDevice destination smaller than source")
+	}
+	copy(dst.Data, src.Data)
+	dt := time.Duration(d.cfg.HBM.ServiceSeconds(2*src.Size()) * float64(time.Second))
+	d.clock += dt
+	d.total.Elapsed += dt
 }
 
 // Memset fills a GPU-resident buffer with v, modeling a cudaMemsetAsync:

@@ -1,0 +1,154 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/pcie"
+)
+
+// zcSizeClasses is the number of distinct zero-copy request sizes the
+// coalescer can emit: 32, 64, 96, and 128 bytes (paper Figure 3). Workers
+// count requests per size class as integers during the kernel; finish
+// converts the merged counts into wire/tag seconds so the float arithmetic
+// is independent of the warp partitioning.
+const zcSizeClasses = 4
+
+// LaunchOption adjusts how one kernel launch executes.
+type LaunchOption func(*launchConfig)
+
+type launchConfig struct {
+	serial bool
+}
+
+// Serial forces the launch onto a single worker regardless of
+// Config.Workers. Kernel bodies that read values other warps of the same
+// launch write through anything but commutative atomics — or that mutate
+// plain host-side state — are order- or race-sensitive and must opt out of
+// parallel execution to keep results bit-for-bit reproducible.
+func Serial() LaunchOption { return func(c *launchConfig) { c.serial = true } }
+
+// ShardRange splits the warp ID range [0, warps) into workers contiguous
+// shards and returns shard i as the half-open interval [lo, hi). The first
+// warps%workers shards hold one extra warp, so every ID is covered exactly
+// once and shard sizes differ by at most one.
+func ShardRange(warps, workers, i int) (lo, hi int) {
+	if workers <= 0 || i < 0 || i >= workers {
+		panic(fmt.Sprintf("gpu: ShardRange(%d, %d, %d) out of range", warps, workers, i))
+	}
+	base := warps / workers
+	rem := warps % workers
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// launchShard is one worker's private accumulation state: a stats shard, a
+// private traffic monitor, and the per-size zero-copy request counts. All
+// fields merge commutatively (or in ascending shard order, for traces) at
+// the launch barrier.
+type launchShard struct {
+	ks       KernelStats
+	mon      pcie.Monitor
+	zcBySize [zcSizeClasses]uint64
+}
+
+// workerCount resolves the effective worker count for a launch.
+func (d *Device) workerCount(warps int, lc *launchConfig) int {
+	// UVM page faults mutate the manager's LRU residency state, whose
+	// outcome depends on fault order; those launches stay serial, as does
+	// anything that asked for it explicitly.
+	if lc.serial || d.arena.HasUVM() {
+		return 1
+	}
+	n := d.cfg.Workers
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > warps {
+		n = warps
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// runWarpRange executes warp IDs [lo, hi) on w in ascending order.
+func runWarpRange(w *Warp, lo, hi int, body func(w *Warp)) {
+	for id := lo; id < hi; id++ {
+		w.id = id
+		w.resetMRU()
+		w.zcLanes = 0
+		w.hostReqs = 0
+		body(w)
+		w.ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
+		w.flushCriticalPath()
+	}
+}
+
+// Launch executes a kernel: body is invoked once per warp with warp IDs
+// 0..warps-1, partitioned into contiguous shards across the worker pool
+// (Config.Workers). Bodies therefore run concurrently unless the launch is
+// serial — see Serial and the package comment for the safety contract. It
+// returns the launch's statistics after advancing the simulated clock.
+func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...LaunchOption) *KernelStats {
+	if warps < 0 {
+		panic(fmt.Sprintf("gpu: Launch %q with negative warp count %d", name, warps))
+	}
+	var lc launchConfig
+	for _, o := range opts {
+		o(&lc)
+	}
+	workers := d.workerCount(warps, &lc)
+
+	ks := &KernelStats{Name: name, Warps: warps}
+	if workers == 1 {
+		// Serial fast path: accumulate straight into the launch stats and
+		// the device monitor, exactly like the historical engine.
+		var zc [zcSizeClasses]uint64
+		w := Warp{dev: d, ks: ks, mon: &d.mon, zcBySize: &zc}
+		runWarpRange(&w, 0, warps, body)
+		d.finish(ks, &zc)
+		return ks
+	}
+
+	shards := make([]launchShard, workers)
+	traceLimit := d.mon.TraceLimit()
+	var wg sync.WaitGroup
+	for i := range shards {
+		sh := &shards[i]
+		if traceLimit > 0 {
+			// Give each shard the full budget; the ordered merge below
+			// truncates at the device monitor's remaining capacity.
+			sh.mon.EnableTrace(traceLimit)
+		}
+		lo, hi := ShardRange(warps, workers, i)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w := Warp{dev: d, ks: &sh.ks, mon: &sh.mon, zcBySize: &sh.zcBySize}
+			runWarpRange(&w, lo, hi, body)
+		}()
+	}
+	wg.Wait()
+
+	// Merge in ascending shard order. Since shards are contiguous warp
+	// ranges, concatenating their monitor traces reproduces the serial
+	// arrival order; every counter merge is a sum or a max.
+	var zc [zcSizeClasses]uint64
+	for i := range shards {
+		sh := &shards[i]
+		ks.Add(&sh.ks)
+		for j, n := range sh.zcBySize {
+			zc[j] += n
+		}
+		d.mon.Merge(&sh.mon)
+	}
+	d.finish(ks, &zc)
+	return ks
+}

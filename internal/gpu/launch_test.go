@@ -1,0 +1,203 @@
+package gpu
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+func TestShardRangeProperties(t *testing.T) {
+	cases := []struct{ warps, workers int }{
+		{0, 1}, {0, 8}, {1, 1}, {1, 8}, {7, 8}, {8, 8}, {9, 8},
+		{100, 1}, {100, 3}, {100, 7}, {1000, 16}, {31, 32},
+	}
+	for _, c := range cases {
+		covered := make([]int, c.warps)
+		prevHi := 0
+		for i := 0; i < c.workers; i++ {
+			lo, hi := ShardRange(c.warps, c.workers, i)
+			if lo != prevHi {
+				t.Errorf("ShardRange(%d,%d,%d): lo = %d, want %d (contiguity)", c.warps, c.workers, i, lo, prevHi)
+			}
+			if size := hi - lo; size < c.warps/c.workers || size > c.warps/c.workers+1 {
+				t.Errorf("ShardRange(%d,%d,%d): size %d not within one of %d", c.warps, c.workers, i, size, c.warps/c.workers)
+			}
+			for id := lo; id < hi; id++ {
+				covered[id]++
+			}
+			prevHi = hi
+		}
+		if prevHi != c.warps {
+			t.Errorf("ShardRange(%d,%d): last hi = %d, want %d", c.warps, c.workers, prevHi, c.warps)
+		}
+		for id, n := range covered {
+			if n != 1 {
+				t.Errorf("ShardRange(%d,%d): warp %d covered %d times", c.warps, c.workers, id, n)
+			}
+		}
+	}
+}
+
+// launchStatsForWorkers runs a mixed zero-copy + HBM kernel — strided
+// gathers from pinned memory, atomic mins into a GPU array, a scalar flag
+// store — on a fresh device with the given worker count and returns the
+// launch stats, the monitor snapshot, the recorded trace, and the final
+// contents of the relax target.
+func launchStatsForWorkers(t *testing.T, workers int) (*KernelStats, pcie.Snapshot, []pcie.TraceEntry, []uint32) {
+	t.Helper()
+	d := NewDevice(Config{
+		Name:     fmt.Sprintf("w%d", workers),
+		Workers:  workers,
+		HBM:      memsys.HBM2V100(),
+		HostDRAM: memsys.DDR4Quad(),
+		Link:     pcie.Gen3x16(),
+	})
+	d.Monitor().EnableTrace(4096)
+	const n = 1 << 12
+	edges := d.Arena().MustAlloc("edges", memsys.SpaceHostPinned, n*8)
+	vals := d.Arena().MustAlloc("vals", memsys.SpaceGPU, n*4, memsys.WithElem(4))
+	flag := d.Arena().MustAlloc("flag", memsys.SpaceGPU, 4, memsys.WithElem(4))
+	for i := int64(0); i < n; i++ {
+		edges.PutU64(i, uint64((i*2654435761)%n))
+		vals.PutU32(i, ^uint32(0))
+	}
+	warps := n / WarpSize
+	ks := d.Launch("mixed", warps, func(w *Warp) {
+		base := int64(w.ID()) * WarpSize
+		var idx [WarpSize]int64
+		for l := 0; l < WarpSize; l++ {
+			idx[l] = base + int64(l)
+		}
+		dst := w.GatherU64(edges, &idx, MaskFull)
+		var tgt [WarpSize]int64
+		var cand [WarpSize]uint32
+		for l := 0; l < WarpSize; l++ {
+			tgt[l] = int64(dst[l])
+			cand[l] = uint32(w.ID())
+		}
+		w.AtomicMinU32(vals, &tgt, &cand, MaskFull)
+		w.AtomicOrScalarU32(flag, 0, 1)
+	})
+	out := make([]uint32, n)
+	for i := int64(0); i < n; i++ {
+		out[i] = vals.U32(i)
+	}
+	return ks, d.Monitor().Snapshot(), d.Monitor().Trace(), out
+}
+
+// TestLaunchWorkerEquivalence checks the engine contract directly at the
+// gpu layer: stats, clock, monitor counters, trace order, and functional
+// buffer contents are identical for 1, 2, 5, and 8 workers.
+func TestLaunchWorkerEquivalence(t *testing.T) {
+	refKS, refSnap, refTrace, refVals := launchStatsForWorkers(t, 1)
+	if refKS.PCIeRequests == 0 || refKS.HBMBytes == 0 {
+		t.Fatalf("reference kernel produced no traffic: %+v", refKS)
+	}
+	for _, workers := range []int{2, 5, 8} {
+		ks, snap, trace, vals := launchStatsForWorkers(t, workers)
+		ksCopy, refCopy := *ks, *refKS
+		ksCopy.Name, refCopy.Name = "", ""
+		if ksCopy != refCopy {
+			t.Errorf("workers=%d stats differ:\nserial:   %+v\nparallel: %+v", workers, refCopy, ksCopy)
+		}
+		if snap.Requests != refSnap.Requests || snap.PayloadBytes != refSnap.PayloadBytes ||
+			snap.WireBytes != refSnap.WireBytes || snap.AvgBandwidth != refSnap.AvgBandwidth ||
+			len(snap.BySize) != len(refSnap.BySize) {
+			t.Errorf("workers=%d monitor counters differ: %+v vs %+v", workers, refSnap, snap)
+		}
+		for size, count := range refSnap.BySize {
+			if snap.BySize[size] != count {
+				t.Errorf("workers=%d monitor BySize[%d] = %d, want %d", workers, size, snap.BySize[size], count)
+			}
+		}
+		if len(trace) != len(refTrace) {
+			t.Fatalf("workers=%d trace length %d, want %d", workers, len(trace), len(refTrace))
+		}
+		for i := range refTrace {
+			if trace[i] != refTrace[i] {
+				t.Fatalf("workers=%d trace[%d] = %+v, want %+v (arrival order)", workers, i, trace[i], refTrace[i])
+			}
+		}
+		for i := range refVals {
+			if vals[i] != refVals[i] {
+				t.Fatalf("workers=%d vals[%d] = %d, want %d", workers, i, vals[i], refVals[i])
+			}
+		}
+	}
+}
+
+// TestUVMLaunchForcedSerial checks that a device with a live UVM buffer
+// keeps launches on the serial path: the UVM manager's LRU bookkeeping is
+// order-dependent (and not thread-safe), so under -race this test also
+// proves the engine never runs such a launch concurrently.
+func TestUVMLaunchForcedSerial(t *testing.T) {
+	run := func(workers int) (*KernelStats, []uint64) {
+		d := NewDevice(Config{
+			Name:     "uvm",
+			Workers:  workers,
+			MemBytes: 1 << 16,
+			HBM:      memsys.HBM2V100(),
+			HostDRAM: memsys.DDR4Quad(),
+			Link:     pcie.Gen3x16(),
+		})
+		const n = 1 << 12
+		buf := d.Arena().MustAlloc("edges", memsys.SpaceUVM, n*8)
+		for i := int64(0); i < n; i++ {
+			buf.PutU64(i, uint64(i)*3)
+		}
+		ks := d.Launch("touch", n/WarpSize, func(w *Warp) {
+			base := int64(w.ID()) * WarpSize
+			var idx [WarpSize]int64
+			for l := 0; l < WarpSize; l++ {
+				idx[l] = base + int64(l)
+			}
+			w.GatherU64(buf, &idx, MaskFull)
+		})
+		out := make([]uint64, 4)
+		for i := range out {
+			out[i] = buf.U64(int64(i))
+		}
+		return ks, out
+	}
+	ks1, v1 := run(1)
+	ks8, v8 := run(8)
+	ks8.Name = ks1.Name
+	if *ks1 != *ks8 {
+		t.Errorf("UVM launch stats differ across worker counts:\nw1: %+v\nw8: %+v", ks1, ks8)
+	}
+	if ks1.UVMMigrations == 0 {
+		t.Errorf("UVM kernel did not fault any pages: %+v", ks1)
+	}
+	for i := range v1 {
+		if v1[i] != v8[i] {
+			t.Errorf("UVM data differs at %d: %d vs %d", i, v1[i], v8[i])
+		}
+	}
+}
+
+// TestSerialOption checks the explicit opt-out: a body that mutates plain
+// host state without atomics must be safe when launched with Serial().
+func TestSerialOption(t *testing.T) {
+	d := NewDevice(Config{
+		Name:     "serial-opt",
+		Workers:  8,
+		HBM:      memsys.HBM2V100(),
+		HostDRAM: memsys.DDR4Quad(),
+		Link:     pcie.Gen3x16(),
+	})
+	const warps = 1024
+	order := make([]int, 0, warps)
+	d.Launch("ordered", warps, func(w *Warp) {
+		order = append(order, w.ID())
+	}, Serial())
+	if len(order) != warps {
+		t.Fatalf("serial launch ran %d warps, want %d", len(order), warps)
+	}
+	for i, id := range order {
+		if id != i {
+			t.Fatalf("serial launch order[%d] = %d, want ascending IDs", i, id)
+		}
+	}
+}

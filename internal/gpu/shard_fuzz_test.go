@@ -1,0 +1,50 @@
+package gpu
+
+import "testing"
+
+// FuzzShardRange checks the warp-partitioning invariants the parallel
+// engine's determinism proof rests on, for arbitrary warp counts and
+// worker counts: the shards are contiguous, ascending, cover every warp ID
+// exactly once, and differ in size by at most one.
+func FuzzShardRange(f *testing.F) {
+	f.Add(0, 1)
+	f.Add(1, 1)
+	f.Add(7, 8)
+	f.Add(1000, 16)
+	f.Add(31, 32)
+	f.Add(1<<20, 7)
+	f.Fuzz(func(t *testing.T, warps, workers int) {
+		// Clamp to the domain Launch actually calls with: warps >= 0 and
+		// 1 <= workers (workerCount never returns less than 1).
+		if warps < 0 {
+			warps = -warps
+		}
+		warps %= 1 << 16
+		if workers < 1 {
+			workers = 1 - workers
+		}
+		workers = workers%1024 + 1
+
+		base, rem := warps/workers, warps%workers
+		prevHi := 0
+		for i := 0; i < workers; i++ {
+			lo, hi := ShardRange(warps, workers, i)
+			if lo != prevHi {
+				t.Fatalf("ShardRange(%d,%d,%d): lo = %d, want %d — gap or overlap between shards",
+					warps, workers, i, lo, prevHi)
+			}
+			wantSize := base
+			if i < rem {
+				wantSize++
+			}
+			if hi-lo != wantSize {
+				t.Fatalf("ShardRange(%d,%d,%d): size = %d, want %d — remainder must spread over the first %d shards",
+					warps, workers, i, hi-lo, wantSize, rem)
+			}
+			prevHi = hi
+		}
+		if prevHi != warps {
+			t.Fatalf("ShardRange(%d,%d): shards end at %d, want %d — warp IDs dropped", warps, workers, prevHi, warps)
+		}
+	})
+}

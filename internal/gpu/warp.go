@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/memsys"
+	"repro/internal/pcie"
 )
 
 // Mask selects active lanes of a warp; bit i is lane i.
@@ -54,6 +55,18 @@ type Warp struct {
 	dev *Device
 	ks  *KernelStats
 	id  int
+
+	// mon receives this warp's individual PCIe request records. On the
+	// serial path it is the device monitor; on the parallel path it is the
+	// executing worker's private shard monitor, merged in shard order at
+	// the launch barrier.
+	mon *pcie.Monitor
+
+	// zcBySize counts this worker's zero-copy requests per size class
+	// (32/64/96/128 bytes). The launch barrier merges the counts and
+	// derives the wire/tag roofline seconds from the totals, keeping the
+	// float arithmetic independent of the warp partitioning.
+	zcBySize *[zcSizeClasses]uint64
 
 	// mru is the per-lane most-recently-touched 32B sector, modeling the L1
 	// behaviour behind §3.3's "each thread generates a new 32-byte request
@@ -197,10 +210,9 @@ func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 		w.hostReqs++
 		ks.PCIeRequests++
 		ks.PCIePayloadBytes += uint64(size)
-		ks.WireSeconds += d.cfg.Link.WireSeconds(size)
-		ks.TagSeconds += d.cfg.Link.TagSeconds()
+		w.zcBySize[size/memsys.SectorBytes-1]++
 		ks.HostDRAMBytes += uint64(d.cfg.HostDRAM.ServedBytes(size))
-		d.mon.Record(size, d.cfg.Link.TLPOverheadBytes)
+		w.mon.Record(size, d.cfg.Link.TLPOverheadBytes)
 
 	case memsys.SpaceUVM:
 		off := int64(addr - buf.Base)
@@ -220,7 +232,7 @@ func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 			ks.UVMSerialSeconds += d.uvmgr.FaultCPUTime(migrated).Seconds() +
 				d.cfg.Link.BulkSeconds(bytes)
 			ks.HostDRAMBytes += uint64(bytes)
-			d.mon.RecordBulk(bytes, d.cfg.Link.TLPOverheadBytes)
+			w.mon.RecordBulk(bytes, d.cfg.Link.TLPOverheadBytes)
 		}
 		ks.UVMHits += uint64(pagesTouched - migrated)
 		// After migration the access is served from GPU memory.
@@ -245,7 +257,7 @@ func (w *Warp) GatherU64(buf *memsys.Buffer, idx *[WarpSize]int64, mask Mask) [W
 	var out [WarpSize]uint64
 	for i := 0; i < WarpSize; i++ {
 		if mask.Has(i) {
-			out[i] = buf.U64(idx[i])
+			out[i] = buf.AtomicU64(idx[i])
 		}
 	}
 	return out
@@ -263,7 +275,7 @@ func (w *Warp) GatherU32(buf *memsys.Buffer, idx *[WarpSize]int64, mask Mask) [W
 	var out [WarpSize]uint32
 	for i := 0; i < WarpSize; i++ {
 		if mask.Has(i) {
-			out[i] = buf.U32(idx[i])
+			out[i] = buf.AtomicU32(idx[i])
 		}
 	}
 	return out
@@ -280,7 +292,7 @@ func (w *Warp) ScatterU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSi
 	w.access(buf, &off, mask, true)
 	for i := 0; i < WarpSize; i++ {
 		if mask.Has(i) {
-			buf.PutU32(idx[i], val[i])
+			buf.AtomicPutU32(idx[i], val[i])
 		}
 	}
 }
@@ -296,7 +308,7 @@ func (w *Warp) ScatterU64(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSi
 	w.access(buf, &off, mask, true)
 	for i := 0; i < WarpSize; i++ {
 		if mask.Has(i) {
-			buf.PutU64(idx[i], val[i])
+			buf.AtomicPutU64(idx[i], val[i])
 		}
 	}
 }
@@ -307,7 +319,7 @@ func (w *Warp) ScalarU64(buf *memsys.Buffer, idx int64) uint64 {
 	var off [WarpSize]int64
 	off[0] = idx * 8
 	w.access(buf, &off, 1, false)
-	return buf.U64(idx)
+	return buf.AtomicU64(idx)
 }
 
 // ScalarU32 loads one 32-bit element through lane 0.
@@ -315,7 +327,7 @@ func (w *Warp) ScalarU32(buf *memsys.Buffer, idx int64) uint32 {
 	var off [WarpSize]int64
 	off[0] = idx * 4
 	w.access(buf, &off, 1, false)
-	return buf.U32(idx)
+	return buf.AtomicU32(idx)
 }
 
 // PairU64 loads buf[idx] and buf[idx+1] through two lanes — the classic
@@ -326,7 +338,7 @@ func (w *Warp) PairU64(buf *memsys.Buffer, idx int64) (uint64, uint64) {
 	off[0] = idx * 8
 	off[1] = (idx + 1) * 8
 	w.access(buf, &off, 3, false)
-	return buf.U64(idx), buf.U64(idx + 1)
+	return buf.AtomicU64(idx), buf.AtomicU64(idx + 1)
 }
 
 // StoreScalarU32 stores one 32-bit element through lane 0.
@@ -334,14 +346,16 @@ func (w *Warp) StoreScalarU32(buf *memsys.Buffer, idx int64, v uint32) {
 	var off [WarpSize]int64
 	off[0] = idx * 4
 	w.access(buf, &off, 1, true)
-	buf.PutU32(idx, v)
+	buf.AtomicPutU32(idx, v)
 }
 
 // AtomicMinU32 performs per-lane atomicMin on buf[idx[i]] with val[i],
-// returning the previous values. Lanes are applied in ascending order,
-// which is one legal serialization of the hardware's arbitrary order; all
-// the algorithms built on it (BFS/SSSP/CC relaxations) are commutative and
-// idempotent, so the choice does not affect results.
+// returning the previous values. Within one warp, lanes are applied in
+// ascending order — one legal serialization of the hardware's arbitrary
+// order; across warps the CAS loop serializes arbitrarily. The final buffer
+// state is order-independent (min commutes), but the returned old values
+// are not: callers must only branch on them in order-insensitive ways (see
+// DESIGN.md, "Parallel execution engine").
 func (w *Warp) AtomicMinU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint32, mask Mask) [WarpSize]uint32 {
 	var off [WarpSize]int64
 	for i := 0; i < WarpSize; i++ {
@@ -352,16 +366,39 @@ func (w *Warp) AtomicMinU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[Warp
 	w.access(buf, &off, mask, true)
 	var old [WarpSize]uint32
 	for i := 0; i < WarpSize; i++ {
-		if !mask.Has(i) {
-			continue
-		}
-		cur := buf.U32(idx[i])
-		old[i] = cur
-		if val[i] < cur {
-			buf.PutU32(idx[i], val[i])
+		if mask.Has(i) {
+			old[i] = buf.AtomicMinU32(idx[i], val[i])
 		}
 	}
 	return old
+}
+
+// AtomicOrU32 performs per-lane atomicOr on buf[idx[i]] with val[i],
+// returning the previous values. Like min, OR commutes, so the final
+// buffer state is independent of warp execution order.
+func (w *Warp) AtomicOrU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint32, mask Mask) [WarpSize]uint32 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, true)
+	var old [WarpSize]uint32
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			old[i] = buf.AtomicOrU32(idx[i], val[i])
+		}
+	}
+	return old
+}
+
+// AtomicOrScalarU32 performs one atomicOr on buf[idx] through lane 0.
+func (w *Warp) AtomicOrScalarU32(buf *memsys.Buffer, idx int64, v uint32) uint32 {
+	var off [WarpSize]int64
+	off[0] = idx * 4
+	w.access(buf, &off, 1, true)
+	return buf.AtomicOrU32(idx, v)
 }
 
 // AtomicCASU32 performs per-lane compare-and-swap: if buf[idx[i]] == cmp[i]
@@ -376,13 +413,8 @@ func (w *Warp) AtomicCASU32(buf *memsys.Buffer, idx *[WarpSize]int64, cmp, val *
 	w.access(buf, &off, mask, true)
 	var old [WarpSize]uint32
 	for i := 0; i < WarpSize; i++ {
-		if !mask.Has(i) {
-			continue
-		}
-		cur := buf.U32(idx[i])
-		old[i] = cur
-		if cur == cmp[i] {
-			buf.PutU32(idx[i], val[i])
+		if mask.Has(i) {
+			old[i] = buf.AtomicCASU32(idx[i], cmp[i], val[i])
 		}
 	}
 	return old

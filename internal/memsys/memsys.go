@@ -132,6 +132,7 @@ type Arena struct {
 
 	gpuUsed  int64
 	hostUsed int64
+	uvmLive  int
 }
 
 // NewArena creates an arena with the given capacities in bytes. A zero
@@ -219,11 +220,12 @@ func (a *Arena) Alloc(name string, space Space, size int64, opts ...AllocOption)
 		Name:  name,
 		Space: space,
 		Base:  base,
-		Data:  make([]byte, size),
+		Data:  alignedBytes(size),
 		Elem:  cfg.elem,
 	}
 	if space == SpaceUVM {
 		b.pageState = make([]bool, b.Pages())
+		a.uvmLive++
 	}
 	a.nextVA = base + uint64(size)
 	a.buffers = append(a.buffers, b)
@@ -253,6 +255,9 @@ func (a *Arena) Free(b *Buffer) {
 			case SpaceHostPinned, SpaceUVM:
 				a.hostUsed -= b.Size()
 			}
+			if b.Space == SpaceUVM {
+				a.uvmLive--
+			}
 			return
 		}
 	}
@@ -278,3 +283,8 @@ func (a *Arena) GPUFree() int64 {
 // Buffers returns the live buffers in allocation order. The returned slice
 // is shared and must not be mutated.
 func (a *Arena) Buffers() []*Buffer { return a.buffers }
+
+// HasUVM reports whether any live buffer is UVM-managed. The execution
+// engine uses it to keep launches that can fault pages on the serial path
+// (the UVM manager's residency bookkeeping is order-dependent).
+func (a *Arena) HasUVM() bool { return a.uvmLive > 0 }

@@ -116,8 +116,10 @@ func (m *Monitor) Reset() {
 	}
 }
 
-// Merge folds the counting state of another monitor into m. Bandwidth time
-// series are not merged (they are per-device observations).
+// Merge folds the counting state of another monitor into m, including any
+// recorded trace entries (appended in other's arrival order, truncated at
+// m's own trace limit). Bandwidth time series are not merged (they are
+// per-device observations).
 func (m *Monitor) Merge(other *Monitor) {
 	if other == nil {
 		return
@@ -125,6 +127,12 @@ func (m *Monitor) Merge(other *Monitor) {
 	m.sizeHist.Merge(&other.sizeHist)
 	m.wireBytes += other.wireBytes
 	m.intervalBytes += other.intervalBytes
+	for _, e := range other.trace {
+		if m.traceLimit <= 0 || len(m.trace) >= m.traceLimit {
+			break
+		}
+		m.trace = append(m.trace, e)
+	}
 }
 
 // Snapshot is an immutable summary of a monitor's counters, suitable for
@@ -190,6 +198,9 @@ func (m *Monitor) EnableTrace(limit int) {
 // Trace returns the recorded entries in arrival order. The returned slice
 // is shared with the monitor and must not be mutated.
 func (m *Monitor) Trace() []TraceEntry { return m.trace }
+
+// TraceLimit returns the configured trace bound (0 when tracing is off).
+func (m *Monitor) TraceLimit() int { return m.traceLimit }
 
 // traceAdd records one entry if tracing is on and under the limit.
 func (m *Monitor) traceAdd(size int, bulk bool) {

@@ -5,20 +5,25 @@
 //	emogi-bench                 # full run at the standard 1:1000 scale
 //	emogi-bench -quick          # reduced scale for a fast smoke run
 //	emogi-bench -only fig9,fig10
-//	emogi-bench -o results/
+//	emogi-bench -o results/ -json -csv
+//	emogi-bench -metrics-addr :9400 -trace timeline.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"time"
 
 	emogi "repro"
 	"repro/internal/bench"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -35,6 +40,9 @@ func main() {
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
 		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.txt")
 		csv       = flag.Bool("csv", false, "with -o, also write <dir>/<id>.csv")
+		jsonOut   = flag.Bool("json", false, "with -o, also write <dir>/<id>.json and a run.json summary")
+		metrics   = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9400) during the run; keeps serving after it until interrupted")
+		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file")
 	)
 	flag.Parse()
 
@@ -43,6 +51,27 @@ func main() {
 		cfg = bench.QuickConfig()
 	}
 	cfg.Workers = *workers
+
+	// Telemetry: one collector observes every system the harness builds.
+	var (
+		tracer *telemetry.Tracer
+		srv    *telemetry.Server
+	)
+	if *metrics != "" || *tracePath != "" {
+		if *tracePath != "" {
+			tracer = telemetry.NewTracer()
+		}
+		col := telemetry.NewCollector(nil, tracer)
+		cfg.Telemetry = col
+		if *metrics != "" {
+			var err error
+			srv, err = telemetry.ListenAndServe(*metrics, col.Registry())
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("serving metrics at %s", srv.URL())
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {
@@ -53,10 +82,12 @@ func main() {
 	selected := func(id string) bool { return len(want) == 0 || want[id] }
 
 	ds := bench.NewDatasets(cfg)
+	var emitted []string
 	emit := func(id string, t *bench.Table, err error) {
 		if err != nil {
 			log.Fatalf("%s: %v", id, err)
 		}
+		emitted = append(emitted, id)
 		out := t.Render()
 		fmt.Println(out)
 		if *outDir != "" {
@@ -70,6 +101,16 @@ func main() {
 			if *csv {
 				cpath := filepath.Join(*outDir, id+".csv")
 				if err := os.WriteFile(cpath, []byte(t.RenderCSV()), 0o644); err != nil {
+					log.Fatal(err)
+				}
+			}
+			if *jsonOut {
+				data, err := json.MarshalIndent(t, "", "  ")
+				if err != nil {
+					log.Fatal(err)
+				}
+				jpath := filepath.Join(*outDir, id+".json")
+				if err := os.WriteFile(jpath, append(data, '\n'), 0o644); err != nil {
 					log.Fatal(err)
 				}
 			}
@@ -172,5 +213,48 @@ func main() {
 		}
 	}
 
-	fmt.Printf("done in %v (wall clock)\n", time.Since(start).Round(time.Millisecond))
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	if *jsonOut && *outDir != "" {
+		summary := struct {
+			Scale     float64  `json:"scale"`
+			Seed      int64    `json:"seed"`
+			Sources   int      `json:"sources"`
+			Workers   int      `json:"workers"`
+			Tables    []string `json:"tables"`
+			WallClock string   `json:"wall_clock"`
+		}{cfg.Scale, cfg.Seed, cfg.Sources, cfg.Workers, emitted, elapsed.String()}
+		data, err := json.MarshalIndent(summary, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(*outDir, "run.json"), append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if tracer != nil {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tracer.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d trace events to %s", tracer.Len(), *tracePath)
+	}
+
+	fmt.Printf("done in %v (wall clock)\n", elapsed)
+
+	if srv != nil {
+		// Keep the exporter scrapeable after the run so one-shot consumers
+		// (CI smoke jobs, a quick curl) can read the final counters.
+		log.Printf("run complete; still serving metrics at %s (interrupt to exit)", srv.URL())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		srv.Close()
+	}
 }

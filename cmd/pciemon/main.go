@@ -5,17 +5,20 @@
 //
 //	pciemon                 # all patterns
 //	pciemon -pattern strided -elems 4194304
+//	pciemon -prom           # append the Prometheus exposition of the runs
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"strings"
 
 	emogi "repro"
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -27,8 +30,14 @@ func main() {
 		elems   = flag.Int("elems", 1<<22, "array length in 4-byte elements")
 		scale   = flag.Float64("scale", 1.0, "platform scale")
 		trace   = flag.Int("trace", 0, "print the first N raw requests of each run (the FPGA's stream view)")
+		prom    = flag.Bool("prom", false, "after the runs, print their Prometheus text exposition")
 	)
 	flag.Parse()
+
+	var col *telemetry.Collector
+	if *prom {
+		col = telemetry.NewCollector(nil, nil)
+	}
 
 	type run struct {
 		name      string
@@ -57,6 +66,9 @@ func main() {
 
 	for _, r := range runs {
 		dev := gpu.NewDevice(emogi.V100PCIe3(*scale).GPU)
+		if col != nil {
+			dev.SetTelemetry(col)
+		}
 		if *trace > 0 {
 			dev.Monitor().EnableTrace(*trace)
 		}
@@ -91,5 +103,11 @@ func main() {
 			fmt.Println("   (* = DMA/migration)")
 		}
 		fmt.Println()
+	}
+
+	if col != nil {
+		if err := col.Registry().WritePrometheus(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
 	}
 }

@@ -41,6 +41,12 @@ type (
 	Transport = core.Transport
 	// App identifies a traversal application.
 	App = core.App
+	// Telemetry receives per-launch, per-round, and per-copy events from
+	// the simulated device (see internal/telemetry for the Prometheus and
+	// Chrome-trace implementation).
+	Telemetry = gpu.Telemetry
+	// RunLabels identifies one traversal run on a telemetry stream.
+	RunLabels = gpu.RunLabels
 )
 
 // Kernel variants (§5.1.2).
@@ -79,6 +85,11 @@ type SystemConfig struct {
 	// iteration counts, elapsed time, every counter — are bit-for-bit
 	// identical for every worker count; only host wall-clock time changes.
 	Workers int
+
+	// Telemetry, when non-nil, observes every kernel launch, traversal
+	// round, and bulk copy on the system's device. Nil (the default) keeps
+	// the hook points disabled at zero cost.
+	Telemetry Telemetry
 }
 
 // scaleBytes scales a full-size capacity down by Scale times the user's
@@ -173,7 +184,11 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.Workers != 0 {
 		cfg.GPU.Workers = cfg.Workers
 	}
-	return &System{cfg: cfg, dev: gpu.NewDevice(cfg.GPU)}
+	s := &System{cfg: cfg, dev: gpu.NewDevice(cfg.GPU)}
+	if cfg.Telemetry != nil {
+		s.dev.SetTelemetry(cfg.Telemetry)
+	}
+	return s
 }
 
 // Config returns the system's configuration.

@@ -18,7 +18,7 @@ import (
 
 // newV100 builds a fresh scaled V100 device.
 func newV100(cfg Config) *gpu.Device {
-	return gpu.NewDevice(emogi.V100PCIe3(cfg.Scale).GPU)
+	return cfg.Device(emogi.V100PCIe3(cfg.Scale).GPU)
 }
 
 // AblationUVMBlock sweeps the UVM driver's prefetch block size and reports
@@ -234,7 +234,7 @@ func AblationThrash(ds *Datasets) (*Table, error) {
 	for _, sens := range []float64{0.01, 0.25, 0.40, 1.0} {
 		gcfg := emogi.V100PCIe3(cfg.Scale).GPU
 		gcfg.ThrashSensitivity = sens
-		dev := gpu.NewDevice(gcfg)
+		dev := cfg.Device(gcfg)
 		dg, err := core.Upload(dev, g, core.ZeroCopy, 8)
 		if err != nil {
 			return nil, err
@@ -308,7 +308,7 @@ func AblationLink(ds *Datasets) (*Table, error) {
 
 		gcfg := emogi.V100PCIe3(cfg.Scale).GPU
 		gcfg.Link = link
-		devE := gpu.NewDevice(gcfg)
+		devE := cfg.Device(gcfg)
 		dgE, err := core.Upload(devE, g, core.ZeroCopy, 8)
 		if err != nil {
 			return nil, err
@@ -318,7 +318,7 @@ func AblationLink(ds *Datasets) (*Table, error) {
 			return nil, err
 		}
 
-		devU := gpu.NewDevice(gcfg)
+		devU := cfg.Device(gcfg)
 		dgU, err := core.Upload(devU, g, core.UVM, 8)
 		if err != nil {
 			return nil, err

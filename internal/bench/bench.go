@@ -14,6 +14,7 @@ import (
 	"fmt"
 
 	emogi "repro"
+	"repro/internal/gpu"
 	"repro/internal/graph"
 )
 
@@ -31,6 +32,9 @@ type Config struct {
 	// the harness builds (0 = GOMAXPROCS, 1 = serial). Simulated results
 	// are identical for every value; only wall-clock time changes.
 	Workers int
+	// Telemetry, when non-nil, is attached to every system the harness
+	// builds, so one exporter observes the whole evaluation.
+	Telemetry emogi.Telemetry
 }
 
 // DefaultConfig returns the full-size configuration used for EXPERIMENTS.md.
@@ -63,7 +67,22 @@ func (d *Datasets) Config() Config { return d.cfg }
 // applying the harness worker count.
 func (c Config) System(sc emogi.SystemConfig) *emogi.System {
 	sc.Workers = c.Workers
+	sc.Telemetry = c.Telemetry
 	return emogi.NewSystem(sc)
+}
+
+// Device builds a raw simulated device from a gpu configuration, applying
+// the harness worker count and telemetry — for runners (toy figures,
+// ablations, prior-work baselines) that bypass the System wrapper.
+func (c Config) Device(gc gpu.Config) *gpu.Device {
+	if c.Workers != 0 {
+		gc.Workers = c.Workers
+	}
+	dev := gpu.NewDevice(gc)
+	if c.Telemetry != nil {
+		dev.SetTelemetry(c.Telemetry)
+	}
+	return dev
 }
 
 // Get returns the named dataset, building it on first use.

@@ -34,7 +34,7 @@ func Claims(ds *Datasets) (*Table, error) {
 	// --- §3.3 toy claims ---
 	link := emogi.V100PCIe3(cfg.Scale).GPU.Link
 	toy := func(p core.ToyPattern, tr core.Transport) *core.ToyResult {
-		dev := newToyDevice(cfg.Scale)
+		dev := newToyDevice(cfg)
 		r, err := core.ToyTraverse(dev, toyElems(cfg), p, tr)
 		if err != nil {
 			panic(err)

@@ -12,10 +12,10 @@ import (
 // newToyDevice builds the V100 device used by the §3.3 toy experiments.
 // GPU memory is uncapped: the toy's output array lives in GPU memory and
 // capacity is not what the experiment characterizes.
-func newToyDevice(scale float64) *gpu.Device {
-	cfg := emogi.V100PCIe3(scale).GPU
-	cfg.MemBytes = 0
-	return gpu.NewDevice(cfg)
+func newToyDevice(cfg Config) *gpu.Device {
+	gc := emogi.V100PCIe3(cfg.Scale).GPU
+	gc.MemBytes = 0
+	return cfg.Device(gc)
 }
 
 // toyElems sizes the §3.3 1D array: 16MB of 4-byte elements at full scale.
@@ -36,7 +36,7 @@ func Figure3(cfg Config) (*Table, error) {
 		Header: []string{"pattern", "requests", "32B", "64B", "96B", "128B"},
 	}
 	for _, p := range []core.ToyPattern{core.ToyStrided, core.ToyMergedAligned, core.ToyMergedMisaligned} {
-		dev := newToyDevice(cfg.Scale)
+		dev := newToyDevice(cfg)
 		r, err := core.ToyTraverse(dev, toyElems(cfg), p, core.ZeroCopy)
 		if err != nil {
 			return nil, err
@@ -69,7 +69,7 @@ func Figure4(cfg Config) (*Table, error) {
 		{"(c) Merged but Misaligned", core.ToyMergedMisaligned, core.ZeroCopy},
 		{"UVM reference", core.ToyMergedAligned, core.UVM},
 	} {
-		dev := newToyDevice(cfg.Scale)
+		dev := newToyDevice(cfg)
 		r, err := core.ToyTraverse(dev, toyElems(cfg), v.pattern, v.transport)
 		if err != nil {
 			return nil, err

@@ -8,7 +8,6 @@ import (
 	emogi "repro"
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/gpu"
 )
 
 // Table3 compares EMOGI with the prior state of the art (paper §5.6):
@@ -102,7 +101,7 @@ func runHALOMean(cfg Config, sym string, ds *Datasets) (time.Duration, error) {
 	sources := ds.Sources(sym)
 	var total time.Duration
 	for _, src := range sources {
-		dev := gpu.NewDevice(emogi.TitanXpPCIe3(cfg.Scale).GPU)
+		dev := cfg.Device(emogi.TitanXpPCIe3(cfg.Scale).GPU)
 		res, err := baseline.HALORun(dev, g, core.AppBFS, src)
 		if err != nil {
 			return 0, err
@@ -122,7 +121,7 @@ func runSubwayMean(cfg Config, g *emogi.Graph, app emogi.App, sources []int) (ti
 	}
 	var total time.Duration
 	for _, src := range sources {
-		dev := gpu.NewDevice(emogi.V100PCIe3(cfg.Scale).GPU)
+		dev := cfg.Device(emogi.V100PCIe3(cfg.Scale).GPU)
 		res, err := baseline.SubwayRun(dev, g, app, src, baseline.DefaultSubwayConfig())
 		if err != nil {
 			return 0, err

@@ -17,6 +17,9 @@ func BFS(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, e
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
 	}
+	dev.BeginRun(gpu.RunLabels{App: "BFS", Variant: variant.String(),
+		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
+	defer dev.EndRun()
 	rs, err := newRunState(dev)
 	if err != nil {
 		return nil, err
@@ -36,10 +39,13 @@ func BFS(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, e
 	visit := relaxVisitor(labels, nil, rs.flag, false)
 	iterations := 0
 	for level := uint32(0); ; level++ {
+		roundStart := dev.Clock()
 		rs.clearFlag()
 		launchMatchKernel(dev, dg, variant, "bfs/"+variant.String(), labels, level, level+1, visit)
 		iterations++
-		if !rs.readFlag() {
+		more := rs.readFlag()
+		dev.EmitRound("bfs/"+variant.String(), int(level), roundStart)
+		if !more {
 			break
 		}
 	}

@@ -26,6 +26,9 @@ func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 		return nil, fmt.Errorf("core: CC requires an undirected graph (got %s)", dg.Graph.Name)
 	}
 	n := dg.NumVertices()
+	dev.BeginRun(gpu.RunLabels{App: "CC", Variant: variant.String(),
+		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
+	defer dev.EndRun()
 	rs, err := newRunState(dev)
 	if err != nil {
 		return nil, err
@@ -54,12 +57,15 @@ func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 
 	iterations := 0
 	for {
+		roundStart := dev.Clock()
 		rs.clearFlag()
 		dev.CopyOnDevice(compRead, comp) // round-boundary snapshot for source reads
 		visit := relaxVisitor(comp, next, rs.flag, false)
 		launchActiveKernel(dev, dg, variant, "cc/"+variant.String(), compRead, cur, false, visit)
 		iterations++
-		if !rs.readFlag() {
+		more := rs.readFlag()
+		dev.EmitRound("cc/"+variant.String(), iterations-1, roundStart)
+		if !more {
 			break
 		}
 		cur, next = next, cur

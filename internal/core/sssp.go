@@ -31,6 +31,9 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 	if dg.Weights == nil {
 		return nil, fmt.Errorf("core: SSSP requires a weighted graph")
 	}
+	dev.BeginRun(gpu.RunLabels{App: "SSSP", Variant: variant.String(),
+		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
+	defer dev.EndRun()
 	rs, err := newRunState(dev)
 	if err != nil {
 		return nil, err
@@ -60,12 +63,15 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 
 	iterations := 0
 	for {
+		roundStart := dev.Clock()
 		rs.clearFlag()
 		dev.CopyOnDevice(distRead, dist) // round-boundary snapshot for source reads
 		visit := relaxVisitor(dist, next, rs.flag, true)
 		launchActiveKernel(dev, dg, variant, "sssp/"+variant.String(), distRead, cur, true, visit)
 		iterations++
-		if !rs.readFlag() {
+		more := rs.readFlag()
+		dev.EmitRound("sssp/"+variant.String(), iterations-1, roundStart)
+		if !more {
 			break
 		}
 		cur, next = next, cur

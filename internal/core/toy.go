@@ -105,6 +105,9 @@ func ToyTraverse(dev *gpu.Device, elems int, pattern ToyPattern, transport Trans
 	}
 
 	warps := elems / tile
+	dev.BeginRun(gpu.RunLabels{App: "toy", Variant: pattern.String(),
+		Transport: transport.String(), Graph: "1d-array"})
+	defer dev.EndRun()
 	clock0 := dev.Clock()
 	stats0 := dev.Total()
 	mon0 := dev.Monitor().Snapshot()

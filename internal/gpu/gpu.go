@@ -196,6 +196,10 @@ type Device struct {
 	uvmgr *uvm.Manager
 	mon   pcie.Monitor
 
+	// tel is the optional telemetry sink (see telemetry.go). Every hook
+	// site nil-checks it, so a detached device pays nothing.
+	tel Telemetry
+
 	clock   time.Duration
 	kernels []*KernelStats
 	total   KernelStats
@@ -288,8 +292,9 @@ func (d *Device) ResetUVMResidency() {
 // clock. zc holds the count of 32/64/96/128-byte zero-copy requests; the
 // wire and tag seconds are derived here, after the shard merge, so the
 // float accumulation order — and therefore the simulated time — is
-// independent of how the launch was partitioned across workers.
-func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64) {
+// independent of how the launch was partitioned across workers. workers is
+// the worker count the launch used, reported to telemetry.
+func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64, workers int) {
 	var zcReqs uint64
 	for i, n := range zc {
 		if n == 0 {
@@ -317,10 +322,14 @@ func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64) {
 		}
 	}
 	ks.Elapsed = d.cfg.LaunchOverhead + time.Duration(bottleneck*float64(time.Second))
+	start := d.clock
 	d.clock += ks.Elapsed
 	d.kernels = append(d.kernels, ks)
 	d.total.Add(ks)
 	d.mon.Sample(d.clock)
+	if d.tel != nil {
+		d.tel.KernelDone(d, ks, workers, d.maxWorkers(), start, d.clock)
+	}
 }
 
 // chargeThrash applies the §3.3 cache-thrash model: per-lane zero-copy
@@ -375,9 +384,13 @@ func (d *Device) bulk(n int64, record bool) time.Duration {
 	if record && n > 0 {
 		d.mon.RecordBulk(n, d.cfg.Link.TLPOverheadBytes)
 	}
+	start := d.clock
 	d.clock += dt
 	d.total.Elapsed += dt
 	d.mon.Sample(d.clock)
+	if d.tel != nil {
+		d.tel.CopyDone(d, record, n, start, d.clock)
+	}
 	return dt
 }
 

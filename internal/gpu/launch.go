@@ -113,7 +113,7 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 		var zc [zcSizeClasses]uint64
 		w := Warp{dev: d, ks: ks, mon: &d.mon, zcBySize: &zc}
 		runWarpRange(&w, 0, warps, body)
-		d.finish(ks, &zc)
+		d.finish(ks, &zc, 1)
 		return ks
 	}
 
@@ -149,6 +149,6 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 		}
 		d.mon.Merge(&sh.mon)
 	}
-	d.finish(ks, &zc)
+	d.finish(ks, &zc, workers)
 	return ks
 }

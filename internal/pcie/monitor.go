@@ -23,8 +23,14 @@ type Monitor struct {
 	intervalStart time.Duration
 
 	// bounded raw request trace (see EnableTrace)
-	trace      []TraceEntry
-	traceLimit int
+	trace        []TraceEntry
+	traceLimit   int
+	traceDropped uint64
+
+	// generation counts Reset calls, letting delta-tracking observers (the
+	// telemetry collector) distinguish "counter went backwards because of a
+	// reset" from ordinary growth without guessing from counter values.
+	generation uint64
 }
 
 // Record notes one request of the given payload size with the given wire
@@ -41,9 +47,7 @@ func (m *Monitor) RecordN(payloadBytes, overheadBytes int, n uint64) {
 	m.sizeHist.AddN(int64(payloadBytes), n)
 	m.wireBytes += n * uint64(payloadBytes+overheadBytes)
 	m.intervalBytes += n * uint64(payloadBytes)
-	for i := uint64(0); i < n && m.traceLimit > 0 && len(m.trace) < m.traceLimit; i++ {
-		m.traceAdd(payloadBytes, false)
-	}
+	m.traceAddN(payloadBytes, false, n)
 }
 
 // RecordBulk notes a bulk (DMA) transfer of n payload bytes moved as
@@ -57,9 +61,7 @@ func (m *Monitor) RecordBulk(n int64, overheadBytes int) {
 		m.sizeHist.AddN(128, uint64(full))
 		m.wireBytes += uint64(full) * uint64(128+overheadBytes)
 		m.intervalBytes += uint64(full) * 128
-		for i := int64(0); i < full && m.traceLimit > 0 && len(m.trace) < m.traceLimit; i++ {
-			m.traceAdd(128, true)
-		}
+		m.traceAddN(128, true, uint64(full))
 	}
 	if rem := n % 128; rem != 0 {
 		m.sizeHist.Add(rem)
@@ -104,22 +106,32 @@ func (m *Monitor) Bandwidth() *stats.TimeSeries { return &m.series }
 // AverageBandwidth returns the time-weighted mean of the sampled bandwidth.
 func (m *Monitor) AverageBandwidth() float64 { return m.series.TimeWeightedMean() }
 
-// Reset clears all observations, keeping the trace configuration.
+// Reset clears all observations — counters, samples, recorded trace
+// entries, and the dropped-entry count — keeping the trace configuration.
 func (m *Monitor) Reset() {
 	m.sizeHist.Reset()
 	m.wireBytes = 0
 	m.series = stats.TimeSeries{}
 	m.intervalBytes = 0
 	m.intervalStart = 0
+	m.traceDropped = 0
+	m.generation++
 	if m.traceLimit > 0 {
 		m.trace = m.trace[:0]
 	}
 }
 
+// Generation returns the number of times this monitor has been Reset.
+func (m *Monitor) Generation() uint64 { return m.generation }
+
 // Merge folds the counting state of another monitor into m, including any
 // recorded trace entries (appended in other's arrival order, truncated at
-// m's own trace limit). Bandwidth time series are not merged (they are
-// per-device observations).
+// m's own trace limit). Entries that do not fit — and entries other itself
+// already dropped — are added to m's dropped count when m is tracing, so
+// the invariant "entries kept + entries dropped = entries offered" holds
+// across the parallel launch engine's shard merge exactly as it does on the
+// serial path. Bandwidth time series are not merged (they are per-device
+// observations).
 func (m *Monitor) Merge(other *Monitor) {
 	if other == nil {
 		return
@@ -127,11 +139,15 @@ func (m *Monitor) Merge(other *Monitor) {
 	m.sizeHist.Merge(&other.sizeHist)
 	m.wireBytes += other.wireBytes
 	m.intervalBytes += other.intervalBytes
-	for _, e := range other.trace {
-		if m.traceLimit <= 0 || len(m.trace) >= m.traceLimit {
-			break
+	if m.traceLimit > 0 {
+		m.traceDropped += other.traceDropped
+		for _, e := range other.trace {
+			if len(m.trace) >= m.traceLimit {
+				m.traceDropped++
+				continue
+			}
+			m.trace = append(m.trace, e)
 		}
-		m.trace = append(m.trace, e)
 	}
 }
 
@@ -185,9 +201,16 @@ type TraceEntry struct {
 
 // EnableTrace starts recording up to limit individual request entries —
 // the raw stream view the paper's FPGA exposes, bounded so long runs don't
-// accumulate unbounded memory. Passing 0 disables tracing.
+// accumulate unbounded memory. Once the buffer holds limit entries, further
+// requests are silently truncated from the trace (their counters are still
+// recorded); the number truncated is available from TraceDropped, and the
+// telemetry collector exports it as emogi_pcie_trace_dropped_total so a
+// clipped trace is never mistaken for the full stream. Passing 0 disables
+// tracing. Enabling (or re-enabling) resets both the buffer and the
+// dropped count.
 func (m *Monitor) EnableTrace(limit int) {
 	m.traceLimit = limit
+	m.traceDropped = 0
 	if limit > 0 {
 		m.trace = make([]TraceEntry, 0, min(limit, 4096))
 	} else {
@@ -202,11 +225,31 @@ func (m *Monitor) Trace() []TraceEntry { return m.trace }
 // TraceLimit returns the configured trace bound (0 when tracing is off).
 func (m *Monitor) TraceLimit() int { return m.traceLimit }
 
-// traceAdd records one entry if tracing is on and under the limit.
+// TraceDropped returns the number of requests truncated from the trace
+// because the buffer was already at its limit (always 0 when tracing is
+// off).
+func (m *Monitor) TraceDropped() uint64 { return m.traceDropped }
+
+// traceAdd records one entry if tracing is on, counting it as dropped when
+// the buffer is full.
 func (m *Monitor) traceAdd(size int, bulk bool) {
-	if m.traceLimit > 0 && len(m.trace) < m.traceLimit {
+	m.traceAddN(size, bulk, 1)
+}
+
+// traceAddN records n identical entries, keeping as many as fit under the
+// limit and counting the rest as dropped.
+func (m *Monitor) traceAddN(size int, bulk bool, n uint64) {
+	if m.traceLimit <= 0 || n == 0 {
+		return
+	}
+	keep := n
+	if space := uint64(m.traceLimit - len(m.trace)); keep > space {
+		keep = space
+	}
+	for i := uint64(0); i < keep; i++ {
 		m.trace = append(m.trace, TraceEntry{Size: int32(size), Bulk: bulk})
 	}
+	m.traceDropped += n - keep
 }
 
 func min(a, b int) int {

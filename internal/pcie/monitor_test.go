@@ -198,6 +198,80 @@ func TestMonitorTrace(t *testing.T) {
 	}
 }
 
+// TestMonitorTraceTruncation pins the EnableTrace limit contract: entries
+// beyond the limit are truncated from the buffer but still counted — both
+// in the monitor's counters and in TraceDropped — and kept + dropped always
+// equals the entries offered.
+func TestMonitorTraceTruncation(t *testing.T) {
+	var m Monitor
+	m.EnableTrace(3)
+	m.RecordN(32, 24, 5) // 3 kept, 2 dropped
+	if got := len(m.Trace()); got != 3 {
+		t.Fatalf("trace length = %d, want 3", got)
+	}
+	if got := m.TraceDropped(); got != 2 {
+		t.Errorf("TraceDropped = %d, want 2", got)
+	}
+	if got := m.Requests(); got != 5 {
+		t.Errorf("counters must see all requests: Requests = %d, want 5", got)
+	}
+	m.RecordBulk(300, 24) // 128 + 128 + 44: all dropped
+	if got := m.TraceDropped(); got != 5 {
+		t.Errorf("TraceDropped after bulk = %d, want 5", got)
+	}
+	// Re-enabling resets both the buffer and the dropped count.
+	m.EnableTrace(3)
+	if m.TraceDropped() != 0 || len(m.Trace()) != 0 {
+		t.Errorf("EnableTrace should reset trace state")
+	}
+	// Reset clears the dropped count too.
+	m.RecordN(32, 24, 10)
+	m.Reset()
+	if m.TraceDropped() != 0 {
+		t.Errorf("Reset should clear TraceDropped, got %d", m.TraceDropped())
+	}
+}
+
+// TestMonitorTraceDroppedDisabled pins that a monitor without tracing never
+// reports drops (nothing was offered to a trace buffer).
+func TestMonitorTraceDroppedDisabled(t *testing.T) {
+	var m Monitor
+	m.RecordN(32, 24, 100)
+	if got := m.TraceDropped(); got != 0 {
+		t.Errorf("TraceDropped with tracing off = %d, want 0", got)
+	}
+}
+
+// TestMonitorMergeTraceDropped pins the shard-merge invariant: merging
+// monitors preserves kept + dropped = offered, whether the overflow
+// happened in the shard or at the merge.
+func TestMonitorMergeTraceDropped(t *testing.T) {
+	var dst Monitor
+	dst.EnableTrace(4)
+	var a, b Monitor
+	a.EnableTrace(4)
+	b.EnableTrace(4)
+	a.RecordN(32, 24, 3)  // 3 kept in a
+	b.RecordN(64, 24, 6)  // 4 kept, 2 dropped in b
+	dst.Merge(&a)         // 3 kept
+	dst.Merge(&b)         // 1 kept, 3 truncated at merge + 2 from b
+	if got := len(dst.Trace()); got != 4 {
+		t.Fatalf("merged trace length = %d, want 4", got)
+	}
+	if got := dst.TraceDropped(); got != 5 {
+		t.Errorf("merged TraceDropped = %d, want 5", got)
+	}
+	if kept, dropped := uint64(len(dst.Trace())), dst.TraceDropped(); kept+dropped != 9 {
+		t.Errorf("kept %d + dropped %d != offered 9", kept, dropped)
+	}
+	// A non-tracing destination ignores trace state entirely.
+	var off Monitor
+	off.Merge(&b)
+	if off.TraceDropped() != 0 || off.Trace() != nil {
+		t.Errorf("non-tracing merge target must not accumulate trace state")
+	}
+}
+
 func TestMonitorTraceOffByDefault(t *testing.T) {
 	var m Monitor
 	for i := 0; i < 100; i++ {

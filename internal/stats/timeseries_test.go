@@ -1,0 +1,94 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func almostEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+func TestTimeWeightedMeanEmpty(t *testing.T) {
+	var ts TimeSeries
+	if got := ts.TimeWeightedMean(); got != 0 {
+		t.Errorf("empty series mean = %v, want 0", got)
+	}
+	if got := ts.Peak(); got != 0 {
+		t.Errorf("empty series peak = %v, want 0", got)
+	}
+}
+
+func TestTimeWeightedMeanSingleSample(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(2*time.Second, 10)
+	// One sample covering [0, 2s): the mean is the sample itself.
+	if got := ts.TimeWeightedMean(); !almostEqual(got, 10) {
+		t.Errorf("single-sample mean = %v, want 10", got)
+	}
+}
+
+func TestTimeWeightedMeanSingleSampleAtZero(t *testing.T) {
+	// A single sample at t=0 has a zero-width window; the fallback plain
+	// mean must kick in rather than dividing by zero.
+	var ts TimeSeries
+	ts.Append(0, 7)
+	if got := ts.TimeWeightedMean(); !almostEqual(got, 7) {
+		t.Errorf("t=0 sample mean = %v, want 7", got)
+	}
+}
+
+func TestTimeWeightedMeanAllZeroDurationWindows(t *testing.T) {
+	// Several instantaneous samples at the same timestamp: total weight is
+	// zero, so the plain mean of the values is returned, never NaN.
+	var ts TimeSeries
+	ts.Append(time.Second, 2)
+	ts.Append(time.Second, 4)
+	ts.Append(time.Second, 6)
+	got := ts.TimeWeightedMean()
+	if math.IsNaN(got) || math.IsInf(got, 0) {
+		t.Fatalf("zero-duration series mean = %v, must be finite", got)
+	}
+	// First sample covers [0, 1s) with weight 1s; the two zero-width
+	// repeats contribute nothing.
+	if !almostEqual(got, 2) {
+		t.Errorf("mean = %v, want 2 (only the first window has weight)", got)
+	}
+}
+
+func TestTimeWeightedMeanWeighting(t *testing.T) {
+	// 1s at 10 then 3s at 2: mean = (10*1 + 2*3) / 4 = 4.
+	var ts TimeSeries
+	ts.Append(time.Second, 10)
+	ts.Append(4*time.Second, 2)
+	if got := ts.TimeWeightedMean(); !almostEqual(got, 4) {
+		t.Errorf("weighted mean = %v, want 4", got)
+	}
+	if got := ts.Peak(); !almostEqual(got, 10) {
+		t.Errorf("peak = %v, want 10", got)
+	}
+}
+
+func TestTimeWeightedMeanZeroWidthMidSeries(t *testing.T) {
+	// A zero-width window in the middle contributes nothing but does not
+	// derail the weighting of its neighbors.
+	var ts TimeSeries
+	ts.Append(time.Second, 6)    // [0,1s) at 6
+	ts.Append(time.Second, 1000) // zero-width, ignored
+	ts.Append(2*time.Second, 12) // [1s,2s) at 12
+	if got, want := ts.TimeWeightedMean(), 9.0; !almostEqual(got, want) {
+		t.Errorf("mean = %v, want %v", got, want)
+	}
+}
+
+func TestAppendOutOfOrderPanics(t *testing.T) {
+	var ts TimeSeries
+	ts.Append(2*time.Second, 1)
+	defer func() {
+		if recover() == nil {
+			t.Errorf("out-of-order Append must panic")
+		}
+	}()
+	ts.Append(time.Second, 2)
+}

@@ -1,0 +1,329 @@
+package telemetry
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/pcie"
+	"repro/internal/uvm"
+)
+
+// Collector implements gpu.Telemetry: it snapshots every simulated quantity
+// into a Registry (Prometheus counters, gauges, and the request-size
+// histogram) and, when a Tracer is attached, into the Chrome-trace
+// timeline. One Collector may observe any number of devices; per-device
+// delta state distinguishes each device's monitor and UVM manager and
+// survives their mid-run resets (ResetStats, ColdCaches) without double- or
+// under-counting.
+//
+// Counters carry the run's app / graph / transport / variant labels (set by
+// the core round loops via Device.BeginRun); device-level gauges carry a
+// device label instead.
+type Collector struct {
+	mu     sync.Mutex
+	reg    *Registry
+	tracer *Tracer
+
+	devs map[*gpu.Device]*devState
+	util map[string]*utilAcc // worker utilization accumulators per label set
+}
+
+// devState is the per-device delta-tracking state.
+type devState struct {
+	name   string // unique trace/gauge identity: "<config name> #<n>"
+	labels gpu.RunLabels
+
+	monGen   uint64 // monitor Reset generation at last snapshot
+	mon      pcie.Snapshot
+	dropped  uint64 // monitor TraceDropped at last snapshot
+	traceLen int    // monitor trace length already forwarded to the tracer
+
+	uvmgr *uvm.Manager // pointer identity detects ColdCaches replacement
+	uvm   uvm.Stats
+}
+
+// utilAcc accumulates launch-engine worker usage for one label set.
+type utilAcc struct {
+	used  uint64 // worker goroutines that ran, summed over launches
+	avail uint64 // workers the device could have used, summed over launches
+}
+
+// NewCollector creates a collector writing metrics into reg and, when
+// tracer is non-nil, events into the timeline.
+func NewCollector(reg *Registry, tracer *Tracer) *Collector {
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	return &Collector{
+		reg:    reg,
+		tracer: tracer,
+		devs:   make(map[*gpu.Device]*devState),
+		util:   make(map[string]*utilAcc),
+	}
+}
+
+// Registry returns the registry the collector writes into.
+func (c *Collector) Registry() *Registry { return c.reg }
+
+// Tracer returns the attached tracer (nil when tracing is off).
+func (c *Collector) Tracer() *Tracer { return c.tracer }
+
+// state returns the per-device state, creating it on first sight. Callers
+// hold c.mu.
+func (c *Collector) state(dev *gpu.Device) *devState {
+	st, ok := c.devs[dev]
+	if !ok {
+		st = &devState{
+			name:  fmt.Sprintf("%s #%d", dev.Config().Name, len(c.devs)+1),
+			uvmgr: dev.UVM(),
+		}
+		c.devs[dev] = st
+	}
+	return st
+}
+
+// runLabels renders the device's current run labels for counter series.
+func (st *devState) runLabels() Labels {
+	return Labels{
+		"app":       st.labels.App,
+		"graph":     st.labels.Graph,
+		"transport": st.labels.Transport,
+		"variant":   st.labels.Variant,
+	}
+}
+
+// sizeBuckets are the request-size histogram bounds: the four coalesced
+// zero-copy sizes (paper Figure 3) plus one page, catching UVM migration
+// bulk requests and odd bulk remainders.
+var sizeBuckets = []float64{32, 64, 96, 128, 4096}
+
+// RunBegin implements gpu.Telemetry.
+func (c *Collector) RunBegin(dev *gpu.Device, labels gpu.RunLabels) {
+	c.mu.Lock()
+	st := c.state(dev)
+	st.labels = labels
+	ls := st.runLabels()
+	c.mu.Unlock()
+	c.reg.Counter("emogi_runs_total",
+		"Traversal runs started.", ls).Inc()
+}
+
+// RunEnd implements gpu.Telemetry.
+func (c *Collector) RunEnd(dev *gpu.Device) {
+	c.mu.Lock()
+	c.state(dev).labels = gpu.RunLabels{}
+	c.mu.Unlock()
+}
+
+// KernelDone implements gpu.Telemetry: it folds one launch's KernelStats
+// delta, the monitor's growth since the previous event, and the UVM
+// manager's growth into the registry, and appends the kernel (and any UVM
+// migration burst) to the timeline.
+func (c *Collector) KernelDone(dev *gpu.Device, ks *gpu.KernelStats, workers, maxWorkers int, start, end time.Duration) {
+	c.mu.Lock()
+	st := c.state(dev)
+	ls := st.runLabels()
+	monDelta, droppedDelta, avgBandwidth := c.monitorDelta(dev, st)
+	uvmDelta := c.uvmDelta(dev, st)
+	newEntries := c.traceEntriesDelta(dev, st)
+
+	ua, ok := c.util[labelKey(ls)]
+	if !ok {
+		ua = &utilAcc{}
+		c.util[labelKey(ls)] = ua
+	}
+	ua.used += uint64(workers)
+	ua.avail += uint64(maxWorkers)
+	utilization := float64(ua.used) / float64(ua.avail)
+	devName := st.name
+	c.mu.Unlock()
+
+	reg := c.reg
+	reg.Counter("emogi_kernel_launches_total",
+		"Kernel launches completed.", ls).Inc()
+	reg.Counter("emogi_kernel_warps_total",
+		"Warps executed across kernel launches.", ls).Add(uint64(ks.Warps))
+	reg.Counter("emogi_warp_instructions_total",
+		"Warp instructions executed.", ls).Add(ks.WarpInstrs)
+	reg.FloatCounter("emogi_kernel_sim_seconds_total",
+		"Simulated kernel time, including launch overhead.", ls).Add(ks.Elapsed.Seconds())
+	reg.Counter("emogi_hbm_bytes_total",
+		"GPU global memory bytes moved by kernels.", ls).Add(ks.HBMBytes)
+	reg.Counter("emogi_host_dram_bytes_total",
+		"Host DRAM bytes served (includes 64B burst rounding).", ls).Add(ks.HostDRAMBytes)
+	reg.Counter("emogi_pcie_requests_total",
+		"Individual zero-copy PCIe read requests issued by kernels.", ls).Add(ks.PCIeRequests)
+	reg.Counter("emogi_pcie_payload_bytes_total",
+		"PCIe payload bytes issued by kernels (zero-copy reads plus UVM migrations).", ls).Add(ks.PCIePayloadBytes)
+	reg.Counter("emogi_uvm_migrations_total",
+		"UVM pages migrated host to GPU during kernels.", ls).Add(ks.UVMMigrations)
+	reg.Counter("emogi_uvm_page_hits_total",
+		"Kernel accesses served from already-resident UVM pages.", ls).Add(ks.UVMHits)
+	reg.Counter("emogi_zc_refetches_total",
+		"Zero-copy sector re-fetches charged by the L2 thrash model.", ls).Add(ks.ZCRefetches)
+	reg.Counter("emogi_launch_worker_shards_total",
+		"Worker goroutines used, summed over launches.", ls).Add(uint64(workers))
+	reg.Gauge("emogi_launch_worker_utilization_ratio",
+		"Workers used over workers available, averaged over launches.", ls).Set(utilization)
+
+	c.foldMonitor(ls, devName, monDelta, droppedDelta, avgBandwidth)
+	reg.Counter("emogi_uvm_faults_total",
+		"UVM page faults taken.", ls).Add(uvmDelta.Faults)
+	reg.Counter("emogi_uvm_evictions_total",
+		"UVM pages evicted from GPU memory.", ls).Add(uvmDelta.Evictions)
+
+	if c.tracer != nil {
+		c.tracer.Kernel(devName, ks.Name, start, end, map[string]any{
+			"warps":          ks.Warps,
+			"workers":        workers,
+			"pcie_req_count": ks.PCIeRequests,
+			"payload_bytes":  ks.PCIePayloadBytes,
+			"hbm_bytes":      ks.HBMBytes,
+		}, newEntries)
+		if ks.UVMMigrations > 0 {
+			pageBytes := uint64(dev.UVM().Config().PageBytes)
+			c.tracer.UVMBurst(devName, ks.UVMMigrations, uvmDelta.Evictions,
+				ks.UVMMigrations*pageBytes, start, end)
+		}
+	}
+}
+
+// CopyDone implements gpu.Telemetry.
+func (c *Collector) CopyDone(dev *gpu.Device, toDevice bool, bytes int64, start, end time.Duration) {
+	c.mu.Lock()
+	st := c.state(dev)
+	ls := st.runLabels()
+	monDelta, droppedDelta, avgBandwidth := c.monitorDelta(dev, st)
+	// Bulk copies are traced by the monitor too; keep the timeline's raw
+	// request cursor in step even though copy events don't embed them.
+	c.traceEntriesDelta(dev, st)
+	devName := st.name
+	c.mu.Unlock()
+
+	dir := "d2h"
+	if toDevice {
+		dir = "h2d"
+	}
+	lsDir := Labels{"direction": dir}
+	for k, v := range ls {
+		lsDir[k] = v
+	}
+	c.reg.Counter("emogi_copy_bytes_total",
+		"Explicit bulk transfer payload bytes by direction.", lsDir).Add(uint64(bytes))
+	c.foldMonitor(ls, devName, monDelta, droppedDelta, avgBandwidth)
+
+	if c.tracer != nil {
+		c.tracer.Copy(devName, toDevice, bytes, start, end)
+	}
+}
+
+// RoundDone implements gpu.Telemetry.
+func (c *Collector) RoundDone(dev *gpu.Device, name string, round int, start, end time.Duration) {
+	c.mu.Lock()
+	st := c.state(dev)
+	ls := st.runLabels()
+	devName := st.name
+	c.mu.Unlock()
+
+	c.reg.Counter("emogi_rounds_total",
+		"Traversal rounds (BFS levels, SSSP/CC relaxation sweeps) completed.", ls).Inc()
+	if c.tracer != nil {
+		c.tracer.Round(devName, name, round, start, end)
+	}
+}
+
+// foldMonitor writes one monitor growth delta into the registry: wire
+// bytes, the request-size histogram, trace drops, and the device's
+// time-weighted bandwidth gauge.
+func (c *Collector) foldMonitor(ls Labels, devName string, delta pcie.Snapshot, droppedDelta uint64, avgBandwidth float64) {
+	reg := c.reg
+	reg.Counter("emogi_pcie_wire_bytes_total",
+		"PCIe wire bytes (payload plus per-request TLP overhead) crossing the link.", ls).Add(delta.WireBytes)
+	reg.Counter("emogi_pcie_trace_dropped_total",
+		"Raw request trace entries truncated at the monitor's EnableTrace limit.", ls).Add(droppedDelta)
+	hist := reg.Histogram("emogi_pcie_request_size_bytes",
+		"PCIe request payload sizes observed by the traffic monitor.", sizeBuckets, ls)
+	for size, n := range delta.BySize {
+		hist.ObserveN(float64(size), n)
+	}
+	reg.Gauge("emogi_pcie_bandwidth_bytes_per_second",
+		"Time-weighted mean PCIe payload bandwidth since the device's last stats reset.",
+		Labels{"device": devName}).Set(avgBandwidth)
+}
+
+// monitorDelta returns the monitor's growth since the device's previous
+// telemetry event, resetting the baseline when the monitor itself was
+// Reset in between. Callers hold c.mu.
+func (c *Collector) monitorDelta(dev *gpu.Device, st *devState) (delta pcie.Snapshot, droppedDelta uint64, avgBandwidth float64) {
+	mon := dev.Monitor()
+	now := mon.Snapshot()
+	dropped := mon.TraceDropped()
+	if gen := mon.Generation(); gen != st.monGen {
+		st.monGen = gen
+		st.mon = pcie.Snapshot{}
+		st.dropped = 0
+		st.traceLen = 0
+	}
+	by := make(map[int64]uint64)
+	for k, v := range now.BySize {
+		if d := v - st.mon.BySize[k]; d > 0 {
+			by[k] = d
+		}
+	}
+	delta = pcie.Snapshot{
+		Requests:     now.Requests - st.mon.Requests,
+		PayloadBytes: now.PayloadBytes - st.mon.PayloadBytes,
+		WireBytes:    now.WireBytes - st.mon.WireBytes,
+		BySize:       by,
+	}
+	if dropped < st.dropped {
+		st.dropped = 0 // EnableTrace re-armed the trace without a Reset
+	}
+	droppedDelta = dropped - st.dropped
+	st.mon = now
+	st.dropped = dropped
+	return delta, droppedDelta, now.AvgBandwidth
+}
+
+// uvmDelta returns the UVM manager's stats growth since the previous
+// event, resetting the baseline when the manager was replaced (ColdCaches)
+// or reset. Callers hold c.mu.
+func (c *Collector) uvmDelta(dev *gpu.Device, st *devState) uvm.Stats {
+	mgr := dev.UVM()
+	now := mgr.Stats()
+	if mgr != st.uvmgr || now.Faults < st.uvm.Faults {
+		st.uvmgr = mgr
+		st.uvm = uvm.Stats{}
+	}
+	delta := uvm.Stats{
+		Faults:         now.Faults - st.uvm.Faults,
+		Migrations:     now.Migrations - st.uvm.Migrations,
+		Evictions:      now.Evictions - st.uvm.Evictions,
+		HostBytesMoved: now.HostBytesMoved - st.uvm.HostBytesMoved,
+		HBMHits:        now.HBMHits - st.uvm.HBMHits,
+	}
+	st.uvm = now
+	return delta
+}
+
+// traceEntriesDelta returns the monitor trace entries recorded since the
+// previous event (the raw request stream of the launch that just
+// finished), reusing pcie.TraceEntry directly. Callers hold c.mu.
+func (c *Collector) traceEntriesDelta(dev *gpu.Device, st *devState) []pcie.TraceEntry {
+	mon := dev.Monitor()
+	if mon.TraceLimit() <= 0 {
+		return nil
+	}
+	entries := mon.Trace()
+	if st.traceLen > len(entries) {
+		st.traceLen = 0 // monitor trace was cleared under us
+	}
+	delta := entries[st.traceLen:]
+	st.traceLen = len(entries)
+	if len(delta) == 0 {
+		return nil
+	}
+	return append([]pcie.TraceEntry(nil), delta...)
+}

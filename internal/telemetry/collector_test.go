@@ -1,0 +1,249 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+// testDevice builds an uncapped device on the calibrated Gen3 link with a
+// collector attached.
+func testDevice(t *testing.T, workers int, col *Collector) *gpu.Device {
+	t.Helper()
+	dev := gpu.NewDevice(gpu.Config{
+		Name:     "test-v100",
+		Workers:  workers,
+		HBM:      memsys.HBM2V100(),
+		HostDRAM: memsys.DDR4Quad(),
+		Link:     pcie.Gen3x16(),
+	})
+	dev.SetTelemetry(col)
+	return dev
+}
+
+func testGraph(t *testing.T) *graph.CSR {
+	t.Helper()
+	spec, err := graph.BySym("GK")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec.Build(0.02, 42)
+}
+
+// sumSeries sums a counter family's value across every label set.
+func sumSeries(t *testing.T, series map[string]string, name string) uint64 {
+	t.Helper()
+	var total uint64
+	for k, v := range series {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += mustUint(t, v)
+		}
+	}
+	return total
+}
+
+// TestCollectorMatchesDeviceCounters is the exporter-accuracy acceptance
+// check: after a real run the /metrics values must equal the device's own
+// counters — the same numbers the bench tables print.
+func TestCollectorMatchesDeviceCounters(t *testing.T) {
+	col := NewCollector(nil, NewTracer())
+	dev := testDevice(t, 4, col)
+	dev.Monitor().EnableTrace(1 << 16)
+	g := testGraph(t)
+	src := graph.PickSources(g, 1, 71)[0]
+
+	totalRounds := 0
+	for _, transport := range []core.Transport{core.ZeroCopy, core.UVM} {
+		dg, err := core.Upload(dev, g, transport, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.Run(dev, dg, core.AppBFS, src, core.MergedAligned)
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalRounds += res.Iterations
+	}
+
+	out := render(t, col.Registry())
+	validateExposition(t, out)
+	series := parseSeries(t, out)
+
+	if got, want := sumSeries(t, series, "emogi_kernel_launches_total"), uint64(len(dev.Kernels())); got != want {
+		t.Errorf("emogi_kernel_launches_total = %d, want %d (len(dev.Kernels()))", got, want)
+	}
+	snap := dev.Monitor().Snapshot()
+	if got := sumSeries(t, series, "emogi_pcie_wire_bytes_total"); got != snap.WireBytes {
+		t.Errorf("emogi_pcie_wire_bytes_total = %d, want %d (monitor wire bytes)", got, snap.WireBytes)
+	}
+	if got := sumSeries(t, series, "emogi_pcie_request_size_bytes_count"); got != snap.Requests {
+		t.Errorf("request size histogram count = %d, want %d (monitor requests)", got, snap.Requests)
+	}
+	total := dev.Total()
+	if got := sumSeries(t, series, "emogi_warp_instructions_total"); got != total.WarpInstrs {
+		t.Errorf("emogi_warp_instructions_total = %d, want %d", got, total.WarpInstrs)
+	}
+	if got := sumSeries(t, series, "emogi_hbm_bytes_total"); got != total.HBMBytes {
+		t.Errorf("emogi_hbm_bytes_total = %d, want %d", got, total.HBMBytes)
+	}
+	if got := sumSeries(t, series, "emogi_pcie_requests_total"); got != total.PCIeRequests {
+		t.Errorf("emogi_pcie_requests_total = %d, want %d", got, total.PCIeRequests)
+	}
+	if got := sumSeries(t, series, "emogi_uvm_migrations_total"); got != total.UVMMigrations {
+		t.Errorf("emogi_uvm_migrations_total = %d, want %d", got, total.UVMMigrations)
+	}
+	if got := sumSeries(t, series, "emogi_pcie_trace_dropped_total"); got != dev.Monitor().TraceDropped() {
+		t.Errorf("emogi_pcie_trace_dropped_total = %d, want %d", got, dev.Monitor().TraceDropped())
+	}
+	if got := sumSeries(t, series, "emogi_runs_total"); got != 2 {
+		t.Errorf("emogi_runs_total = %d, want 2", got)
+	}
+	if got := sumSeries(t, series, "emogi_rounds_total"); got != uint64(totalRounds) {
+		t.Errorf("emogi_rounds_total = %d, want %d", got, totalRounds)
+	}
+
+	// Labels set by the core round loop must address the series.
+	zc := `emogi_kernel_launches_total{app="BFS",graph="` + g.Name +
+		`",transport="zerocopy",variant="Merged+Aligned"}`
+	if _, ok := series[zc]; !ok {
+		t.Errorf("missing labeled series %s in:\n%s", zc, out)
+	}
+}
+
+// TestCollectorTraceDroppedMetric drives the monitor past a tiny trace
+// limit and checks the dropped-entry count surfaces as a counter.
+func TestCollectorTraceDroppedMetric(t *testing.T) {
+	col := NewCollector(nil, nil)
+	dev := testDevice(t, 1, col)
+	dev.Monitor().EnableTrace(8)
+
+	g := testGraph(t)
+	src := graph.PickSources(g, 1, 71)[0]
+	dg, err := core.Upload(dev, g, core.ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(dev, dg, core.AppBFS, src, core.MergedAligned); err != nil {
+		t.Fatal(err)
+	}
+	if dev.Monitor().TraceDropped() == 0 {
+		t.Fatalf("expected trace drops with limit 8")
+	}
+	series := parseSeries(t, render(t, col.Registry()))
+	if got := sumSeries(t, series, "emogi_pcie_trace_dropped_total"); got != dev.Monitor().TraceDropped() {
+		t.Errorf("dropped metric = %d, want %d", got, dev.Monitor().TraceDropped())
+	}
+}
+
+// TestCollectorSurvivesStatsReset runs, resets device stats mid-stream,
+// runs again: deltas must restart from the new generation without
+// underflow, and the final counters must equal the sum of both segments.
+func TestCollectorSurvivesStatsReset(t *testing.T) {
+	col := NewCollector(nil, nil)
+	dev := testDevice(t, 2, col)
+	g := testGraph(t)
+	src := graph.PickSources(g, 1, 71)[0]
+
+	run := func() uint64 {
+		dg, err := core.Upload(dev, g, core.ZeroCopy, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := core.Run(dev, dg, core.AppBFS, src, core.Merged); err != nil {
+			t.Fatal(err)
+		}
+		return dev.Monitor().Snapshot().WireBytes
+	}
+	first := run()
+	dev.ResetStats()
+	second := run()
+
+	series := parseSeries(t, render(t, col.Registry()))
+	if got, want := sumSeries(t, series, "emogi_pcie_wire_bytes_total"), first+second; got != want {
+		t.Errorf("wire bytes across reset = %d, want %d (%d + %d)", got, want, first, second)
+	}
+}
+
+// deterministicCounters are the metric families that must be bit-for-bit
+// identical between a serial and a parallel run of the same workload (the
+// launch-engine determinism contract extended to the exporter). Worker
+// accounting and wall-clock-free gauges are excluded by construction:
+// worker counts legitimately differ.
+var deterministicCounters = []string{
+	"emogi_kernel_launches_total",
+	"emogi_kernel_warps_total",
+	"emogi_warp_instructions_total",
+	"emogi_hbm_bytes_total",
+	"emogi_host_dram_bytes_total",
+	"emogi_pcie_requests_total",
+	"emogi_pcie_payload_bytes_total",
+	"emogi_pcie_wire_bytes_total",
+	"emogi_pcie_trace_dropped_total",
+	"emogi_pcie_request_size_bytes_bucket",
+	"emogi_pcie_request_size_bytes_sum",
+	"emogi_pcie_request_size_bytes_count",
+	"emogi_uvm_migrations_total",
+	"emogi_uvm_page_hits_total",
+	"emogi_uvm_faults_total",
+	"emogi_uvm_evictions_total",
+	"emogi_zc_refetches_total",
+	"emogi_rounds_total",
+	"emogi_runs_total",
+	"emogi_copy_bytes_total",
+}
+
+// TestCollectorSerialParallelEquivalence asserts the exporter preserves
+// PR-1's determinism guarantee: the same traversal on 1 worker and on 8
+// workers yields identical metric values for every simulated quantity.
+func TestCollectorSerialParallelEquivalence(t *testing.T) {
+	g := testGraph(t)
+	src := graph.PickSources(g, 1, 71)[0]
+
+	metricsFor := func(workers int) map[string]string {
+		col := NewCollector(nil, NewTracer())
+		dev := testDevice(t, workers, col)
+		dev.Monitor().EnableTrace(64) // small limit: drop accounting must match too
+		for _, transport := range []core.Transport{core.ZeroCopy, core.UVM} {
+			dg, err := core.Upload(dev, g, transport, 8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := core.Run(dev, dg, core.AppSSSP, src, core.MergedAligned); err != nil {
+				t.Fatal(err)
+			}
+		}
+		all := parseSeries(t, render(t, col.Registry()))
+		keep := make(map[string]string)
+		for k, v := range all {
+			for _, fam := range deterministicCounters {
+				if k == fam || strings.HasPrefix(k, fam+"{") {
+					keep[k] = v
+					break
+				}
+			}
+		}
+		return keep
+	}
+
+	serial, parallel := metricsFor(1), metricsFor(8)
+	if len(serial) == 0 {
+		t.Fatalf("no deterministic series captured")
+	}
+	for k, v := range serial {
+		if pv, ok := parallel[k]; !ok {
+			t.Errorf("series %s missing from parallel run", k)
+		} else if pv != v {
+			t.Errorf("series %s differs: serial %s, parallel %s", k, v, pv)
+		}
+	}
+	for k := range parallel {
+		if _, ok := serial[k]; !ok {
+			t.Errorf("series %s missing from serial run", k)
+		}
+	}
+}

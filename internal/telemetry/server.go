@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Server exposes a registry over HTTP the way a production exporter does:
+// GET /metrics returns the Prometheus text exposition, GET /healthz a
+// liveness probe. It binds eagerly (so a bad address fails fast) and
+// serves in a background goroutine.
+type Server struct {
+	reg      *Registry
+	listener net.Listener
+	srv      *http.Server
+}
+
+// contentTypeText is the text exposition format version served on /metrics.
+const contentTypeText = "text/plain; version=0.0.4; charset=utf-8"
+
+// Handler returns an http.Handler serving the registry: /metrics and
+// /healthz. Useful for embedding into an existing mux.
+func Handler(reg *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet && r.Method != http.MethodHead {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", contentTypeText)
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	return mux
+}
+
+// ListenAndServe binds addr (e.g. ":9400") and serves the registry until
+// Close. It returns once the listener is bound, so a scrape immediately
+// after return succeeds.
+func ListenAndServe(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: binding metrics listener: %w", err)
+	}
+	s := &Server{
+		reg:      reg,
+		listener: ln,
+		srv: &http.Server{
+			Handler:           Handler(reg),
+			ReadHeaderTimeout: 5 * time.Second,
+		},
+	}
+	go func() {
+		// ErrServerClosed after Close is the normal shutdown path; any
+		// other error means the exporter died, which the sim run should
+		// not die with.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string { return s.listener.Addr().String() }
+
+// URL returns the scrape URL for the metrics endpoint.
+func (s *Server) URL() string {
+	host, port, err := net.SplitHostPort(s.Addr())
+	if err != nil {
+		return "http://" + s.Addr() + "/metrics"
+	}
+	if host == "" || host == "::" || host == "0.0.0.0" {
+		host = "localhost"
+	}
+	return fmt.Sprintf("http://%s/metrics", net.JoinHostPort(host, port))
+}
+
+// Close stops serving and releases the listener.
+func (s *Server) Close() error { return s.srv.Close() }

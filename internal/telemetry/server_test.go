@@ -1,0 +1,69 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServerEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("emogi_kernel_launches_total", "Kernel launches.", Labels{"app": "BFS"}).Add(5)
+
+	srv, err := ListenAndServe("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	get := func(path string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + srv.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		body, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("reading %s body: %v", path, err)
+		}
+		return resp, string(body)
+	}
+
+	resp, body := get("/metrics")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("/metrics content type %q lacks exposition version", ct)
+	}
+	if !strings.Contains(body, `emogi_kernel_launches_total{app="BFS"} 5`) {
+		t.Errorf("/metrics body missing series:\n%s", body)
+	}
+	validateExposition(t, body)
+
+	resp, body = get("/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/healthz status %d", resp.StatusCode)
+	}
+	if !strings.Contains(body, `"status":"ok"`) {
+		t.Errorf("/healthz body %q", body)
+	}
+
+	// Writes to /metrics are rejected.
+	post, err := http.Post("http://"+srv.Addr()+"/metrics", "text/plain", strings.NewReader("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /metrics status %d, want 405", post.StatusCode)
+	}
+}
+
+func TestServerBadAddressFailsFast(t *testing.T) {
+	if _, err := ListenAndServe("256.0.0.1:bad", NewRegistry()); err == nil {
+		t.Fatalf("expected bind error")
+	}
+}

@@ -28,6 +28,7 @@ func main() {
 		graphSym  = flag.String("graph", "GK", "dataset symbol (GK GU FS ML SK UK5)")
 		graphFile = flag.String("file", "", "load a CSR graph file instead of generating")
 		app       = flag.String("app", "bfs", "application: bfs, sssp, or cc")
+		algo      = flag.String("algo", "", "algorithm registry name (overrides -app; \"list\" prints all)")
 		variant   = flag.String("variant", "merged+aligned",
 			"kernel variant: naive, merged, merged+aligned; BFS also accepts balanced and compressed")
 		transport = flag.String("transport", "zerocopy", "edge-list transport: zerocopy or uvm")
@@ -43,6 +44,14 @@ func main() {
 	)
 	flag.Parse()
 
+	if *algo == "list" {
+		fmt.Println("registered algorithms:")
+		for _, a := range emogi.Algorithms() {
+			fmt.Printf("  %-16s %s\n", a.Name, a.Description)
+		}
+		return
+	}
+
 	var g *emogi.Graph
 	var err error
 	if *graphFile != "" {
@@ -57,19 +66,37 @@ func main() {
 		}
 	}
 
-	appID, err := parseApp(*app)
-	if err != nil {
-		log.Fatal(err)
-	}
-	// The BFS extensions (balanced workload, compressed edge list) have
-	// their own run paths.
-	ext := strings.ToLower(*variant)
-	if ext == "balanced" || ext == "compressed" {
-		if appID != emogi.BFS {
-			log.Fatalf("variant %q only supports -app bfs", ext)
+	// -algo dispatches straight through the algorithm registry; -app is
+	// the typed three-application convenience that resolves to a registry
+	// name ("bfs", "sssp", "cc").
+	algoName := strings.ToLower(*algo)
+	if algoName == "" {
+		appID, err := parseApp(*app)
+		if err != nil {
+			log.Fatal(err)
 		}
-		runExtension(g, ext, *platform, *scale, *sources, *seed, *validate)
-		return
+		algoName = strings.ToLower(appID.String())
+
+		// The BFS extensions (balanced workload, compressed edge list) keep
+		// their historical -variant spellings as an alias for -algo.
+		ext := strings.ToLower(*variant)
+		if ext == "balanced" || ext == "compressed" {
+			if appID != emogi.BFS {
+				log.Fatalf("variant %q only supports -app bfs", ext)
+			}
+			runExtension(g, ext, *platform, *scale, *sources, *seed, *validate)
+			return
+		}
+		if *gpus > 1 {
+			cfg, err := parsePlatform(*platform, *scale)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runMultiGPU(g, appID, cfg, *gpus, *sources, *seed, *elemBytes, *validate)
+			return
+		}
+	} else if *gpus > 1 {
+		log.Fatal("-algo does not support -gpus > 1 (use -app for the multi-GPU engine)")
 	}
 	v, err := parseVariant(*variant)
 	if err != nil {
@@ -84,11 +111,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	if *gpus > 1 {
-		runMultiGPU(g, appID, cfg, *gpus, *sources, *seed, *elemBytes, *validate)
-		return
-	}
-
 	sys := emogi.NewSystem(cfg)
 	dg, err := sys.Load(g, tr, *elemBytes)
 	if err != nil {
@@ -99,7 +121,7 @@ func main() {
 		log.Fatal("graph has no vertices with outgoing edges")
 	}
 
-	sum, err := sys.RunMany(dg, appID, srcs, v)
+	sum, err := sys.RunManyAlgo(dg, algoName, srcs, v)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -116,7 +138,7 @@ func main() {
 		g.Name, g.NumVertices(), g.NumEdges(),
 		float64(g.EdgeListBytes(*elemBytes))/1e6, *elemBytes)
 	fmt.Printf("run:        %s, %s kernel, %s transport, %d source(s)\n",
-		appID, v, tr, len(sum.Results))
+		sum.Algo, v, tr, len(sum.Results))
 	fmt.Printf("mean time:  %v (simulated)\n", sum.MeanElapsed)
 	fmt.Printf("iterations: %d (first source)\n", sum.Results[0].Iterations)
 	fmt.Printf("PCIe:       %.2f GB/s average payload bandwidth\n", sum.MeanBandwidth()/1e9)
@@ -132,7 +154,7 @@ func main() {
 		if err != nil {
 			log.Fatalf("loading UVM baseline: %v", err)
 		}
-		uvmSum, err := sysU.RunMany(dgU, appID, srcs, emogi.Merged)
+		uvmSum, err := sysU.RunManyAlgo(dgU, algoName, srcs, emogi.Merged)
 		if err != nil {
 			log.Fatal(err)
 		}

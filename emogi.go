@@ -47,6 +47,8 @@ type (
 	Telemetry = gpu.Telemetry
 	// RunLabels identifies one traversal run on a telemetry stream.
 	RunLabels = gpu.RunLabels
+	// Algorithm is one entry of the traversal-algorithm registry.
+	Algorithm = core.Algorithm
 )
 
 // Kernel variants (§5.1.2).
@@ -227,6 +229,25 @@ func (s *System) CC(dg *DeviceGraph, v Variant) (*Result, error) {
 // Run dispatches by application; src is ignored for CC.
 func (s *System) Run(dg *DeviceGraph, app App, src int, v Variant) (*Result, error) {
 	return core.Run(s.dev, dg, app, src, v)
+}
+
+// SSWP runs single-source widest path from src (weighted graphs only).
+func (s *System) SSWP(dg *DeviceGraph, src int, v Variant) (*Result, error) {
+	return core.SSWP(s.dev, dg, src, v)
+}
+
+// RunAlgo dispatches by algorithm registry name — built-in applications
+// ("bfs", "sssp", "cc", "sswp") and specialty traversals ("bfs-worker8",
+// "bfs-balanced", "bfs-pushpull", "bfs-compressed", "bfs-edgecentric");
+// see Algorithms for the full list. src is ignored by source-free
+// algorithms; variant is ignored by fixed-variant specialty kernels.
+func (s *System) RunAlgo(dg *DeviceGraph, name string, src int, v Variant) (*Result, error) {
+	return core.RunAlgo(s.dev, dg, name, src, v)
+}
+
+// Algorithms lists the registered traversal algorithms sorted by name.
+func Algorithms() []*Algorithm {
+	return core.Algorithms()
 }
 
 // ResetStats clears the device clock, monitor, and counters between

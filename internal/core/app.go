@@ -2,12 +2,16 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
 )
 
 // App identifies one of the paper's three graph traversal applications.
+// It survives as a typed convenience over the algorithm registry
+// (registry.go), which is the general dispatch surface and also names the
+// specialty traversals and post-paper applications like SSWP.
 type App int
 
 const (
@@ -36,15 +40,12 @@ func (a App) String() string {
 // AllApps returns the applications in the paper's Figure 11 order.
 func AllApps() []App { return []App{AppSSSP, AppBFS, AppCC} }
 
-// Run dispatches to the requested application. src is ignored for CC.
+// Run dispatches to the requested application through the algorithm
+// registry. src is ignored for CC.
 func Run(dev *gpu.Device, dg *DeviceGraph, app App, src int, variant Variant) (*Result, error) {
 	switch app {
-	case AppBFS:
-		return BFS(dev, dg, src, variant)
-	case AppSSSP:
-		return SSSP(dev, dg, src, variant)
-	case AppCC:
-		return CC(dev, dg, variant)
+	case AppBFS, AppSSSP, AppCC:
+		return RunAlgo(dev, dg, strings.ToLower(app.String()), src, variant)
 	default:
 		return nil, fmt.Errorf("core: unknown application %d", int(app))
 	}
@@ -57,6 +58,8 @@ func (r *Result) Validate(g *graph.CSR) error {
 		return ValidateBFS(g, r.Source, r.Values)
 	case "SSSP":
 		return ValidateSSSP(g, r.Source, r.Values)
+	case "SSWP":
+		return ValidateSSWP(g, r.Source, r.Values)
 	case "CC":
 		return ValidateCC(g, r.Values)
 	default:

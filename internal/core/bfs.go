@@ -7,49 +7,44 @@ import (
 	"repro/internal/graph"
 )
 
+// bfsProgram declares breadth-first search over the frontier engine: a
+// min-lattice carry monoid over an implicit match-by-level frontier, with
+// active vertices pushing level+1 to their neighbors. Seed is set even
+// though match programs don't use it so the multi-GPU topology (which
+// always keeps an explicit frontier) can run the same descriptor.
+func bfsProgram() *Program {
+	return &Program{
+		App:      "BFS",
+		Frontier: FrontierMatch,
+		Relax:    Monoid{Identity: graph.InfDist, Combine: CombineCarry},
+		Init: func(v, src int) uint32 {
+			if v == src {
+				return 0
+			}
+			return graph.InfDist
+		},
+		Seed:     func(v, src int) bool { return v == src },
+		Push:     func(sv uint32) uint32 { return sv + 1 },
+		Validate: ValidateBFS,
+	}
+}
+
 // BFS runs level-synchronous breadth-first search from src on the device
 // graph, one kernel launch per level (§4.2: "the total number of kernels
 // launched... is equal to the distance between the source vertex to the
 // furthest reachable vertex"). It returns each vertex's BFS level
 // (graph.InfDist for unreachable vertices).
 func BFS(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
-	n := dg.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
-	}
-	dev.BeginRun(gpu.RunLabels{App: "BFS", Variant: variant.String(),
-		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
-	defer dev.EndRun()
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("bfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	// Initialize labels to INF with the source at level 0, and model the
-	// initial upload of the label array.
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	visit := relaxVisitor(labels, nil, rs.flag, false)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		roundStart := dev.Clock()
-		rs.clearFlag()
-		launchMatchKernel(dev, dg, variant, "bfs/"+variant.String(), labels, level, level+1, visit)
-		iterations++
-		more := rs.readFlag()
-		dev.EmitRound("bfs/"+variant.String(), int(level), roundStart)
-		if !more {
-			break
-		}
-	}
-	return rs.finish("BFS", variant, dg.Transport, src, labels, n, iterations), nil
+	prog := bfsProgram()
+	name := "bfs/" + variant.String()
+	return runProgram(dev, dg.NumVertices(), prog, src, &engineConfig{
+		variant:   variant,
+		transport: dg.Transport,
+		graphName: dg.Graph.Name,
+		valueName: "bfs.labels",
+		roundName: name,
+		kernel:    stdMatchKernel(dg, variant, name, prog),
+	})
 }
 
 // ValidateBFS checks a BFS result against the CPU reference.

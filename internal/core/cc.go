@@ -7,17 +7,33 @@ import (
 	"repro/internal/graph"
 )
 
-// CC computes connected components by iterative min-label propagation (the
-// GARDENIA-style baseline [51] the paper starts from): every vertex begins
-// as its own component with the whole vertex set active — "all vertices
-// are set as root vertices and the entire edge list is traversed" (§5.4)
-// — and pushes its label to its neighbors until a fixed point. The final
-// label of each vertex is the minimum vertex ID in its component.
-//
-// Like SSSP, propagation is bulk-synchronous: active vertices read their
-// label from a round-boundary snapshot while atomic-min updates land in
-// the live array, which keeps runs bit-for-bit reproducible under the
-// parallel launch engine (see the SSSP comment).
+// ccProgram declares connected components by iterative min-label
+// propagation (the GARDENIA-style baseline [51] the paper starts from):
+// every vertex begins as its own component with the whole vertex set
+// active — "all vertices are set as root vertices and the entire edge list
+// is traversed" (§5.4) — and pushes its label to its neighbors until a
+// fixed point. The final label of each vertex is the minimum vertex ID in
+// its component. Identity is graph.InfDist for the active-kernel
+// unreached-vertex guard; labels are vertex IDs, so the guard never trips.
+func ccProgram() *Program {
+	return &Program{
+		App:      "CC",
+		Frontier: FrontierActive,
+		Relax:    Monoid{Identity: graph.InfDist, Combine: CombineCarry},
+		NoSource: true,
+		Init:     func(v, src int) uint32 { return uint32(v) },
+		Seed:     func(v, src int) bool { return true },
+		Validate: func(g *graph.CSR, _ int, values []uint32) error {
+			return ValidateCC(g, values)
+		},
+	}
+}
+
+// CC computes connected components over the frontier engine's explicit
+// active set. Like SSSP, propagation is bulk-synchronous: active vertices
+// read their label from a round-boundary snapshot while atomic-min
+// updates land in the live array, which keeps runs bit-for-bit
+// reproducible under the parallel launch engine (see the SSSP comment).
 //
 // The graph must be undirected; the paper excludes the directed SK and
 // UK5 graphs from CC for the same reason.
@@ -25,55 +41,18 @@ func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 	if dg.Graph.Directed {
 		return nil, fmt.Errorf("core: CC requires an undirected graph (got %s)", dg.Graph.Name)
 	}
-	n := dg.NumVertices()
-	dev.BeginRun(gpu.RunLabels{App: "CC", Variant: variant.String(),
-		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
-	defer dev.EndRun()
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	comp, err := rs.alloc("cc.comp", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	compRead, err := rs.alloc("cc.compread", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	cur, err := rs.alloc("cc.active0", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	next, err := rs.alloc("cc.active1", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		comp.PutU32(int64(v), uint32(v))
-		cur.PutU32(int64(v), 1)
-	}
-	dev.CopyToDevice(int64(n) * 4 * 2)
-
-	iterations := 0
-	for {
-		roundStart := dev.Clock()
-		rs.clearFlag()
-		dev.CopyOnDevice(compRead, comp) // round-boundary snapshot for source reads
-		visit := relaxVisitor(comp, next, rs.flag, false)
-		launchActiveKernel(dev, dg, variant, "cc/"+variant.String(), compRead, cur, false, visit)
-		iterations++
-		more := rs.readFlag()
-		dev.EmitRound("cc/"+variant.String(), iterations-1, roundStart)
-		if !more {
-			break
-		}
-		cur, next = next, cur
-		dev.Memset(next, 0)
-	}
-	res := rs.finish("CC", variant, dg.Transport, 0, comp, n, iterations)
-	res.Source = -1 // CC has no source vertex
-	return res, nil
+	prog := ccProgram()
+	name := "cc/" + variant.String()
+	return runProgram(dev, dg.NumVertices(), prog, 0, &engineConfig{
+		variant:     variant,
+		transport:   dg.Transport,
+		graphName:   dg.Graph.Name,
+		valueName:   "cc.comp",
+		snapName:    "cc.compread",
+		activeNames: [2]string{"cc.active0", "cc.active1"},
+		roundName:   name,
+		kernel:      stdActiveKernel(dg, variant, name, prog),
+	})
 }
 
 // ValidateCC checks a CC result against the union-find reference.

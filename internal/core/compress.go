@@ -193,28 +193,10 @@ func (c *CompressedDeviceGraph) DecodeList(v int) []uint32 {
 func BFSCompressed(dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Result, error) {
 	g := cdg.Graph
 	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
-	}
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("bfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	visit := relaxVisitor(labels, nil, rs.flag, false)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		rs.clearFlag()
-		dev.Launch("bfs/compressed", n, func(w *gpu.Warp) {
+	prog := bfsProgram()
+	kernel := func(r *engineRound) {
+		level, labels, visit := r.level, r.values, r.visit
+		r.dev.Launch("bfs/compressed", n, func(w *gpu.Warp) {
 			v := int64(w.ID())
 			if w.ScalarU32(labels, v) != level {
 				return
@@ -258,7 +240,7 @@ func BFSCompressed(dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Resul
 			list := cdg.DecodeList(int(v))
 			var srcArr, wgt [gpu.WarpSize]uint32
 			for l := range srcArr {
-				srcArr[l] = level + 1
+				srcArr[l] = prog.push(level)
 			}
 			for base := 0; base < len(list); base += gpu.WarpSize {
 				var dst [gpu.WarpSize]uint32
@@ -270,10 +252,14 @@ func BFSCompressed(dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Resul
 				visit(w, mask, &dst, &wgt, &srcArr)
 			}
 		})
-		iterations++
-		if !rs.readFlag() {
-			break
-		}
 	}
-	return rs.finish("BFS", MergedAligned, ZeroCopy, src, labels, n, iterations), nil
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:      MergedAligned,
+		transport:    ZeroCopy,
+		graphName:    g.Name,
+		labelVariant: "compressed",
+		valueName:    "bfs.labels",
+		roundName:    "bfs/compressed",
+		kernel:       kernel,
+	})
 }

@@ -74,30 +74,12 @@ func (ec *EdgeCentricGraph) Free(dev *gpu.Device) {
 func BFSEdgeCentric(dev *gpu.Device, ec *EdgeCentricGraph, src int) (*Result, error) {
 	g := ec.Graph
 	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
-	}
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("ecbfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
 	e := g.NumEdges()
 	warps := int((e + gpu.WarpSize - 1) / gpu.WarpSize)
-	visit := relaxVisitor(labels, nil, rs.flag, false)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		rs.clearFlag()
-		dev.Launch("bfs/edgecentric", warps, func(w *gpu.Warp) {
+	prog := bfsProgram()
+	kernel := func(r *engineRound) {
+		level, labels, visit := r.level, r.values, r.visit
+		r.dev.Launch("bfs/edgecentric", warps, func(w *gpu.Warp) {
 			base := int64(w.ID()) * gpu.WarpSize
 			var idx [gpu.WarpSize]int64
 			mask := gpu.MaskNone
@@ -132,14 +114,18 @@ func BFSEdgeCentric(dev *gpu.Device, ec *EdgeCentricGraph, src int) (*Result, er
 			dst := w.GatherU32(ec.Dst, &idx, active)
 			var srcVals, wgt [gpu.WarpSize]uint32
 			for l := 0; l < gpu.WarpSize; l++ {
-				srcVals[l] = level + 1
+				srcVals[l] = prog.push(level)
 			}
 			visit(w, active, &dst, &wgt, &srcVals)
 		})
-		iterations++
-		if !rs.readFlag() {
-			break
-		}
 	}
-	return rs.finish("BFS", MergedAligned, ZeroCopy, src, labels, n, iterations), nil
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:      MergedAligned,
+		transport:    ZeroCopy,
+		graphName:    g.Name,
+		labelVariant: "edgecentric",
+		valueName:    "ecbfs.labels",
+		roundName:    "bfs/edgecentric",
+		kernel:       kernel,
+	})
 }

@@ -1,0 +1,774 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+)
+
+// This file is the repository's single traversal engine. Every traversal
+// entry point — the paper's three applications, the sub-warp worker and
+// balanced-scheduling studies, the compressed, edge-centric,
+// direction-optimized, hybrid CPU-GPU, and multi-GPU extensions, and any
+// new application — is a declarative Program descriptor plus an
+// engineConfig (kernel choice, buffer names, device topology) over the one
+// round loop implemented here. The loop, the runState lifecycle, the
+// BeginRun/EmitRound/EndRun telemetry hooks, and the Result assembly exist
+// exactly once; apps differ only in their descriptors.
+//
+// The design follows the observation that EMOGI's applications are one
+// algorithm wearing different hats: an atomic-min (or atomic-max) relax
+// over a frontier, iterated to a fixed point (§4.2, §5.4). A Program names
+// the lattice (per-vertex init, relax monoid, convergence by the shared
+// flag); the engine owns how rounds execute.
+//
+// Determinism contract: everything the engine does per round — flag clear,
+// optional snapshot copy, kernel launch, flag readback, frontier swap —
+// reproduces the exact simulated-operation sequence of the historical
+// per-app loops, so Results, counters, and bench tables are bit-for-bit
+// identical to the pre-engine implementations (pinned by
+// results/golden-engine.json and the serial-vs-parallel and cross-impl
+// equivalence suites).
+
+// CombineOp folds an active vertex's pushed value with the traversed
+// edge's weight into the relax candidate.
+type CombineOp int
+
+const (
+	// CombineCarry pushes the source value unchanged (BFS levels, CC
+	// labels).
+	CombineCarry CombineOp = iota
+	// CombineAdd adds the edge weight (SSSP path lengths).
+	CombineAdd
+	// CombineMin takes the smaller of value and weight (SSWP path widths:
+	// a path is as wide as its narrowest edge).
+	CombineMin
+)
+
+// Monoid is the pluggable relax operator: how candidates are formed from
+// source values and edge weights, and which direction "improves" a
+// destination's entry.
+type Monoid struct {
+	// Identity is the value of an unreached vertex (InfDist for min
+	// lattices, 0 for max lattices). Active-set kernels skip vertices
+	// still holding it.
+	Identity uint32
+	// Combine forms the relax candidate from (pushed value, edge weight).
+	Combine CombineOp
+	// Max relaxes with atomic-max instead of atomic-min (candidates
+	// raise destination entries; SSWP).
+	Max bool
+}
+
+// combine folds one pushed value with one edge weight.
+func (m Monoid) combine(sv, w uint32) uint32 {
+	switch m.Combine {
+	case CombineAdd:
+		return sv + w
+	case CombineMin:
+		if w < sv {
+			return w
+		}
+		return sv
+	default:
+		return sv
+	}
+}
+
+// better reports whether cand improves on cur under the monoid's order.
+func (m Monoid) better(cand, cur uint32) bool {
+	if m.Max {
+		return cand > cur
+	}
+	return cand < cur
+}
+
+// visitor builds the engine's edge visitor from the monoid: for each
+// traversed edge it computes the candidate value, atomically
+// lowers (or raises, for a Max monoid) the destination's entry in target,
+// and folds the per-lane success predicate into the convergence flag and,
+// when nextActive is non-nil, the next-iteration active bitmap.
+//
+// Parallel-determinism contract: which lane observes its atomic succeed
+// depends on warp execution order, but whether ANY candidate beat a
+// destination's starting value this launch does not (the first lane to
+// reach the round's extremum always observes success). The success bits
+// therefore feed only commutative ORs, and both stores are issued
+// unconditionally — the traffic depends on mask alone, never on race
+// outcomes — so results and stats are bit-for-bit identical for any
+// worker count (see DESIGN.md, "Parallel execution engine").
+func (m Monoid) visitor(target, nextActive, flag *memsys.Buffer) visitFn {
+	return func(w *gpu.Warp, mask gpu.Mask, dst *[gpu.WarpSize]uint32, wgt, srcVal *[gpu.WarpSize]uint32) {
+		var idx [gpu.WarpSize]int64
+		var val [gpu.WarpSize]uint32
+		for l := 0; l < gpu.WarpSize; l++ {
+			if !mask.Has(l) {
+				continue
+			}
+			idx[l] = int64(dst[l])
+			val[l] = m.combine(srcVal[l], wgt[l])
+		}
+		var old [gpu.WarpSize]uint32
+		if m.Max {
+			old = w.AtomicMaxU32(target, &idx, &val, mask)
+		} else {
+			old = w.AtomicMinU32(target, &idx, &val, mask)
+		}
+		var bits [gpu.WarpSize]uint32
+		anySet := uint32(0)
+		for l := 0; l < gpu.WarpSize; l++ {
+			if mask.Has(l) && m.better(val[l], old[l]) {
+				bits[l] = 1
+				anySet = 1
+			}
+		}
+		if nextActive != nil {
+			w.AtomicOrU32(nextActive, &idx, &bits, mask)
+		}
+		w.AtomicOrScalarU32(flag, 0, anySet)
+	}
+}
+
+// FrontierPolicy selects how a Program tracks its frontier.
+type FrontierPolicy int
+
+const (
+	// FrontierMatch derives the frontier implicitly: a vertex is active
+	// when its state equals the current round number (BFS levels). No
+	// snapshot is needed because the activity predicate is stable within
+	// a launch.
+	FrontierMatch FrontierPolicy = iota
+	// FrontierActive keeps an explicit active bitmap, double-buffered
+	// across rounds, and reads source values from a round-boundary
+	// snapshot of the value array so the racy-read/atomic-write kernel
+	// stays bit-for-bit reproducible under the parallel launch engine
+	// (Jacobi-style bulk-synchronous relaxation; see DESIGN.md).
+	FrontierActive
+)
+
+// Program declares one traversal algorithm over the frontier engine. A new
+// application is a Program plus a registry entry — no engine changes (see
+// sswp.go for the worked example, and DESIGN.md §10 for the schema).
+type Program struct {
+	// App is the Result.App / telemetry label ("BFS", "SSSP", ...).
+	App string
+	// Frontier selects implicit (match-by-level) or explicit
+	// (active-bitmap + snapshot) frontier tracking.
+	Frontier FrontierPolicy
+	// Relax is the monoid the edge visitor applies.
+	Relax Monoid
+	// Weighted gathers edge weights for the visitor (requires a weighted
+	// graph).
+	Weighted bool
+	// NoSource marks source-free programs (CC): src is ignored and the
+	// Result reports Source -1.
+	NoSource bool
+	// Init gives every vertex's initial value.
+	Init func(v, src int) uint32
+	// Seed marks the initial frontier (FrontierActive only).
+	Seed func(v, src int) bool
+	// Push maps an active vertex's state to the value it offers its
+	// neighbors (before Combine folds in the edge weight). Nil means
+	// identity; BFS pushes sv+1.
+	Push func(sv uint32) uint32
+	// Validate checks a finished value array against the CPU reference.
+	Validate func(g *graph.CSR, src int, values []uint32) error
+}
+
+// push applies the Program's push map (identity when nil).
+func (p *Program) push(sv uint32) uint32 {
+	if p.Push != nil {
+		return p.Push(sv)
+	}
+	return sv
+}
+
+// engineRound is the per-round context handed to kernel launchers: the
+// live relax target, the buffer source values must be read from (a
+// snapshot under FrontierActive), the current active bitmap, the
+// convergence flag, and the monoid visitor for this round.
+type engineRound struct {
+	dev    *gpu.Device
+	n      int
+	level  uint32
+	values *memsys.Buffer // live relax target
+	state  *memsys.Buffer // source-value reads (snapshot when FrontierActive)
+	cur    *memsys.Buffer // active bitmap (nil under FrontierMatch)
+	flag   *memsys.Buffer
+	visit  visitFn
+}
+
+// kernelFunc launches one round's kernel. Standard programs use
+// stdMatchKernel/stdActiveKernel; specialty configurations (sub-warp
+// workers, balanced scheduling, compressed or COO edge layouts,
+// direction-optimized pull) supply their own.
+type kernelFunc func(r *engineRound)
+
+// engineConfig selects how a Program runs on one device: the kernel, the
+// reported variant/transport, buffer names (kept stable so arena layout —
+// and therefore request alignment — matches the historical
+// implementations), and telemetry labels.
+type engineConfig struct {
+	variant      Variant
+	transport    Transport
+	graphName    string
+	labelVariant string // RunLabels.Variant (defaults to variant.String())
+	valueName    string
+	snapName     string
+	activeNames  [2]string
+	roundName    string
+	kernel       kernelFunc
+	// postRound observes each finished round (host-side only; it must not
+	// touch the device). Direction-optimized BFS uses it to recount the
+	// frontier that steers its push/pull heuristic.
+	postRound func(r *engineRound, more bool)
+}
+
+// stdMatchKernel launches the standard match-by-level kernel discipline.
+func stdMatchKernel(dg *DeviceGraph, variant Variant, name string, prog *Program) kernelFunc {
+	return func(r *engineRound) {
+		launchMatchKernel(r.dev, dg, variant, name, r.values, r.level, prog.push(r.level), r.visit)
+	}
+}
+
+// stdActiveKernel launches the standard explicit-active-set kernel
+// discipline.
+func stdActiveKernel(dg *DeviceGraph, variant Variant, name string, prog *Program) kernelFunc {
+	return func(r *engineRound) {
+		launchActiveKernel(r.dev, dg, variant, name, r.state, r.cur, prog.Weighted, prog.Relax.Identity, r.visit)
+	}
+}
+
+// topology runs one relaxation round at the given round number and
+// reports whether any value changed (i.e. the traversal must continue).
+// Three topologies exist: singleRun (one device), hybridRun (GPU + host
+// CPU), and multiRun (N devices with a host reduce).
+type topology interface {
+	round(level uint32) bool
+}
+
+// runRounds is the round loop — the only one in the codebase. It drives a
+// topology to its fixed point and returns the iteration count.
+func runRounds(t topology) int {
+	iterations := 0
+	for level := uint32(0); ; level++ {
+		more := t.round(level)
+		iterations++
+		if !more {
+			return iterations
+		}
+	}
+}
+
+// singleRun is the standard one-device topology.
+type singleRun struct {
+	rs   *runState
+	prog *Program
+	cfg  *engineConfig
+	n    int
+	values, snap, cur, next *memsys.Buffer
+}
+
+func (e *singleRun) round(level uint32) bool {
+	dev := e.rs.dev
+	roundStart := dev.Clock()
+	e.rs.clearFlag()
+	r := &engineRound{
+		dev:    dev,
+		n:      e.n,
+		level:  level,
+		values: e.values,
+		state:  e.values,
+		cur:    e.cur,
+		flag:   e.rs.flag,
+	}
+	if e.prog.Frontier == FrontierActive {
+		// Round-boundary snapshot: active vertices read their value from
+		// here while atomic updates land in the live array, which keeps
+		// reads independent of warp execution order.
+		dev.CopyOnDevice(e.snap, e.values)
+		r.state = e.snap
+		r.visit = e.prog.Relax.visitor(e.values, e.next, e.rs.flag)
+	} else {
+		r.visit = e.prog.Relax.visitor(e.values, nil, e.rs.flag)
+	}
+	e.cfg.kernel(r)
+	more := e.rs.readFlag()
+	dev.EmitRound(e.cfg.roundName, int(level), roundStart)
+	if e.cfg.postRound != nil {
+		e.cfg.postRound(r, more)
+	}
+	if more && e.prog.Frontier == FrontierActive {
+		e.cur, e.next = e.next, e.cur
+		dev.Memset(e.next, 0) // clear the new next-frontier (cudaMemsetAsync)
+	}
+	return more
+}
+
+// runProgram executes a Program on one device: buffer setup, state init
+// and upload, the round loop, and Result assembly, with every run
+// reported to the device's telemetry sink under the config's labels.
+func runProgram(dev *gpu.Device, n int, prog *Program, src int, cfg *engineConfig) (*Result, error) {
+	if !prog.NoSource && (src < 0 || src >= n) {
+		return nil, fmt.Errorf("core: %s source %d out of range [0,%d)", prog.App, src, n)
+	}
+	labelVariant := cfg.labelVariant
+	if labelVariant == "" {
+		labelVariant = cfg.variant.String()
+	}
+	dev.BeginRun(gpu.RunLabels{App: prog.App, Variant: labelVariant,
+		Transport: cfg.transport.String(), Graph: cfg.graphName})
+	defer dev.EndRun()
+	rs, err := newRunState(dev)
+	if err != nil {
+		return nil, err
+	}
+	values, err := rs.alloc(cfg.valueName, int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	e := &singleRun{rs: rs, prog: prog, cfg: cfg, n: n, values: values}
+	if prog.Frontier == FrontierActive {
+		if e.snap, err = rs.alloc(cfg.snapName, int64(n)*4); err != nil {
+			return nil, err
+		}
+		if e.cur, err = rs.alloc(cfg.activeNames[0], int64(n)*4); err != nil {
+			return nil, err
+		}
+		if e.next, err = rs.alloc(cfg.activeNames[1], int64(n)*4); err != nil {
+			return nil, err
+		}
+	}
+	// Initialize per-vertex state (and the seed frontier) host-side, then
+	// model the initial upload.
+	for v := 0; v < n; v++ {
+		values.PutU32(int64(v), prog.Init(v, src))
+	}
+	uploadWords := int64(1)
+	if prog.Frontier == FrontierActive {
+		for v := 0; v < n; v++ {
+			if prog.Seed(v, src) {
+				e.cur.PutU32(int64(v), 1)
+			}
+		}
+		uploadWords = 2 // values + initial frontier upload
+	}
+	dev.CopyToDevice(int64(n) * 4 * uploadWords)
+
+	iterations := runRounds(e)
+	res := rs.finish(prog.App, cfg.variant, cfg.transport, src, values, n, iterations)
+	if prog.NoSource {
+		res.Source = -1 // source-free programs (CC) have no source vertex
+	}
+	return res, nil
+}
+
+// hybridRun is the collaborative CPU-GPU topology (§7): the host CPU
+// traverses vertices [0, split) directly from its own memory while the
+// GPU covers [split, n) with zero-copy reads; the two value replicas are
+// reduced under the Program's monoid between rounds. Restricted to
+// FrontierMatch programs with a Carry monoid (the CPU side relaxes
+// unweighted).
+type hybridRun struct {
+	h       *HybridSystem
+	prog    *Program
+	n       int
+	labels  *memsys.Buffer
+	flag    *memsys.Buffer
+	cpuVals []uint32
+	visit   visitFn
+	elapsed time.Duration
+	mark    time.Duration
+}
+
+func (hr *hybridRun) round(level uint32) bool {
+	h := hr.h
+	dev := h.dev
+	roundStart := dev.Clock()
+	// GPU side: vertices [split, n).
+	hr.flag.PutU32(0, 0)
+	dev.CopyToDevice(4)
+	dev.Launch("hbfs/gpu", hr.n-h.split, func(w *gpu.Warp) {
+		v := int64(h.split + w.ID())
+		if w.ScalarU32(hr.labels, v) != level {
+			return
+		}
+		walkMerged(w, h.dg, v, hr.prog.push(level), true, false, hr.visit)
+	})
+	dev.CopyToHost(4)
+	gpuChanged := hr.flag.U32(0) != 0
+	dev.CopyToHost(int64(hr.n) * 4) // replica download for the reduce
+	gpuTime := dev.Clock() - hr.mark
+
+	// CPU side, concurrently: vertices [0, split).
+	var cpuBytes int64
+	cpuChanged := false
+	push := hr.prog.push(level)
+	for v := 0; v < h.split; v++ {
+		if hr.cpuVals[v] != level {
+			continue
+		}
+		cpuBytes += h.graph.Degree(v) * int64(h.dg.EdgeBytes)
+		for _, u := range h.graph.Neighbors(v) {
+			if hr.prog.Relax.better(push, hr.cpuVals[u]) {
+				hr.cpuVals[u] = push
+				cpuChanged = true
+			}
+		}
+	}
+	cpuTime := h.cfg.CPUIterOverhead +
+		time.Duration(float64(cpuBytes)/h.cfg.CPUScanBytesPerSec*float64(time.Second))
+
+	levelTime := gpuTime
+	if cpuTime > levelTime {
+		levelTime = cpuTime
+	}
+
+	// Reduce the two replicas under the monoid, then re-upload the GPU
+	// copy.
+	for v := int64(0); v < int64(hr.n); v++ {
+		gl := hr.labels.U32(v)
+		cl := hr.cpuVals[v]
+		m := gl
+		if hr.prog.Relax.better(cl, m) {
+			m = cl
+		}
+		hr.labels.PutU32(v, m)
+		hr.cpuVals[v] = m
+	}
+	preUp := dev.Clock()
+	dev.CopyToDevice(int64(hr.n) * 4)
+	levelTime += dev.Clock() - preUp
+
+	hr.elapsed += levelTime
+	hr.mark = dev.Clock()
+	dev.EmitRound("hbfs", int(level), roundStart)
+	return gpuChanged || cpuChanged
+}
+
+// runHybrid executes a match-policy Program on the hybrid CPU-GPU
+// topology.
+func runHybrid(h *HybridSystem, prog *Program, src int) (*Result, error) {
+	g := h.graph
+	n := g.NumVertices()
+	if src < 0 || src >= n {
+		return nil, fmt.Errorf("core: %s source %d out of range [0,%d)", prog.App, src, n)
+	}
+	dev := h.dev
+	dev.BeginRun(gpu.RunLabels{App: prog.App, Variant: "hybrid",
+		Transport: ZeroCopy.String(), Graph: g.Name})
+	defer dev.EndRun()
+	statStart := dev.Total()
+
+	labels, err := dev.Arena().Alloc("hbfs.labels", memsys.SpaceGPU, int64(n)*4)
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Arena().Free(labels)
+	flag, err := dev.Arena().Alloc("hbfs.flag", memsys.SpaceGPU, 4)
+	if err != nil {
+		return nil, err
+	}
+	defer dev.Arena().Free(flag)
+	for v := 0; v < n; v++ {
+		labels.PutU32(int64(v), prog.Init(v, src))
+	}
+	dev.CopyToDevice(int64(n) * 4)
+
+	// The CPU's value replica.
+	cpuVals := make([]uint32, n)
+	for v := range cpuVals {
+		cpuVals[v] = prog.Init(v, src)
+	}
+
+	hr := &hybridRun{
+		h:       h,
+		prog:    prog,
+		n:       n,
+		labels:  labels,
+		flag:    flag,
+		cpuVals: cpuVals,
+		visit:   prog.Relax.visitor(labels, nil, flag),
+		elapsed: dev.Clock(),
+		mark:    dev.Clock(),
+	}
+	iterations := runRounds(hr)
+
+	out := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		out[v] = labels.U32(int64(v))
+	}
+	return &Result{
+		App:        prog.App,
+		Variant:    MergedAligned,
+		Transport:  ZeroCopy,
+		Source:     src,
+		Values:     out,
+		Iterations: iterations,
+		Elapsed:    hr.elapsed,
+		Stats:      dev.Total().Sub(statStart),
+	}, nil
+}
+
+// multiRun is the N-device topology (§7): each device traverses its own
+// vertex partition against a full value replica; after each round the
+// replicas are reduced through the host under the Program's monoid and
+// the vertices whose merged value changed form the next frontier — a
+// delta-driven frontier that serves all delta-monotone programs (BFS as
+// unit-weight SSSP via Push, SSSP, CC).
+type multiRun struct {
+	ms        *MultiSystem
+	prog      *Program
+	n         int
+	values    []*memsys.Buffer
+	actives   []*memsys.Buffer
+	flags     []*memsys.Buffer
+	prev      []uint32
+	clockMark []time.Duration
+	elapsed   time.Duration
+}
+
+func (mr *multiRun) round(level uint32) bool {
+	ms := mr.ms
+	nd := len(ms.devs)
+	var levelMax time.Duration
+	for i, dev := range ms.devs {
+		lo, hi := ms.Partition(i)
+		val, act, flag := mr.values[i], mr.actives[i], mr.flags[i]
+		roundStart := mr.clockMark[i]
+		flag.PutU32(0, 0)
+		dev.CopyToDevice(4)
+		visit := mr.prog.Relax.visitor(val, nil, flag)
+		dg := ms.dgs[i]
+		prog := mr.prog
+		// Serial launch: the kernel reads each source's value from the
+		// live relax target (chained relaxation, no snapshot), so its
+		// traffic depends on warp execution order.
+		dev.Launch("mgpu/"+prog.App, hi-lo, func(w *gpu.Warp) {
+			v := int64(lo + w.ID())
+			if w.ScalarU32(act, v) == 0 {
+				return
+			}
+			sv := w.ScalarU32(val, v)
+			if sv == prog.Relax.Identity {
+				return
+			}
+			walkMerged(w, dg, v, prog.push(sv), true, prog.Weighted, visit)
+		}, gpu.Serial())
+		dev.CopyToHost(4)
+		dev.CopyToHost(int64(mr.n) * 4) // replica download for the reduce
+		if dt := dev.Clock() - mr.clockMark[i]; dt > levelMax {
+			levelMax = dt
+		}
+		dev.EmitRound("mgpu/"+prog.App, int(level), roundStart)
+	}
+
+	// Host reduce under the monoid; the delta against prev is the next
+	// frontier.
+	changed := false
+	for v := int64(0); v < int64(mr.n); v++ {
+		m := mr.values[0].U32(v)
+		for i := 1; i < nd; i++ {
+			if x := mr.values[i].U32(v); mr.prog.Relax.better(x, m) {
+				m = x
+			}
+		}
+		isNew := m != mr.prev[v]
+		if isNew {
+			changed = true
+			mr.prev[v] = m
+		}
+		for i := 0; i < nd; i++ {
+			mr.values[i].PutU32(v, m)
+			if isNew {
+				mr.actives[i].PutU32(v, 1)
+			} else {
+				mr.actives[i].PutU32(v, 0)
+			}
+		}
+	}
+	// Broadcast the merged values and the next frontier.
+	var bcastMax time.Duration
+	for _, dev := range ms.devs {
+		mark := dev.Clock()
+		dev.CopyToDevice(int64(mr.n) * 4 * 2)
+		if dt := dev.Clock() - mark; dt > bcastMax {
+			bcastMax = dt
+		}
+	}
+	mr.elapsed += levelMax + bcastMax
+	for i, dev := range ms.devs {
+		mr.clockMark[i] = dev.Clock()
+	}
+	return changed
+}
+
+// runMulti executes a Program on the multi-GPU topology.
+func runMulti(ms *MultiSystem, prog *Program, src int) (*Result, error) {
+	g := ms.graph
+	n := g.NumVertices()
+	if !prog.NoSource && (src < 0 || src >= n) {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, n)
+	}
+	nd := len(ms.devs)
+	for _, dev := range ms.devs {
+		dev.BeginRun(gpu.RunLabels{App: prog.App, Variant: "multi-gpu",
+			Transport: ZeroCopy.String(), Graph: g.Name})
+	}
+	defer func() {
+		for _, dev := range ms.devs {
+			dev.EndRun()
+		}
+	}()
+
+	mr := &multiRun{
+		ms:      ms,
+		prog:    prog,
+		n:       n,
+		values:  make([]*memsys.Buffer, nd),
+		actives: make([]*memsys.Buffer, nd),
+		flags:   make([]*memsys.Buffer, nd),
+	}
+	statStart := make([]gpu.KernelStats, nd)
+	for i, dev := range ms.devs {
+		statStart[i] = dev.Total()
+		var err error
+		mr.values[i], err = dev.Arena().Alloc("mgpu.values", memsys.SpaceGPU, int64(n)*4)
+		if err != nil {
+			return nil, err
+		}
+		mr.actives[i], err = dev.Arena().Alloc("mgpu.active", memsys.SpaceGPU, int64(n)*4)
+		if err != nil {
+			return nil, err
+		}
+		mr.flags[i], err = dev.Arena().Alloc("mgpu.flag", memsys.SpaceGPU, 4)
+		if err != nil {
+			return nil, err
+		}
+		for v := 0; v < n; v++ {
+			mr.values[i].PutU32(int64(v), prog.Init(v, src))
+			if prog.Seed(v, src) {
+				mr.actives[i].PutU32(int64(v), 1)
+			}
+		}
+		dev.CopyToDevice(int64(n) * 4 * 2)
+	}
+
+	// prev mirrors the merged value array for frontier detection.
+	mr.prev = make([]uint32, n)
+	for v := 0; v < n; v++ {
+		mr.prev[v] = mr.values[0].U32(int64(v))
+	}
+
+	for i, dev := range ms.devs {
+		if dt := dev.Clock(); i == 0 || dt > mr.elapsed {
+			mr.elapsed = dt
+		}
+	}
+	mr.clockMark = make([]time.Duration, nd)
+	for i, dev := range ms.devs {
+		mr.clockMark[i] = dev.Clock()
+	}
+
+	iterations := runRounds(mr)
+
+	out := make([]uint32, n)
+	copy(out, mr.prev)
+	var stats gpu.KernelStats
+	for i, dev := range ms.devs {
+		d := dev.Total().Sub(statStart[i])
+		stats.Add(&d)
+		dev.Arena().Free(mr.values[i])
+		dev.Arena().Free(mr.actives[i])
+		dev.Arena().Free(mr.flags[i])
+	}
+	resSrc := src
+	if prog.NoSource {
+		resSrc = -1
+	}
+	return &Result{
+		App:        prog.App,
+		Variant:    MergedAligned,
+		Transport:  ZeroCopy,
+		Source:     resSrc,
+		Values:     out,
+		Iterations: iterations,
+		Elapsed:    mr.elapsed,
+		Stats:      stats,
+	}, nil
+}
+
+// runState carries the engine's shared plumbing: the convergence flag,
+// the device clock/stat baseline, and per-run GPU buffers to free.
+type runState struct {
+	dev        *gpu.Device
+	flag       *memsys.Buffer
+	freeList   []*memsys.Buffer
+	clockStart time.Duration
+	statStart  gpu.KernelStats
+}
+
+func newRunState(dev *gpu.Device) (*runState, error) {
+	flag, err := dev.Arena().Alloc("flag", memsys.SpaceGPU, 4)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating convergence flag: %w", err)
+	}
+	rs := &runState{
+		dev:        dev,
+		flag:       flag,
+		clockStart: dev.Clock(),
+		statStart:  dev.Total(),
+	}
+	rs.freeList = append(rs.freeList, flag)
+	return rs, nil
+}
+
+// alloc creates a per-run GPU buffer that finish will release.
+func (rs *runState) alloc(name string, size int64) (*memsys.Buffer, error) {
+	b, err := rs.dev.Arena().Alloc(name, memsys.SpaceGPU, size)
+	if err != nil {
+		return nil, fmt.Errorf("core: allocating %s: %w", name, err)
+	}
+	rs.freeList = append(rs.freeList, b)
+	return b, nil
+}
+
+// clearFlag resets the convergence flag before a kernel (a 4-byte
+// host-to-device write).
+func (rs *runState) clearFlag() {
+	rs.flag.PutU32(0, 0)
+	rs.dev.CopyToDevice(4)
+}
+
+// readFlag reads the convergence flag back after a kernel (a 4-byte
+// device-to-host read).
+func (rs *runState) readFlag() bool {
+	rs.dev.CopyToHost(4)
+	return rs.flag.U32(0) != 0
+}
+
+// finish downloads the n-element 4-byte result array from values, frees
+// per-run buffers, and assembles the Result.
+func (rs *runState) finish(app string, variant Variant, transport Transport, src int, values *memsys.Buffer, n int, iterations int) *Result {
+	rs.dev.CopyToHost(int64(n) * 4)
+	out := make([]uint32, n)
+	for i := 0; i < n; i++ {
+		out[i] = values.U32(int64(i))
+	}
+	for _, b := range rs.freeList {
+		rs.dev.Arena().Free(b)
+	}
+	return &Result{
+		App:        app,
+		Variant:    variant,
+		Transport:  transport,
+		Source:     src,
+		Values:     out,
+		Iterations: iterations,
+		Elapsed:    rs.dev.Clock() - rs.clockStart,
+		Stats:      rs.dev.Total().Sub(rs.statStart),
+	}
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
-	"repro/internal/memsys"
 )
 
 // This file implements the collaborative CPU-GPU extension of §7 ("prior
@@ -82,117 +81,8 @@ func (h *HybridSystem) Free() { h.dg.Free(h.dev) }
 // BFS runs level-synchronous collaborative BFS: per level the CPU relaxes
 // its partition's active lists from host memory while the GPU relaxes its
 // own with merged+aligned zero-copy reads; the level costs the slower of
-// the two plus a label-replica reduction.
+// the two plus a label-replica reduction. The round loop is the frontier
+// engine's hybrid topology (engine.go) driving the standard BFS program.
 func (h *HybridSystem) BFS(src int) (*Result, error) {
-	g := h.graph
-	n := g.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
-	}
-	dev := h.dev
-	statStart := dev.Total()
-
-	labels, err := dev.Arena().Alloc("hbfs.labels", memsys.SpaceGPU, int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	defer dev.Arena().Free(labels)
-	flag, err := dev.Arena().Alloc("hbfs.flag", memsys.SpaceGPU, 4)
-	if err != nil {
-		return nil, err
-	}
-	defer dev.Arena().Free(flag)
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	// The CPU's label replica.
-	cpuLabels := make([]uint32, n)
-	for v := range cpuLabels {
-		cpuLabels[v] = graph.InfDist
-	}
-	cpuLabels[src] = 0
-
-	elapsed := dev.Clock()
-	mark := dev.Clock()
-	visit := relaxVisitor(labels, nil, flag, false)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		// GPU side: vertices [split, n).
-		flag.PutU32(0, 0)
-		dev.CopyToDevice(4)
-		dev.Launch("hbfs/gpu", n-h.split, func(w *gpu.Warp) {
-			v := int64(h.split + w.ID())
-			if w.ScalarU32(labels, v) != level {
-				return
-			}
-			walkMerged(w, h.dg, v, level+1, true, false, visit)
-		})
-		dev.CopyToHost(4)
-		gpuChanged := flag.U32(0) != 0
-		dev.CopyToHost(int64(n) * 4) // replica download for the reduce
-		gpuTime := dev.Clock() - mark
-
-		// CPU side, concurrently: vertices [0, split).
-		var cpuBytes int64
-		cpuChanged := false
-		for v := 0; v < h.split; v++ {
-			if cpuLabels[v] != level {
-				continue
-			}
-			cpuBytes += g.Degree(v) * int64(h.dg.EdgeBytes)
-			for _, u := range g.Neighbors(v) {
-				if level+1 < cpuLabels[u] {
-					cpuLabels[u] = level + 1
-					cpuChanged = true
-				}
-			}
-		}
-		cpuTime := h.cfg.CPUIterOverhead +
-			time.Duration(float64(cpuBytes)/h.cfg.CPUScanBytesPerSec*float64(time.Second))
-
-		levelTime := gpuTime
-		if cpuTime > levelTime {
-			levelTime = cpuTime
-		}
-
-		// Min-reduce the two replicas, then re-upload the GPU copy.
-		for v := int64(0); v < int64(n); v++ {
-			gl := labels.U32(v)
-			cl := cpuLabels[v]
-			m := gl
-			if cl < m {
-				m = cl
-			}
-			labels.PutU32(v, m)
-			cpuLabels[v] = m
-		}
-		preUp := dev.Clock()
-		dev.CopyToDevice(int64(n) * 4)
-		levelTime += dev.Clock() - preUp
-
-		elapsed += levelTime
-		mark = dev.Clock()
-		iterations++
-		if !gpuChanged && !cpuChanged {
-			break
-		}
-	}
-
-	out := make([]uint32, n)
-	for v := 0; v < n; v++ {
-		out[v] = labels.U32(int64(v))
-	}
-	return &Result{
-		App:        "BFS",
-		Variant:    MergedAligned,
-		Transport:  ZeroCopy,
-		Source:     src,
-		Values:     out,
-		Iterations: iterations,
-		Elapsed:    elapsed,
-		Stats:      dev.Total().Sub(statStart),
-	}, nil
+	return runHybrid(h, bfsProgram(), src)
 }

@@ -2,17 +2,17 @@ package core
 
 import (
 	"repro/internal/gpu"
-	"repro/internal/graph"
 	"repro/internal/memsys"
 )
 
-// The three applications share two kernel launch disciplines:
+// The engine's standard programs share two kernel launch disciplines:
 //
 //   - match kernels (BFS): a vertex is active when its state equals the
 //     current level, and it pushes the constant level+1 to its neighbors.
-//   - active-set kernels (SSSP, CC): a vertex is active when its entry in
-//     an explicit active bitmap is set, and it pushes its own state value
-//     (plus the edge weight for SSSP).
+//   - active-set kernels (SSSP, CC, SSWP): a vertex is active when its
+//     entry in an explicit active bitmap is set, and it pushes its own
+//     state value (combined with the edge weight per the program's
+//     monoid).
 //
 // Each discipline comes in the three access variants of §5.1.2: Naive
 // (thread per vertex, Listing 1), Merged (warp per vertex, §4.3.1), and
@@ -71,9 +71,11 @@ func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name s
 // launchActiveKernel runs one SSSP/CC-style iteration over the explicit
 // active set. needW selects whether edge weights are gathered. state is
 // the buffer active vertices read their source value from; per the
-// contract above it must not be written during the launch.
+// contract above it must not be written during the launch. ident is the
+// program's unreached value (the relax monoid's identity): vertices still
+// holding it have nothing to push and are skipped.
 func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
-	state, active *memsys.Buffer, needW bool, visit visitFn) {
+	state, active *memsys.Buffer, needW bool, ident uint32, visit visitFn) {
 
 	n := dg.NumVertices()
 	switch variant {
@@ -102,7 +104,7 @@ func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name 
 			srcVals := w.GatherU32(state, &idx, actMask)
 			work := gpu.MaskNone
 			for l := 0; l < gpu.WarpSize; l++ {
-				if actMask.Has(l) && srcVals[l] != graph.InfDist {
+				if actMask.Has(l) && srcVals[l] != ident {
 					work = work.Set(l)
 				}
 			}
@@ -116,7 +118,7 @@ func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name 
 				return
 			}
 			sv := w.ScalarU32(state, v)
-			if sv == graph.InfDist {
+			if sv == ident {
 				return
 			}
 			walkMerged(w, dg, v, sv, aligned, needW, visit)

@@ -2,11 +2,9 @@ package core
 
 import (
 	"fmt"
-	"time"
 
 	"repro/internal/gpu"
 	"repro/internal/graph"
-	"repro/internal/memsys"
 )
 
 // This file implements the multi-GPU extension the paper defers to future
@@ -15,9 +13,10 @@ import (
 // PCIe links; vertices are partitioned by balanced edge count; every GPU
 // keeps a full replica of the value array and traverses only its own
 // partition's neighbor lists with zero-copy reads. After each iteration
-// the replicas are min-reduced through the host and the vertices whose
-// merged value changed form the next frontier — a delta-driven engine that
-// covers all three applications:
+// the replicas are reduced through the host under the program's monoid and
+// the vertices whose merged value changed form the next frontier — the
+// frontier engine's delta-driven multiRun topology (engine.go), which
+// serves any registered Program:
 //
 //	BFS:  push value+1, start from the source          (unit-weight SSSP)
 //	SSSP: push value+edge weight, start from the source
@@ -77,7 +76,7 @@ func (ms *MultiSystem) Partition(i int) (lo, hi int) {
 
 // BFS runs multi-GPU breadth-first search from src.
 func (ms *MultiSystem) BFS(src int) (*Result, error) {
-	return ms.run(AppBFS, src)
+	return runMulti(ms, bfsProgram(), src)
 }
 
 // SSSP runs multi-GPU single-source shortest path from src.
@@ -85,7 +84,7 @@ func (ms *MultiSystem) SSSP(src int) (*Result, error) {
 	if ms.graph.Weights == nil {
 		return nil, fmt.Errorf("core: SSSP requires a weighted graph")
 	}
-	return ms.run(AppSSSP, src)
+	return runMulti(ms, ssspProgram(), src)
 }
 
 // CC runs multi-GPU connected components (undirected graphs only).
@@ -93,172 +92,7 @@ func (ms *MultiSystem) CC() (*Result, error) {
 	if ms.graph.Directed {
 		return nil, fmt.Errorf("core: CC requires an undirected graph")
 	}
-	return ms.run(AppCC, 0)
-}
-
-// run is the delta-driven multi-GPU engine shared by the three apps.
-func (ms *MultiSystem) run(app App, src int) (*Result, error) {
-	g := ms.graph
-	n := g.NumVertices()
-	if app != AppCC && (src < 0 || src >= n) {
-		return nil, fmt.Errorf("core: source %d out of range [0,%d)", src, n)
-	}
-	nd := len(ms.devs)
-
-	values := make([]*memsys.Buffer, nd)
-	actives := make([]*memsys.Buffer, nd)
-	flags := make([]*memsys.Buffer, nd)
-	statStart := make([]gpu.KernelStats, nd)
-	for i, dev := range ms.devs {
-		statStart[i] = dev.Total()
-		var err error
-		values[i], err = dev.Arena().Alloc("mgpu.values", memsys.SpaceGPU, int64(n)*4)
-		if err != nil {
-			return nil, err
-		}
-		actives[i], err = dev.Arena().Alloc("mgpu.active", memsys.SpaceGPU, int64(n)*4)
-		if err != nil {
-			return nil, err
-		}
-		flags[i], err = dev.Arena().Alloc("mgpu.flag", memsys.SpaceGPU, 4)
-		if err != nil {
-			return nil, err
-		}
-		switch app {
-		case AppCC:
-			for v := 0; v < n; v++ {
-				values[i].PutU32(int64(v), uint32(v))
-				actives[i].PutU32(int64(v), 1)
-			}
-		default:
-			for v := 0; v < n; v++ {
-				values[i].PutU32(int64(v), graph.InfDist)
-			}
-			values[i].PutU32(int64(src), 0)
-			actives[i].PutU32(int64(src), 1)
-		}
-		dev.CopyToDevice(int64(n) * 4 * 2)
-	}
-
-	// prev mirrors the merged value array for frontier detection.
-	prev := make([]uint32, n)
-	for v := 0; v < n; v++ {
-		prev[v] = values[0].U32(int64(v))
-	}
-
-	var elapsed time.Duration
-	for i, dev := range ms.devs {
-		if dt := dev.Clock(); i == 0 || dt > elapsed {
-			elapsed = dt
-		}
-	}
-	clockMark := make([]time.Duration, nd)
-	for i, dev := range ms.devs {
-		clockMark[i] = dev.Clock()
-	}
-
-	needW := app == AppSSSP
-	iterations := 0
-	for {
-		var levelMax time.Duration
-		for i, dev := range ms.devs {
-			lo, hi := ms.Partition(i)
-			val, act, flag := values[i], actives[i], flags[i]
-			flag.PutU32(0, 0)
-			dev.CopyToDevice(4)
-			visit := relaxVisitor(val, nil, flag, needW)
-			dg := ms.dgs[i]
-			// Serial launch: the kernel reads each source's value from the
-			// live relax target (chained relaxation, no snapshot), so its
-			// traffic depends on warp execution order.
-			dev.Launch("mgpu/"+app.String(), hi-lo, func(w *gpu.Warp) {
-				v := int64(lo + w.ID())
-				if w.ScalarU32(act, v) == 0 {
-					return
-				}
-				sv := w.ScalarU32(val, v)
-				if sv == graph.InfDist {
-					return
-				}
-				push := sv
-				if app == AppBFS {
-					push = sv + 1
-				}
-				walkMerged(w, dg, v, push, true, needW, visit)
-			}, gpu.Serial())
-			dev.CopyToHost(4)
-			dev.CopyToHost(int64(n) * 4) // replica download for the reduce
-			if dt := dev.Clock() - clockMark[i]; dt > levelMax {
-				levelMax = dt
-			}
-		}
-		iterations++
-
-		// Host min-reduce; the delta against prev is the next frontier.
-		changed := false
-		for v := int64(0); v < int64(n); v++ {
-			m := values[0].U32(v)
-			for i := 1; i < nd; i++ {
-				if x := values[i].U32(v); x < m {
-					m = x
-				}
-			}
-			isNew := m != prev[v]
-			if isNew {
-				changed = true
-				prev[v] = m
-			}
-			for i := 0; i < nd; i++ {
-				values[i].PutU32(v, m)
-				if isNew {
-					actives[i].PutU32(v, 1)
-				} else {
-					actives[i].PutU32(v, 0)
-				}
-			}
-		}
-		// Broadcast the merged values and the next frontier.
-		var bcastMax time.Duration
-		for _, dev := range ms.devs {
-			mark := dev.Clock()
-			dev.CopyToDevice(int64(n) * 4 * 2)
-			if dt := dev.Clock() - mark; dt > bcastMax {
-				bcastMax = dt
-			}
-		}
-		elapsed += levelMax + bcastMax
-		for i, dev := range ms.devs {
-			clockMark[i] = dev.Clock()
-		}
-		if !changed {
-			break
-		}
-	}
-
-	out := make([]uint32, n)
-	copy(out, prev)
-	var stats gpu.KernelStats
-	for i, dev := range ms.devs {
-		d := dev.Total().Sub(statStart[i])
-		stats.Add(&d)
-		dev.Arena().Free(values[i])
-		dev.Arena().Free(actives[i])
-		dev.Arena().Free(flags[i])
-	}
-	resSrc := src
-	if app == AppCC {
-		resSrc = -1
-	}
-	return &Result{
-		App:        app.String(),
-		Variant:    MergedAligned,
-		Transport:  ZeroCopy,
-		Source:     resSrc,
-		Values:     out,
-		Iterations: iterations,
-		Elapsed:    elapsed,
-		Stats:      stats,
-	}, nil
+	return runMulti(ms, ccProgram(), 0)
 }
 
 // Free releases all per-device graph buffers.

@@ -11,7 +11,9 @@ import (
 // This file implements direction-optimized BFS (Beamer-style push/pull) on
 // top of EMOGI's zero-copy transport — an example of §6's point that
 // "several graph traversal specific optimizations... can be added" on top
-// of the memory-access contribution.
+// of the memory-access contribution. It is the frontier engine's BFS
+// program with a direction-switching kernel: the engine still owns the
+// round loop; only the per-round launch choice is custom.
 //
 // Push levels are the paper's merged+aligned scatter. Pull levels invert
 // the work: every *unvisited* vertex scans its own neighbor list looking
@@ -51,48 +53,41 @@ func BFSDirectionOptimized(dev *gpu.Device, dg *DeviceGraph, src int, cfg PushPu
 	if cfg.PullThreshold <= 0 {
 		cfg = DefaultPushPullConfig()
 	}
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("dobfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	visit := relaxVisitor(labels, nil, rs.flag, false)
+	prog := bfsProgram()
 	frontier := 1
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		rs.clearFlag()
+	kernel := func(r *engineRound) {
 		pull := float64(frontier) > cfg.PullThreshold*float64(n)
 		if pull {
-			launchPullKernel(dev, dg, labels, rs.flag, level)
+			launchPullKernel(r.dev, dg, r.values, r.flag, r.level)
 		} else {
-			launchMatchKernel(dev, dg, MergedAligned, "bfs/push", labels, level, level+1, visit)
+			launchMatchKernel(r.dev, dg, MergedAligned, "bfs/push", r.values, r.level, prog.push(r.level), r.visit)
 		}
-		iterations++
-		if !rs.readFlag() {
-			break
+	}
+	// The next frontier size steers the heuristic. Real implementations
+	// keep this count on-device; its readback rides the flag transfer.
+	postRound := func(r *engineRound, more bool) {
+		if !more {
+			return
 		}
-		// The next frontier size steers the heuristic. Real
-		// implementations keep this count on-device; its readback rides
-		// the flag transfer.
 		frontier = 0
 		for v := 0; v < n; v++ {
-			if labels.U32(int64(v)) == level+1 {
+			if r.values.U32(int64(v)) == r.level+1 {
 				frontier++
 			}
 		}
 	}
 	// Which levels ran bottom-up is visible in the device's kernel log
 	// ("bfs/pull" vs "bfs/push" entries).
-	return rs.finish("BFS", MergedAligned, dg.Transport, src, labels, n, iterations), nil
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:      MergedAligned,
+		transport:    dg.Transport,
+		graphName:    g.Name,
+		labelVariant: "pushpull",
+		valueName:    "dobfs.labels",
+		roundName:    "bfs/pushpull",
+		kernel:       kernel,
+		postRound:    postRound,
+	})
 }
 
 // launchPullKernel runs one bottom-up level: every unvisited vertex scans

@@ -1,23 +1,24 @@
 package core
 
 import (
-	"fmt"
 	"time"
 
 	"repro/internal/gpu"
-	"repro/internal/memsys"
 )
 
 // Result reports one traversal run: functional output plus the simulated
-// performance counters the paper's figures are built from.
+// performance counters the paper's figures are built from. Every
+// application — the paper's three plus any Program registered with the
+// frontier engine (see engine.go and registry.go) — produces one.
 type Result struct {
 	App       string
 	Variant   Variant
 	Transport Transport
 	Source    int
 
-	// Values holds per-vertex output: BFS levels, SSSP distances, or CC
-	// labels (graph.InfDist for unreached vertices).
+	// Values holds per-vertex output: BFS levels, SSSP distances, SSWP
+	// widths, or CC labels (graph.InfDist for unreached vertices of a
+	// min-lattice program, the monoid identity in general).
 	Values []uint32
 
 	// Iterations is the number of traversal kernel launches (BFS: graph
@@ -30,123 +31,4 @@ type Result struct {
 
 	// Stats is this run's delta of the device counters.
 	Stats gpu.KernelStats
-}
-
-// runState carries the shared plumbing of the three applications: the
-// convergence flag, the device clock/stat baseline, and per-run GPU
-// buffers to free.
-type runState struct {
-	dev        *gpu.Device
-	flag       *memsys.Buffer
-	freeList   []*memsys.Buffer
-	clockStart time.Duration
-	statStart  gpu.KernelStats
-}
-
-func newRunState(dev *gpu.Device) (*runState, error) {
-	flag, err := dev.Arena().Alloc("flag", memsys.SpaceGPU, 4)
-	if err != nil {
-		return nil, fmt.Errorf("core: allocating convergence flag: %w", err)
-	}
-	rs := &runState{
-		dev:        dev,
-		flag:       flag,
-		clockStart: dev.Clock(),
-		statStart:  dev.Total(),
-	}
-	rs.freeList = append(rs.freeList, flag)
-	return rs, nil
-}
-
-// alloc creates a per-run GPU buffer that finish will release.
-func (rs *runState) alloc(name string, size int64) (*memsys.Buffer, error) {
-	b, err := rs.dev.Arena().Alloc(name, memsys.SpaceGPU, size)
-	if err != nil {
-		return nil, fmt.Errorf("core: allocating %s: %w", name, err)
-	}
-	rs.freeList = append(rs.freeList, b)
-	return b, nil
-}
-
-// clearFlag resets the convergence flag before a kernel (a 4-byte
-// host-to-device write).
-func (rs *runState) clearFlag() {
-	rs.flag.PutU32(0, 0)
-	rs.dev.CopyToDevice(4)
-}
-
-// readFlag reads the convergence flag back after a kernel (a 4-byte
-// device-to-host read).
-func (rs *runState) readFlag() bool {
-	rs.dev.CopyToHost(4)
-	return rs.flag.U32(0) != 0
-}
-
-// finish downloads the n-element 4-byte result array from values, frees
-// per-run buffers, and assembles the Result.
-func (rs *runState) finish(app string, variant Variant, transport Transport, src int, values *memsys.Buffer, n int, iterations int) *Result {
-	rs.dev.CopyToHost(int64(n) * 4)
-	out := make([]uint32, n)
-	for i := 0; i < n; i++ {
-		out[i] = values.U32(int64(i))
-	}
-	for _, b := range rs.freeList {
-		rs.dev.Arena().Free(b)
-	}
-	return &Result{
-		App:        app,
-		Variant:    variant,
-		Transport:  transport,
-		Source:     src,
-		Values:     out,
-		Iterations: iterations,
-		Elapsed:    rs.dev.Clock() - rs.clockStart,
-		Stats:      rs.dev.Total().Sub(rs.statStart),
-	}
-}
-
-// relaxVisitor builds the shared edge visitor of all three applications:
-// for each traversed edge it computes the candidate value (source value,
-// plus the edge weight if addWeight), atomically lowers the destination's
-// entry in target, and folds the per-lane success predicate into the
-// convergence flag and, when nextActive is non-nil, the next-iteration
-// active bitmap.
-//
-// Parallel-determinism contract: which lane observes its atomic-min
-// succeed depends on warp execution order, but whether ANY candidate beat
-// a destination's starting value this launch does not (the first lane to
-// reach the round's minimum always observes success). The success bits
-// therefore feed only commutative ORs, and both stores are issued
-// unconditionally — the traffic depends on mask alone, never on race
-// outcomes — so results and stats are bit-for-bit identical for any
-// worker count (see DESIGN.md, "Parallel execution engine").
-func relaxVisitor(target, nextActive, flag *memsys.Buffer, addWeight bool) visitFn {
-	return func(w *gpu.Warp, mask gpu.Mask, dst *[gpu.WarpSize]uint32, wgt, srcVal *[gpu.WarpSize]uint32) {
-		var idx [gpu.WarpSize]int64
-		var val [gpu.WarpSize]uint32
-		for l := 0; l < gpu.WarpSize; l++ {
-			if !mask.Has(l) {
-				continue
-			}
-			idx[l] = int64(dst[l])
-			if addWeight {
-				val[l] = srcVal[l] + wgt[l]
-			} else {
-				val[l] = srcVal[l]
-			}
-		}
-		old := w.AtomicMinU32(target, &idx, &val, mask)
-		var bits [gpu.WarpSize]uint32
-		anySet := uint32(0)
-		for l := 0; l < gpu.WarpSize; l++ {
-			if mask.Has(l) && old[l] > val[l] {
-				bits[l] = 1
-				anySet = 1
-			}
-		}
-		if nextActive != nil {
-			w.AtomicOrU32(nextActive, &idx, &bits, mask)
-		}
-		w.AtomicOrScalarU32(flag, 0, anySet)
-	}
 }

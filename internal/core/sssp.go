@@ -7,22 +7,41 @@ import (
 	"repro/internal/graph"
 )
 
-// SSSP runs single-source shortest path from src using frontier-based
-// Bellman-Ford relaxation (the vertex-centric scatter formulation of
-// [28, 37] the paper builds on): each iteration, every vertex whose
-// distance improved last round relaxes its outgoing edges; the run
-// converges when no distance changes. Edge weights stream from host
-// memory alongside the destinations.
+// ssspProgram declares single-source shortest path: a min-lattice monoid
+// adding the edge weight, over an explicit active set with round-boundary
+// snapshots (the frontier-based Bellman-Ford relaxation of [28, 37] the
+// paper builds on).
+func ssspProgram() *Program {
+	return &Program{
+		App:      "SSSP",
+		Frontier: FrontierActive,
+		Relax:    Monoid{Identity: graph.InfDist, Combine: CombineAdd},
+		Weighted: true,
+		Init: func(v, src int) uint32 {
+			if v == src {
+				return 0
+			}
+			return graph.InfDist
+		},
+		Seed:     func(v, src int) bool { return v == src },
+		Validate: ValidateSSSP,
+	}
+}
+
+// SSSP runs single-source shortest path from src: each iteration, every
+// vertex whose distance improved last round relaxes its outgoing edges;
+// the run converges when no distance changes. Edge weights stream from
+// host memory alongside the destinations.
 //
 // Relaxations are bulk-synchronous (Jacobi): each round, active vertices
 // read their distance from a device-side snapshot taken at the round
 // boundary while atomic-min updates land in the live array — the same
 // racy-read/atomic-write structure a real GPU kernel has, with the
 // snapshot making the reads independent of warp execution order so runs
-// are bit-for-bit reproducible under the parallel launch engine.
-// Intra-round chaining (a warp reusing a distance another warp lowered
-// moments earlier) is given up; the fixed point is identical, reached in
-// a few more launches.
+// are bit-for-bit reproducible under the parallel launch engine (the
+// engine's FrontierActive policy). Intra-round chaining (a warp reusing a
+// distance another warp lowered moments earlier) is given up; the fixed
+// point is identical, reached in a few more launches.
 func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
 	n := dg.NumVertices()
 	if src < 0 || src >= n {
@@ -31,53 +50,18 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 	if dg.Weights == nil {
 		return nil, fmt.Errorf("core: SSSP requires a weighted graph")
 	}
-	dev.BeginRun(gpu.RunLabels{App: "SSSP", Variant: variant.String(),
-		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
-	defer dev.EndRun()
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	dist, err := rs.alloc("sssp.dist", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	distRead, err := rs.alloc("sssp.distread", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	cur, err := rs.alloc("sssp.active0", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	next, err := rs.alloc("sssp.active1", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		dist.PutU32(int64(v), graph.InfDist)
-	}
-	dist.PutU32(int64(src), 0)
-	cur.PutU32(int64(src), 1)
-	dev.CopyToDevice(int64(n) * 4 * 2) // dist + initial frontier upload
-
-	iterations := 0
-	for {
-		roundStart := dev.Clock()
-		rs.clearFlag()
-		dev.CopyOnDevice(distRead, dist) // round-boundary snapshot for source reads
-		visit := relaxVisitor(dist, next, rs.flag, true)
-		launchActiveKernel(dev, dg, variant, "sssp/"+variant.String(), distRead, cur, true, visit)
-		iterations++
-		more := rs.readFlag()
-		dev.EmitRound("sssp/"+variant.String(), iterations-1, roundStart)
-		if !more {
-			break
-		}
-		cur, next = next, cur
-		dev.Memset(next, 0) // clear the new next-frontier (cudaMemsetAsync)
-	}
-	return rs.finish("SSSP", variant, dg.Transport, src, dist, n, iterations), nil
+	prog := ssspProgram()
+	name := "sssp/" + variant.String()
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:     variant,
+		transport:   dg.Transport,
+		graphName:   dg.Graph.Name,
+		valueName:   "sssp.dist",
+		snapName:    "sssp.distread",
+		activeNames: [2]string{"sssp.active0", "sssp.active1"},
+		roundName:   name,
+		kernel:      stdActiveKernel(dg, variant, name, prog),
+	})
 }
 
 // ValidateSSSP checks an SSSP result against the Dijkstra reference.

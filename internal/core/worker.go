@@ -4,11 +4,11 @@ import (
 	"fmt"
 
 	"repro/internal/gpu"
-	"repro/internal/graph"
 )
 
 // This file implements two studies around EMOGI's fixed warp-per-vertex
-// worker choice:
+// worker choice, both as kernel configurations of the frontier engine's
+// BFS program:
 //
 //   - BFSWithWorker generalizes the merged kernel to sub-warp workers of
 //     4..32 lanes, the design §4.3.1 argues *against* for out-of-memory
@@ -33,35 +33,21 @@ func BFSWithWorker(dev *gpu.Device, dg *DeviceGraph, src int, workerLanes int, a
 		return nil, fmt.Errorf("core: worker size %d not in {4, 8, 16, 32}", workerLanes)
 	}
 	n := dg.NumVertices()
-	if src < 0 || src >= n {
-		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
-	}
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("bfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	groups := gpu.WarpSize / workerLanes
-	warps := (n + groups - 1) / groups
-	visit := relaxVisitor(labels, nil, rs.flag, false)
+	prog := bfsProgram()
 	variant := Merged
 	if aligned {
 		variant = MergedAligned
 	}
+	groups := gpu.WarpSize / workerLanes
+	warps := (n + groups - 1) / groups
 	name := fmt.Sprintf("bfs/worker%d", workerLanes)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		rs.clearFlag()
-		dev.Launch(name, warps, func(w *gpu.Warp) {
+	labelVariant := fmt.Sprintf("worker%d", workerLanes)
+	if !aligned {
+		labelVariant += "-unaligned"
+	}
+	kernel := func(r *engineRound) {
+		level, labels, visit := r.level, r.values, r.visit
+		r.dev.Launch(name, warps, func(w *gpu.Warp) {
 			vbase := int64(w.ID()) * int64(groups)
 			// Group leaders read the labels of their vertices.
 			var lidx [gpu.WarpSize]int64
@@ -84,15 +70,18 @@ func BFSWithWorker(dev *gpu.Device, dg *DeviceGraph, src int, workerLanes int, a
 			if !any {
 				return
 			}
-			walkGrouped(w, dg, vbase, groups, workerLanes, activeGroups, level+1, aligned, visit)
+			walkGrouped(w, dg, vbase, groups, workerLanes, activeGroups, prog.push(level), aligned, visit)
 		})
-		iterations++
-		if !rs.readFlag() {
-			break
-		}
 	}
-	res := rs.finish("BFS", variant, dg.Transport, src, labels, n, iterations)
-	return res, nil
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:      variant,
+		transport:    dg.Transport,
+		graphName:    dg.Graph.Name,
+		labelVariant: labelVariant,
+		valueName:    "bfs.labels",
+		roundName:    name,
+		kernel:       kernel,
+	})
 }
 
 // walkGrouped traverses up to `groups` neighbor lists with one warp, each
@@ -169,37 +158,26 @@ func BFSBalanced(dev *gpu.Device, dg *DeviceGraph, src int, splitLen int64) (*Re
 	if splitLen < gpu.WarpSize {
 		return nil, fmt.Errorf("core: split length %d below warp size", splitLen)
 	}
-	rs, err := newRunState(dev)
-	if err != nil {
-		return nil, err
-	}
-	labels, err := rs.alloc("bfs.labels", int64(n)*4)
-	if err != nil {
-		return nil, err
-	}
-	for v := 0; v < n; v++ {
-		labels.PutU32(int64(v), graph.InfDist)
-	}
-	labels.PutU32(int64(src), 0)
-	dev.CopyToDevice(int64(n) * 4)
-
-	visit := relaxVisitor(labels, nil, rs.flag, false)
-	iterations := 0
-	for level := uint32(0); ; level++ {
-		rs.clearFlag()
-		dev.Launch("bfs/balanced", n, func(w *gpu.Warp) {
+	prog := bfsProgram()
+	kernel := func(r *engineRound) {
+		level, labels, visit := r.level, r.values, r.visit
+		r.dev.Launch("bfs/balanced", n, func(w *gpu.Warp) {
 			v := int64(w.ID())
 			if w.ScalarU32(labels, v) != level {
 				return
 			}
-			walkMergedBalanced(w, dg, v, level+1, splitLen, visit)
+			walkMergedBalanced(w, dg, v, prog.push(level), splitLen, visit)
 		})
-		iterations++
-		if !rs.readFlag() {
-			break
-		}
 	}
-	return rs.finish("BFS", MergedAligned, dg.Transport, src, labels, n, iterations), nil
+	return runProgram(dev, n, prog, src, &engineConfig{
+		variant:      MergedAligned,
+		transport:    dg.Transport,
+		graphName:    dg.Graph.Name,
+		labelVariant: "balanced",
+		valueName:    "bfs.labels",
+		roundName:    "bfs/balanced",
+		kernel:       kernel,
+	})
 }
 
 // walkMergedBalanced is walkMerged with aligned starts and a virtual-warp

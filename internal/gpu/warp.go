@@ -373,6 +373,27 @@ func (w *Warp) AtomicMinU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[Warp
 	return old
 }
 
+// AtomicMaxU32 performs per-lane atomicMax on buf[idx[i]] with val[i],
+// returning the previous values. The same ordering caveats as AtomicMinU32
+// apply: max commutes, so the final buffer state is order-independent, but
+// the returned old values may only feed order-insensitive logic.
+func (w *Warp) AtomicMaxU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint32, mask Mask) [WarpSize]uint32 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 4
+		}
+	}
+	w.access(buf, &off, mask, true)
+	var old [WarpSize]uint32
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			old[i] = buf.AtomicMaxU32(idx[i], val[i])
+		}
+	}
+	return old
+}
+
 // AtomicOrU32 performs per-lane atomicOr on buf[idx[i]] with val[i],
 // returning the previous values. Like min, OR commutes, so the final
 // buffer state is independent of warp execution order.

@@ -101,6 +101,54 @@ func RefSSSP(g *CSR, src int) []uint32 {
 	return dist
 }
 
+// RefSSWP returns each vertex's widest-path width from src: the maximum
+// over all paths of the path's narrowest edge weight (the bottleneck
+// capacity). The source itself has width InfDist (an empty path has no
+// bottleneck); unreachable vertices have width 0. Computed with the
+// max-bottleneck variant of Dijkstra: repeatedly settle the vertex with
+// the widest known path. Unweighted graphs use weight 1 per edge.
+func RefSSWP(g *CSR, src int) []uint32 {
+	n := g.NumVertices()
+	width := make([]uint32, n)
+	if src < 0 || src >= n {
+		return width
+	}
+	width[src] = InfDist
+	h := &widthHeap{}
+	heap.Push(h, [2]uint32{uint32(src), InfDist})
+	for h.Len() > 0 {
+		p := heap.Pop(h).([2]uint32)
+		v, wv := int(p[0]), p[1]
+		if wv < width[v] {
+			continue // stale entry
+		}
+		ns := g.Neighbors(v)
+		ws := g.NeighborWeights(v)
+		for i, u := range ns {
+			w := uint32(1)
+			if ws != nil {
+				w = ws[i]
+			}
+			// The path through v is as wide as its narrowest hop.
+			nw := wv
+			if w < nw {
+				nw = w
+			}
+			if nw > width[u] {
+				width[u] = nw
+				heap.Push(h, [2]uint32{u, nw})
+			}
+		}
+	}
+	return width
+}
+
+// widthHeap is a binary max-heap of (vertex, width) pairs for the
+// widest-path Dijkstra.
+type widthHeap struct{ distHeap }
+
+func (h *widthHeap) Less(i, j int) bool { return h.d[i] > h.d[j] }
+
 // RefCC returns each vertex's connected-component label: the smallest
 // vertex ID in its component, which is the fixed point that GPU min-label
 // propagation converges to. The graph must be undirected.

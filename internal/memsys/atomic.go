@@ -92,6 +92,22 @@ func (b *Buffer) AtomicMinU32(i int64, v uint32) uint32 {
 	}
 }
 
+// AtomicMaxU32 atomically raises element i to v if v is larger, returning
+// the previous value — the CUDA atomicMax contract.
+func (b *Buffer) AtomicMaxU32(i int64, v uint32) uint32 {
+	p := b.ptr32(i)
+	for {
+		raw := atomic.LoadUint32(p)
+		cur := word32(raw)
+		if v <= cur {
+			return cur
+		}
+		if atomic.CompareAndSwapUint32(p, raw, word32(v)) {
+			return cur
+		}
+	}
+}
+
 // AtomicOrU32 atomically ORs v into element i, returning the previous
 // value — the CUDA atomicOr contract.
 func (b *Buffer) AtomicOrU32(i int64, v uint32) uint32 {

@@ -2,6 +2,7 @@ package emogi
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -15,6 +16,7 @@ import (
 // final execution time is calculated by averaging the execution times".
 type RunSummary struct {
 	App       App
+	Algo      string // algorithm registry name the runs dispatched through
 	Variant   Variant
 	Transport Transport
 	GraphName string
@@ -51,11 +53,28 @@ func (rs *RunSummary) IOAmplification(datasetBytes int64) float64 {
 // cold caches before each run. Every run is validated against the CPU
 // reference; a wrong result aborts the measurement.
 func (s *System) RunMany(dg *DeviceGraph, app App, sources []int, v Variant) (*RunSummary, error) {
+	sum, err := s.RunManyAlgo(dg, strings.ToLower(app.String()), sources, v)
+	if err != nil {
+		return nil, err
+	}
+	sum.App = app
+	return sum, nil
+}
+
+// RunManyAlgo is RunMany over the algorithm registry: it measures the
+// named algorithm (built-in application or specialty traversal; see
+// Algorithms) over the given sources. Source-free algorithms run once to
+// preserve averaging semantics.
+func (s *System) RunManyAlgo(dg *DeviceGraph, name string, sources []int, v Variant) (*RunSummary, error) {
 	if len(sources) == 0 {
 		return nil, fmt.Errorf("emogi: RunMany needs at least one source")
 	}
+	a := core.LookupAlgorithm(name)
+	if a == nil {
+		return nil, fmt.Errorf("emogi: unknown algorithm %q", name)
+	}
 	rs := &RunSummary{
-		App:       app,
+		Algo:      a.Name,
 		Variant:   v,
 		Transport: dg.Transport,
 		GraphName: dg.Graph.Name,
@@ -65,19 +84,19 @@ func (s *System) RunMany(dg *DeviceGraph, app App, sources []int, v Variant) (*R
 	var total time.Duration
 	for _, src := range sources {
 		s.ColdCaches()
-		res, err := core.Run(s.dev, dg, app, src, v)
+		res, err := a.Run(s.dev, dg, src, v)
 		if err != nil {
 			return nil, err
 		}
 		if err := res.Validate(dg.Graph); err != nil {
 			return nil, fmt.Errorf("emogi: %s on %s produced wrong output: %w",
-				app, dg.Graph.Name, err)
+				a.Name, dg.Graph.Name, err)
 		}
 		rs.Results = append(rs.Results, res)
 		rs.Stats.Add(&res.Stats)
 		total += res.Elapsed
-		if app == CC {
-			break // CC has no source; one run is the measurement
+		if a.NoSource {
+			break // no source vertex; one run is the measurement
 		}
 	}
 	rs.MeanElapsed = total / time.Duration(len(rs.Results))

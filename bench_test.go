@@ -308,7 +308,7 @@ func BenchmarkCoreBFSMergedAligned(b *testing.B) {
 		b.Fatal(err)
 	}
 	sys := emogi.NewSystem(emogi.V100PCIe3(0.1))
-	dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -400,7 +400,7 @@ func BenchmarkLaunchWorkers(b *testing.B) {
 			cfg := emogi.V100PCIe3(0.3)
 			cfg.Workers = workers
 			sys := emogi.NewSystem(cfg)
-			dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+			dg, err := sys.Load(g)
 			if err != nil {
 				b.Fatal(err)
 			}

@@ -1,0 +1,320 @@
+// Command emogi-serve exposes the concurrent traversal service over
+// HTTP+JSON: a pool of datasets loaded on one simulated system, served
+// with bounded admission, per-request deadlines, and a result cache.
+//
+//	emogi-serve -graphs GK,GU -scale 0.05 -addr :8080
+//
+// Endpoints:
+//
+//	POST /v1/traverse   {"dataset":"GK","algo":"bfs","src":12,"variant":"merged+aligned","timeout_ms":500}
+//	GET  /v1/algorithms registered traversal algorithms
+//	GET  /v1/datasets   loaded graphs
+//	GET  /metrics       Prometheus text exposition (queue, cache, outcomes)
+//	GET  /healthz       liveness
+//
+// Overload semantics: requests beyond the -concurrency workers and the
+// -queue-depth admission queue are rejected immediately with 429; a
+// request whose timeout_ms (or client disconnect) fires mid-run stops at
+// the engine's next round boundary and returns 504.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	emogi "repro"
+	"repro/internal/service"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		graphs      = flag.String("graphs", "GK", "comma-separated dataset symbols to load (see -list equivalents in cmd/emogi)")
+		scale       = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the standard 1:1000 reduction)")
+		seed        = flag.Int64("seed", 42, "graph synthesis seed")
+		platform    = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
+		transport   = flag.String("transport", "zerocopy", "edge-list transport: zerocopy or uvm")
+		elemBytes   = flag.Int("elem", 8, "edge element bytes (4 or 8)")
+		concurrency = flag.Int("concurrency", 4, "worker goroutines executing traversals")
+		queueDepth  = flag.Int("queue-depth", 64, "admission queue depth (beyond it requests get 429)")
+		cacheSize   = flag.Int("cache", 128, "result cache entries (0 default, negative disables)")
+		workers     = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg, err := parsePlatform(*platform, *scale)
+	if err != nil {
+		log.Fatalf("emogi-serve: %v", err)
+	}
+	cfg.Workers = *workers
+	tr, err := parseTransport(*transport)
+	if err != nil {
+		log.Fatalf("emogi-serve: %v", err)
+	}
+
+	sys := emogi.NewSystem(cfg)
+	reg := telemetry.NewRegistry()
+	svc := service.New(sys, service.Config{
+		Concurrency:  *concurrency,
+		QueueDepth:   *queueDepth,
+		CacheEntries: *cacheSize,
+		Metrics:      reg,
+	})
+	for _, sym := range strings.Split(*graphs, ",") {
+		sym = strings.TrimSpace(sym)
+		if sym == "" {
+			continue
+		}
+		g, err := emogi.BuildDataset(sym, *scale, *seed)
+		if err != nil {
+			log.Fatalf("emogi-serve: building %s: %v", sym, err)
+		}
+		if err := svc.AddGraph(sym, g,
+			emogi.WithTransport(tr), emogi.WithElemBytes(*elemBytes)); err != nil {
+			log.Fatalf("emogi-serve: loading %s: %v", sym, err)
+		}
+		log.Printf("loaded %s: %d vertices, %d edges (%s)",
+			sym, g.NumVertices(), g.NumEdges(), tr)
+	}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traverse", handleTraverse(svc))
+	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
+	mux.HandleFunc("/v1/datasets", handleDatasets(svc))
+	mux.Handle("/", telemetry.Handler(reg)) // /metrics and /healthz
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("emogi-serve: %v", err)
+	}
+	srv := &http.Server{Handler: mux}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("emogi-serve: %v", err)
+		}
+	}()
+	log.Printf("serving on http://%s (POST /v1/traverse)", ln.Addr())
+
+	// Drain-then-stop on SIGINT/SIGTERM: stop accepting connections,
+	// finish in-flight requests, then stop the service and unload.
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("emogi-serve: shutdown: %v", err)
+	}
+	svc.Close()
+}
+
+// traverseRequest is the POST /v1/traverse body.
+type traverseRequest struct {
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	Src     int    `json:"src"`
+	// Variant is "naive", "merged", or "merged+aligned" (the default).
+	Variant string `json:"variant"`
+	// TimeoutMS bounds the run; on expiry the traversal stops at the
+	// next round boundary and the request returns 504.
+	TimeoutMS int64 `json:"timeout_ms"`
+	// IncludeValues returns the full per-vertex value array (large).
+	IncludeValues bool `json:"include_values"`
+}
+
+// traverseResponse is the success body. Elapsed fields are simulated
+// device time; the values checksum identifies the result without
+// shipping the array.
+type traverseResponse struct {
+	Dataset        string   `json:"dataset"`
+	Algo           string   `json:"algo"`
+	App            string   `json:"app"`
+	Src            int      `json:"src"`
+	Variant        string   `json:"variant"`
+	Transport      string   `json:"transport"`
+	Iterations     int      `json:"iterations"`
+	ElapsedNS      int64    `json:"elapsed_ns"`
+	Elapsed        string   `json:"elapsed"`
+	PCIeRequests   uint64   `json:"pcie_requests"`
+	PCIePayload    uint64   `json:"pcie_payload_bytes"`
+	ValuesChecksum string   `json:"values_checksum"`
+	Values         []uint32 `json:"values,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func handleTraverse(svc *service.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
+			return
+		}
+		var req traverseRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
+			return
+		}
+		variant := emogi.MergedAligned
+		if req.Variant != "" {
+			var err error
+			if variant, err = parseVariant(req.Variant); err != nil {
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+		}
+		ctx := r.Context()
+		if req.TimeoutMS > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+			defer cancel()
+		}
+		res, err := svc.Do(ctx, service.Request{
+			Dataset: req.Dataset,
+			Algo:    req.Algo,
+			Src:     req.Src,
+			Variant: variant,
+		})
+		if err != nil {
+			writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+			return
+		}
+		resp := traverseResponse{
+			Dataset:        req.Dataset,
+			Algo:           req.Algo,
+			App:            res.App,
+			Src:            res.Source,
+			Variant:        res.Variant.String(),
+			Transport:      res.Transport.String(),
+			Iterations:     res.Iterations,
+			ElapsedNS:      res.Elapsed.Nanoseconds(),
+			Elapsed:        res.Elapsed.String(),
+			PCIeRequests:   res.Stats.PCIeRequests,
+			PCIePayload:    res.Stats.PCIePayloadBytes,
+			ValuesChecksum: checksum(res.Values),
+		}
+		if req.IncludeValues {
+			resp.Values = res.Values
+		}
+		writeJSON(w, http.StatusOK, resp)
+	}
+}
+
+// statusFor maps service errors onto HTTP statuses: shed load is 429
+// (retryable), cancellation/deadline is 504, unknown names are 404.
+func statusFor(err error) int {
+	var unknownDataset *service.UnknownDatasetError
+	var unknownAlgo *emogi.UnknownAlgorithmError
+	switch {
+	case errors.Is(err, service.ErrOverloaded):
+		return http.StatusTooManyRequests
+	case errors.Is(err, service.ErrStopped):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, emogi.ErrCanceled):
+		return http.StatusGatewayTimeout
+	case errors.As(err, &unknownDataset), errors.As(err, &unknownAlgo):
+		return http.StatusNotFound
+	default:
+		return http.StatusBadRequest
+	}
+}
+
+func checksum(values []uint32) string {
+	h := fnv.New64a()
+	var b [4]byte
+	for _, v := range values {
+		b[0], b[1], b[2], b[3] = byte(v), byte(v>>8), byte(v>>16), byte(v>>24)
+		h.Write(b[:])
+	}
+	return fmt.Sprintf("fnv64a:%016x", h.Sum64())
+}
+
+type algorithmInfo struct {
+	Name            string `json:"name"`
+	Description     string `json:"description"`
+	NeedsWeights    bool   `json:"needs_weights"`
+	NeedsUndirected bool   `json:"needs_undirected"`
+	NoSource        bool   `json:"no_source"`
+	FixedVariant    bool   `json:"fixed_variant"`
+}
+
+func handleAlgorithms(w http.ResponseWriter, r *http.Request) {
+	algos := emogi.Algorithms()
+	out := make([]algorithmInfo, len(algos))
+	for i, a := range algos {
+		out[i] = algorithmInfo{
+			Name:            a.Name,
+			Description:     a.Description,
+			NeedsWeights:    a.NeedsWeights,
+			NeedsUndirected: a.NeedsUndirected,
+			NoSource:        a.NoSource,
+			FixedVariant:    a.FixedVariant,
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func handleDatasets(svc *service.Service) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Datasets())
+	}
+}
+
+func parseVariant(s string) (emogi.Variant, error) {
+	switch strings.ToLower(s) {
+	case "naive":
+		return emogi.Naive, nil
+	case "merged":
+		return emogi.Merged, nil
+	case "merged+aligned", "aligned", "mergedaligned":
+		return emogi.MergedAligned, nil
+	}
+	return 0, fmt.Errorf("unknown variant %q (want naive, merged, or merged+aligned)", s)
+}
+
+func parseTransport(s string) (emogi.Transport, error) {
+	switch strings.ToLower(s) {
+	case "zerocopy", "zc", "emogi":
+		return emogi.ZeroCopy, nil
+	case "uvm":
+		return emogi.UVM, nil
+	}
+	return 0, fmt.Errorf("unknown transport %q (want zerocopy or uvm)", s)
+}
+
+func parsePlatform(s string, scale float64) (emogi.SystemConfig, error) {
+	switch strings.ToLower(s) {
+	case "v100":
+		return emogi.V100PCIe3(scale), nil
+	case "titanxp":
+		return emogi.TitanXpPCIe3(scale), nil
+	case "a100-pcie3":
+		return emogi.A100PCIe3(scale), nil
+	case "a100-pcie4", "a100":
+		return emogi.A100PCIe4(scale), nil
+	}
+	return emogi.SystemConfig{}, fmt.Errorf("unknown platform %q", s)
+}

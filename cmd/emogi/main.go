@@ -112,7 +112,7 @@ func main() {
 	}
 
 	sys := emogi.NewSystem(cfg)
-	dg, err := sys.Load(g, tr, *elemBytes)
+	dg, err := sys.Load(g, emogi.WithTransport(tr), emogi.WithElemBytes(*elemBytes))
 	if err != nil {
 		log.Fatalf("loading graph onto device: %v", err)
 	}
@@ -150,7 +150,7 @@ func main() {
 	}
 	if *compare && tr == emogi.ZeroCopy {
 		sysU := emogi.NewSystem(cfg)
-		dgU, err := sysU.Load(g, emogi.UVM, *elemBytes)
+		dgU, err := sysU.Load(g, emogi.WithTransport(emogi.UVM), emogi.WithElemBytes(*elemBytes))
 		if err != nil {
 			log.Fatalf("loading UVM baseline: %v", err)
 		}

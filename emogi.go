@@ -5,20 +5,29 @@
 //
 // A System is one simulated machine (GPU + host memory + PCIe link).
 // Graphs are loaded onto it with a transport (ZeroCopy for EMOGI, UVM for
-// the baseline) and traversed with BFS, SSSP, or CC in one of the paper's
+// the baseline) and traversed by algorithm name in one of the paper's
 // three kernel variants. All functional results are exact (validated
 // against CPU references); all performance numbers are simulated time from
 // the calibrated model described in DESIGN.md.
 //
-//	sys := emogi.NewSystem(emogi.V100PCIe3())
-//	g := emogi.BuildDataset("GK", 0.1, 42)
-//	dg, _ := sys.Load(g, emogi.ZeroCopy, 8)
-//	res, _ := sys.BFS(dg, src, emogi.MergedAligned)
+//	sys := emogi.NewSystem(emogi.V100PCIe3(1.0))
+//	g, _ := emogi.BuildDataset("GK", 1.0, 42)
+//	dg, _ := sys.Load(g)
+//	res, _ := sys.Do(ctx, emogi.Request{Graph: dg, Algo: "bfs", Src: src, Variant: emogi.MergedAligned})
 //	fmt.Println(res.Elapsed, res.Stats.PCIeRequests)
+//
+// Do is the context-first v2 entry point: it accepts per-request
+// cancellation and deadlines (a canceled run stops at the next round
+// boundary with an error matching ErrCanceled) and is safe for concurrent
+// use — runs serialize on the device. The v1 per-app methods (BFS, SSSP,
+// CC, SSWP, Run, RunAlgo) and the positional LoadV1 survive as deprecated
+// wrappers over Do and Load.
 package emogi
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
 	"repro/internal/gpu"
@@ -49,7 +58,17 @@ type (
 	RunLabels = gpu.RunLabels
 	// Algorithm is one entry of the traversal-algorithm registry.
 	Algorithm = core.Algorithm
+	// CanceledError reports a traversal stopped cooperatively at a round
+	// boundary through its context.
+	CanceledError = core.CanceledError
+	// UnknownAlgorithmError reports a Request.Algo not in the registry;
+	// its message lists every valid name.
+	UnknownAlgorithmError = core.UnknownAlgorithmError
 )
+
+// ErrCanceled matches any traversal stopped through its context:
+// errors.Is(err, emogi.ErrCanceled).
+var ErrCanceled = core.ErrCanceled
 
 // Kernel variants (§5.1.2).
 const (
@@ -201,48 +220,150 @@ func (s *System) Config() SystemConfig { return s.cfg }
 // harness.
 func (s *System) Device() *gpu.Device { return s.dev }
 
-// Load places a graph onto the system: the vertex list in GPU memory, the
-// edge list (and weights) in host memory behind the chosen transport.
-// elemBytes is the edge element width (8 in the paper's main experiments).
-func (s *System) Load(g *Graph, transport Transport, elemBytes int) (*DeviceGraph, error) {
-	return core.Upload(s.dev, g, transport, elemBytes)
+// LoadOption configures Load.
+type LoadOption func(*loadConfig)
+
+type loadConfig struct {
+	transport Transport
+	elemBytes int
 }
 
-// Unload releases a loaded graph's buffers.
+// WithTransport selects where the edge list lives: ZeroCopy (EMOGI, the
+// default) or UVM (the migration baseline).
+func WithTransport(t Transport) LoadOption {
+	return func(c *loadConfig) { c.transport = t }
+}
+
+// WithElemBytes sets the edge element width: 8 (the paper's main
+// experiments, the default) or 4 (the Subway comparison, Table 3).
+func WithElemBytes(n int) LoadOption {
+	return func(c *loadConfig) { c.elemBytes = n }
+}
+
+// Load places a graph onto the system: the vertex list in GPU memory, the
+// edge list (and weights) in host memory. The defaults — zero-copy
+// transport, 8-byte edge elements — are the paper's main configuration;
+// override them with WithTransport and WithElemBytes.
+func (s *System) Load(g *Graph, opts ...LoadOption) (*DeviceGraph, error) {
+	c := loadConfig{transport: ZeroCopy, elemBytes: 8}
+	for _, o := range opts {
+		o(&c)
+	}
+	return core.Upload(s.dev, g, c.transport, c.elemBytes)
+}
+
+// LoadV1 is the v1 positional load.
+//
+// Deprecated: use Load with WithTransport / WithElemBytes.
+func (s *System) LoadV1(g *Graph, transport Transport, elemBytes int) (*DeviceGraph, error) {
+	return s.Load(g, WithTransport(transport), WithElemBytes(elemBytes))
+}
+
+// Unload releases a loaded graph's buffers. It is idempotent: unloading
+// a graph twice, or unloading nil, is a no-op.
 func (s *System) Unload(dg *DeviceGraph) { dg.Free(s.dev) }
 
+// Request describes one traversal for Do.
+type Request struct {
+	// Graph is the loaded graph to traverse (required).
+	Graph *DeviceGraph
+	// Algo is the algorithm registry name: the built-in applications
+	// ("bfs", "sssp", "cc", "sswp") and the specialty traversals
+	// ("bfs-worker8", "bfs-balanced", "bfs-pushpull", "bfs-compressed",
+	// "bfs-edgecentric"); see Algorithms for the full list.
+	Algo string
+	// Src is the source vertex (ignored by source-free algorithms).
+	Src int
+	// Variant selects the kernel access pattern (ignored by
+	// fixed-variant specialty kernels).
+	Variant Variant
+	// Cold evicts UVM residency before the run, so it starts with cold
+	// caches like the paper's measurement discipline (§5.2). Zero-copy
+	// runs are unaffected; for UVM runs it makes results independent of
+	// what ran before.
+	Cold bool
+}
+
+// Do executes one traversal. It is the context-first entry point that
+// unifies the per-app methods and RunAlgo:
+//
+//   - Cancellation: when ctx is canceled or its deadline passes, the run
+//     stops at the next round boundary and Do returns a *CanceledError
+//     matching both ErrCanceled and the context cause. The device is left
+//     exactly as a completed run leaves it.
+//   - Concurrency: Do is safe for concurrent use; runs serialize on the
+//     simulated device (one traversal owns the device clock and memory
+//     system at a time, like a real CUDA context).
+//
+// An unknown Request.Algo returns an *UnknownAlgorithmError listing the
+// valid names.
+func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
+	if req.Graph == nil {
+		return nil, fmt.Errorf("emogi: Do requires Request.Graph (load one with Load)")
+	}
+	if req.Algo == "" {
+		return nil, fmt.Errorf("emogi: Do requires Request.Algo (valid algorithms: %s)",
+			strings.Join(core.AlgorithmNames(), ", "))
+	}
+	var res *Result
+	var err error
+	s.dev.Exclusive(func() {
+		if req.Cold {
+			s.dev.ResetUVMResidency()
+		}
+		res, err = core.RunAlgoContext(ctx, s.dev, req.Graph, req.Algo, req.Src, req.Variant)
+	})
+	return res, err
+}
+
 // BFS runs breadth-first search from src.
+//
+// Deprecated: use Do with Request{Algo: "bfs"}.
 func (s *System) BFS(dg *DeviceGraph, src int, v Variant) (*Result, error) {
-	return core.BFS(s.dev, dg, src, v)
+	return s.Do(context.Background(), Request{Graph: dg, Algo: "bfs", Src: src, Variant: v})
 }
 
 // SSSP runs single-source shortest path from src.
+//
+// Deprecated: use Do with Request{Algo: "sssp"}.
 func (s *System) SSSP(dg *DeviceGraph, src int, v Variant) (*Result, error) {
-	return core.SSSP(s.dev, dg, src, v)
+	return s.Do(context.Background(), Request{Graph: dg, Algo: "sssp", Src: src, Variant: v})
 }
 
 // CC runs connected components (undirected graphs only).
+//
+// Deprecated: use Do with Request{Algo: "cc"}.
 func (s *System) CC(dg *DeviceGraph, v Variant) (*Result, error) {
-	return core.CC(s.dev, dg, v)
+	return s.Do(context.Background(), Request{Graph: dg, Algo: "cc", Variant: v})
 }
 
 // Run dispatches by application; src is ignored for CC.
+//
+// Deprecated: use Do with the algorithm's registry name.
 func (s *System) Run(dg *DeviceGraph, app App, src int, v Variant) (*Result, error) {
-	return core.Run(s.dev, dg, app, src, v)
+	switch app {
+	case BFS, SSSP, CC:
+		return s.Do(context.Background(),
+			Request{Graph: dg, Algo: strings.ToLower(app.String()), Src: src, Variant: v})
+	default:
+		return nil, fmt.Errorf("emogi: unknown application %d", int(app))
+	}
 }
 
 // SSWP runs single-source widest path from src (weighted graphs only).
+//
+// Deprecated: use Do with Request{Algo: "sswp"}.
 func (s *System) SSWP(dg *DeviceGraph, src int, v Variant) (*Result, error) {
-	return core.SSWP(s.dev, dg, src, v)
+	return s.Do(context.Background(), Request{Graph: dg, Algo: "sswp", Src: src, Variant: v})
 }
 
-// RunAlgo dispatches by algorithm registry name — built-in applications
-// ("bfs", "sssp", "cc", "sswp") and specialty traversals ("bfs-worker8",
-// "bfs-balanced", "bfs-pushpull", "bfs-compressed", "bfs-edgecentric");
-// see Algorithms for the full list. src is ignored by source-free
-// algorithms; variant is ignored by fixed-variant specialty kernels.
+// RunAlgo dispatches by algorithm registry name. src is ignored by
+// source-free algorithms; variant is ignored by fixed-variant specialty
+// kernels.
+//
+// Deprecated: use Do, which adds cancellation and concurrency safety.
 func (s *System) RunAlgo(dg *DeviceGraph, name string, src int, v Variant) (*Result, error) {
-	return core.RunAlgo(s.dev, dg, name, src, v)
+	return s.Do(context.Background(), Request{Graph: dg, Algo: name, Src: src, Variant: v})
 }
 
 // Algorithms lists the registered traversal algorithms sorted by name.

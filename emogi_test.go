@@ -1,6 +1,9 @@
 package emogi
 
 import (
+	"context"
+	"errors"
+	"strings"
 	"testing"
 	"time"
 )
@@ -55,7 +58,7 @@ func TestEndToEndBFS(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg, err := sys.Load(g, ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +84,7 @@ func TestEndToEndAllAppsAllTransports(t *testing.T) {
 	src := PickSources(g, 1, 5)[0]
 	for _, transport := range []Transport{ZeroCopy, UVM} {
 		sys := NewSystem(V100PCIe3(smallScale))
-		dg, err := sys.Load(g, transport, 8)
+		dg, err := sys.Load(g, WithTransport(transport))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -103,7 +106,7 @@ func TestRunManyAveraging(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dg, err := sys.Load(g, ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +140,7 @@ func TestRunManyAveraging(t *testing.T) {
 func TestRunManyCCRunsOnce(t *testing.T) {
 	sys := NewSystem(V100PCIe3(smallScale))
 	g, _ := BuildDataset("GU", smallScale, 7)
-	dg, err := sys.Load(g, ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -153,7 +156,7 @@ func TestRunManyCCRunsOnce(t *testing.T) {
 func TestRunManyNoSources(t *testing.T) {
 	sys := NewSystem(V100PCIe3(smallScale))
 	g, _ := BuildDataset("GU", smallScale, 7)
-	dg, err := sys.Load(g, ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +190,7 @@ func TestHeadlineSpeedupDirection(t *testing.T) {
 	sources := PickSources(g, 2, 13)
 
 	sysU := NewSystem(V100PCIe3(0.3))
-	dgU, err := sysU.Load(g, UVM, 8)
+	dgU, err := sysU.Load(g, WithTransport(UVM))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +200,7 @@ func TestHeadlineSpeedupDirection(t *testing.T) {
 	}
 
 	sysE := NewSystem(V100PCIe3(0.3))
-	dgE, err := sysE.Load(g, ZeroCopy, 8)
+	dgE, err := sysE.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -227,7 +230,7 @@ func TestSystemAccessors(t *testing.T) {
 		t.Errorf("Device should be exposed")
 	}
 	g, _ := BuildDataset("GU", smallScale, 7)
-	dg, err := sys.Load(g, ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,5 +257,160 @@ func TestRunSummaryZeroCases(t *testing.T) {
 	}
 	if rs.IOAmplification(0) != 0 || rs.IOAmplification(100) != 0 {
 		t.Errorf("degenerate amplification should be 0")
+	}
+}
+
+// TestLoadOptions: the functional-option Load covers every transport and
+// element-width combination the positional v1 signature did, and the
+// defaults are the paper's configuration (zero-copy, 8-byte elements).
+func TestLoadOptions(t *testing.T) {
+	g, err := BuildDataset("GK", smallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(V100PCIe3(smallScale))
+	dg, err := sys.Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Transport != ZeroCopy || dg.EdgeBytes != 8 {
+		t.Errorf("default Load = %v/%d, want zerocopy/8", dg.Transport, dg.EdgeBytes)
+	}
+	sys.Unload(dg)
+
+	dg, err = sys.Load(g, WithTransport(UVM), WithElemBytes(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dg.Transport != UVM || dg.EdgeBytes != 4 {
+		t.Errorf("Load with options = %v/%d, want uvm/4", dg.Transport, dg.EdgeBytes)
+	}
+	sys.Unload(dg)
+
+	// The deprecated positional signature still works and agrees.
+	dgV1, err := sys.LoadV1(g, UVM, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dgV1.Transport != UVM || dgV1.EdgeBytes != 4 {
+		t.Errorf("LoadV1 = %v/%d, want uvm/4", dgV1.Transport, dgV1.EdgeBytes)
+	}
+	sys.Unload(dgV1)
+}
+
+// TestUnloadIdempotent: Unload (and the underlying Free) may be called
+// any number of times, including on an already-unloaded graph, without
+// corrupting the arena accounting.
+func TestUnloadIdempotent(t *testing.T) {
+	g, err := BuildDataset("GK", smallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(V100PCIe3(smallScale))
+	before := sys.Device().Arena().GPUUsed()
+	dg, err := sys.Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Unload(dg)
+	after := sys.Device().Arena().GPUUsed()
+	if after != before {
+		t.Fatalf("Unload left %d bytes allocated", after-before)
+	}
+	sys.Unload(dg) // second unload: no-op
+	sys.Unload(dg) // and again
+	if got := sys.Device().Arena().GPUUsed(); got != after {
+		t.Errorf("repeated Unload changed arena accounting: %d -> %d", after, got)
+	}
+	// A fresh Load after the double-unload still works.
+	dg2, err := sys.Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Do(context.Background(), Request{Graph: dg2, Algo: "bfs", Src: 0}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Unload(dg2)
+}
+
+// TestDeprecatedWrappersDelegate: every v1 convenience method produces
+// the same answer as the Do request it now delegates to.
+func TestDeprecatedWrappersDelegate(t *testing.T) {
+	g, err := BuildDataset("GK", smallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(V100PCIe3(smallScale))
+	dg, err := sys.Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Unload(dg)
+	src := PickSources(g, 1, 7)[0]
+
+	check := func(name string, v1 func() (*Result, error), req Request) {
+		t.Helper()
+		got, err := v1()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := sys.Do(context.Background(), req)
+		if err != nil {
+			t.Fatalf("%s via Do: %v", name, err)
+		}
+		if got.App != want.App || got.Iterations != want.Iterations {
+			t.Errorf("%s: v1 wrapper and Do disagree: %s/%d vs %s/%d",
+				name, got.App, got.Iterations, want.App, want.Iterations)
+		}
+		for i := range got.Values {
+			if got.Values[i] != want.Values[i] {
+				t.Fatalf("%s: values diverge at vertex %d", name, i)
+			}
+		}
+	}
+	check("BFS",
+		func() (*Result, error) { return sys.BFS(dg, src, MergedAligned) },
+		Request{Graph: dg, Algo: "bfs", Src: src, Variant: MergedAligned})
+	check("SSSP",
+		func() (*Result, error) { return sys.SSSP(dg, src, MergedAligned) },
+		Request{Graph: dg, Algo: "sssp", Src: src, Variant: MergedAligned})
+	check("CC",
+		func() (*Result, error) { return sys.CC(dg, MergedAligned) },
+		Request{Graph: dg, Algo: "cc", Variant: MergedAligned})
+	check("SSWP",
+		func() (*Result, error) { return sys.SSWP(dg, src, MergedAligned) },
+		Request{Graph: dg, Algo: "sswp", Src: src, Variant: MergedAligned})
+	check("Run",
+		func() (*Result, error) { return sys.Run(dg, BFS, src, MergedAligned) },
+		Request{Graph: dg, Algo: "bfs", Src: src, Variant: MergedAligned})
+	check("RunAlgo",
+		func() (*Result, error) { return sys.RunAlgo(dg, "bfs-pushpull", src, MergedAligned) },
+		Request{Graph: dg, Algo: "bfs-pushpull", Src: src, Variant: MergedAligned})
+}
+
+// TestDoValidation: Do rejects malformed requests with messages that
+// tell the caller what to fix.
+func TestDoValidation(t *testing.T) {
+	sys := NewSystem(V100PCIe3(smallScale))
+	if _, err := sys.Do(context.Background(), Request{Algo: "bfs"}); err == nil {
+		t.Error("Do without a graph succeeded")
+	}
+	g, err := BuildDataset("GK", smallScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := sys.Load(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Unload(dg)
+	_, err = sys.Do(context.Background(), Request{Graph: dg})
+	if err == nil || !strings.Contains(err.Error(), "bfs") {
+		t.Errorf("Do without algo: err = %v, want a message listing algorithms", err)
+	}
+	_, err = sys.Do(context.Background(), Request{Graph: dg, Algo: "dfs"})
+	var ue *UnknownAlgorithmError
+	if !errors.As(err, &ue) {
+		t.Errorf("unknown algo: err = %v, want *UnknownAlgorithmError", err)
 	}
 }

@@ -25,7 +25,7 @@ func main() {
 
 	run := func(name string, transport emogi.Transport, variant emogi.Variant) *emogi.Result {
 		sys := emogi.NewSystem(emogi.V100PCIe3(scale))
-		dg, err := sys.Load(g, transport, 8)
+		dg, err := sys.Load(g, emogi.WithTransport(transport))
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -27,7 +27,7 @@ func main() {
 	// EMOGI: edge list pinned in host memory, traversed with zero-copy
 	// reads merged into aligned 128-byte PCIe requests.
 	sysE := emogi.NewSystem(emogi.V100PCIe3(scale))
-	dgE, err := sysE.Load(g, emogi.ZeroCopy, 8)
+	dgE, err := sysE.Load(g)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func main() {
 	// Baseline: the same kernel over UVM-managed memory, paying 4KB page
 	// migrations on every cold touch.
 	sysU := emogi.NewSystem(emogi.V100PCIe3(scale))
-	dgU, err := sysU.Load(g, emogi.UVM, 8)
+	dgU, err := sysU.Load(g, emogi.WithTransport(emogi.UVM))
 	if err != nil {
 		log.Fatal(err)
 	}

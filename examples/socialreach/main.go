@@ -25,7 +25,7 @@ func main() {
 		g.NumVertices(), g.NumEdges()/2, g.AvgDegree())
 
 	sys := emogi.NewSystem(emogi.V100PCIe3(scale))
-	dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+	dg, err := sys.Load(g)
 	if err != nil {
 		log.Fatal(err)
 	}

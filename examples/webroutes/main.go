@@ -28,7 +28,7 @@ func main() {
 
 	for _, variant := range []emogi.Variant{emogi.Naive, emogi.Merged, emogi.MergedAligned} {
 		sys := emogi.NewSystem(emogi.V100PCIe3(scale))
-		dg, err := sys.Load(g, emogi.ZeroCopy, 8)
+		dg, err := sys.Load(g)
 		if err != nil {
 			log.Fatal(err)
 		}

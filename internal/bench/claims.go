@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	emogi "repro"
@@ -128,11 +129,12 @@ func Claims(ds *Datasets) (*Table, error) {
 	// --- PCIe 4.0 scaling ---
 	runA100 := func(platform func(float64) emogi.SystemConfig, transport core.Transport, v core.Variant) *core.Result {
 		sys := cfg.System(platform(cfg.Scale))
-		dg, err := sys.Load(g, transport, 8)
+		dg, err := sys.Load(g, emogi.WithTransport(transport))
 		if err != nil {
 			panic(err)
 		}
-		res, err := sys.Run(dg, emogi.BFS, src, v)
+		res, err := sys.Do(context.Background(),
+			emogi.Request{Graph: dg, Algo: "bfs", Src: src, Variant: v})
 		if err != nil {
 			panic(err)
 		}

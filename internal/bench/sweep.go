@@ -72,7 +72,7 @@ func RunBFSSweep(ds *Datasets) (*BFSSweep, error) {
 				return nil, err
 			}
 			sys := cfg.System(emogi.V100PCIe3(cfg.Scale))
-			dg, err := sys.Load(g, transport, 8)
+			dg, err := sys.Load(g, emogi.WithTransport(transport))
 			if err != nil {
 				return nil, fmt.Errorf("bench: loading %s for %s: %w", sym, name, err)
 			}
@@ -139,7 +139,7 @@ func RunAppSweep(ds *Datasets, platform func(float64) emogi.SystemConfig) (*AppS
 			sources := ds.Sources(sym)
 			for _, sc := range systems {
 				sys := cfg.System(platform(cfg.Scale))
-				dg, err := sys.Load(g, sc.transport, 8)
+				dg, err := sys.Load(g, emogi.WithTransport(sc.transport))
 				if err != nil {
 					return nil, fmt.Errorf("bench: loading %s: %w", sym, err)
 				}

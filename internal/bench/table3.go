@@ -31,7 +31,7 @@ func Table3(ds *Datasets) (*Table, error) {
 			return nil, fmt.Errorf("bench: HALO on %s: %w", sym, err)
 		}
 		sysE := cfg.System(emogi.TitanXpPCIe3(cfg.Scale))
-		dgE, err := sysE.Load(g, emogi.ZeroCopy, 8)
+		dgE, err := sysE.Load(g)
 		if err != nil {
 			return nil, err
 		}
@@ -72,7 +72,7 @@ func Table3(ds *Datasets) (*Table, error) {
 				continue
 			}
 			sysE := cfg.System(emogi.V100PCIe3(cfg.Scale))
-			dgE, err := sysE.Load(g, emogi.ZeroCopy, 4)
+			dgE, err := sysE.Load(g, emogi.WithElemBytes(4))
 			if err != nil {
 				return nil, err
 			}

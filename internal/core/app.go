@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,9 +44,14 @@ func AllApps() []App { return []App{AppSSSP, AppBFS, AppCC} }
 // Run dispatches to the requested application through the algorithm
 // registry. src is ignored for CC.
 func Run(dev *gpu.Device, dg *DeviceGraph, app App, src int, variant Variant) (*Result, error) {
+	return RunContext(context.Background(), dev, dg, app, src, variant)
+}
+
+// RunContext is Run with cooperative cancellation at round boundaries.
+func RunContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, app App, src int, variant Variant) (*Result, error) {
 	switch app {
 	case AppBFS, AppSSSP, AppCC:
-		return RunAlgo(dev, dg, strings.ToLower(app.String()), src, variant)
+		return RunAlgoContext(ctx, dev, dg, strings.ToLower(app.String()), src, variant)
 	default:
 		return nil, fmt.Errorf("core: unknown application %d", int(app))
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -35,9 +36,16 @@ func bfsProgram() *Program {
 // furthest reachable vertex"). It returns each vertex's BFS level
 // (graph.InfDist for unreachable vertices).
 func BFS(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
+	return BFSContext(context.Background(), dev, dg, src, variant)
+}
+
+// BFSContext is BFS with cooperative cancellation: when ctx is canceled or
+// its deadline passes, the run stops at the next round boundary and
+// returns a *CanceledError (see cancel.go for the contract).
+func BFSContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
 	prog := bfsProgram()
 	name := "bfs/" + variant.String()
-	return runProgram(dev, dg.NumVertices(), prog, src, &engineConfig{
+	return runProgram(ctx, dev, dg.NumVertices(), prog, src, &engineConfig{
 		variant:   variant,
 		transport: dg.Transport,
 		graphName: dg.Graph.Name,

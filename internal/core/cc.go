@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -38,12 +39,18 @@ func ccProgram() *Program {
 // The graph must be undirected; the paper excludes the directed SK and
 // UK5 graphs from CC for the same reason.
 func CC(dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
+	return CCContext(context.Background(), dev, dg, variant)
+}
+
+// CCContext is CC with cooperative cancellation at round boundaries (see
+// cancel.go for the contract).
+func CCContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, variant Variant) (*Result, error) {
 	if dg.Graph.Directed {
 		return nil, fmt.Errorf("core: CC requires an undirected graph (got %s)", dg.Graph.Name)
 	}
 	prog := ccProgram()
 	name := "cc/" + variant.String()
-	return runProgram(dev, dg.NumVertices(), prog, 0, &engineConfig{
+	return runProgram(ctx, dev, dg.NumVertices(), prog, 0, &engineConfig{
 		variant:     variant,
 		transport:   dg.Transport,
 		graphName:   dg.Graph.Name,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -191,6 +192,12 @@ func (c *CompressedDeviceGraph) DecodeList(v int) []uint32 {
 // requests and decompress with warp-parallel prefix sums (charged as extra
 // warp instructions — the "idling resources" of §6).
 func BFSCompressed(dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Result, error) {
+	return BFSCompressedContext(context.Background(), dev, cdg, src)
+}
+
+// BFSCompressedContext is BFSCompressed with cooperative cancellation at
+// round boundaries (see cancel.go for the contract).
+func BFSCompressedContext(ctx context.Context, dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Result, error) {
 	g := cdg.Graph
 	n := g.NumVertices()
 	prog := bfsProgram()
@@ -253,7 +260,7 @@ func BFSCompressed(dev *gpu.Device, cdg *CompressedDeviceGraph, src int) (*Resul
 			}
 		})
 	}
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:      MergedAligned,
 		transport:    ZeroCopy,
 		graphName:    g.Name,

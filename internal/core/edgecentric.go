@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -72,6 +73,12 @@ func (ec *EdgeCentricGraph) Free(dev *gpu.Device) {
 // perfectly coalesced 128-byte requests with no alignment logic — and
 // relaxes the edges whose source carries the current level.
 func BFSEdgeCentric(dev *gpu.Device, ec *EdgeCentricGraph, src int) (*Result, error) {
+	return BFSEdgeCentricContext(context.Background(), dev, ec, src)
+}
+
+// BFSEdgeCentricContext is BFSEdgeCentric with cooperative cancellation
+// at round boundaries (see cancel.go for the contract).
+func BFSEdgeCentricContext(ctx context.Context, dev *gpu.Device, ec *EdgeCentricGraph, src int) (*Result, error) {
 	g := ec.Graph
 	n := g.NumVertices()
 	e := g.NumEdges()
@@ -119,7 +126,7 @@ func BFSEdgeCentric(dev *gpu.Device, ec *EdgeCentricGraph, src int) (*Result, er
 			visit(w, active, &dst, &wgt, &srcVals)
 		})
 	}
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:      MergedAligned,
 		transport:    ZeroCopy,
 		graphName:    g.Name,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -252,13 +253,23 @@ type topology interface {
 
 // runRounds is the round loop — the only one in the codebase. It drives a
 // topology to its fixed point and returns the iteration count.
-func runRounds(t topology) int {
+//
+// Cancellation is cooperative and lands only at round boundaries: the
+// context is checked before every round (including the first, so an
+// already-done context runs nothing), and a launched round always
+// completes — the simulated device, like a real one, cannot abandon an
+// in-flight kernel. A canceled run therefore leaves the device in the
+// same state a completed run would.
+func runRounds(ctx context.Context, app string, t topology) (int, error) {
 	iterations := 0
 	for level := uint32(0); ; level++ {
+		if err := ctx.Err(); err != nil {
+			return iterations, &CanceledError{App: app, Rounds: iterations, Cause: err}
+		}
 		more := t.round(level)
 		iterations++
 		if !more {
-			return iterations
+			return iterations, nil
 		}
 	}
 }
@@ -311,7 +322,12 @@ func (e *singleRun) round(level uint32) bool {
 // runProgram executes a Program on one device: buffer setup, state init
 // and upload, the round loop, and Result assembly, with every run
 // reported to the device's telemetry sink under the config's labels.
-func runProgram(dev *gpu.Device, n int, prog *Program, src int, cfg *engineConfig) (*Result, error) {
+// Cancellation through ctx stops the run at the next round boundary with
+// a *CanceledError; the per-run buffers are freed either way.
+func runProgram(ctx context.Context, dev *gpu.Device, n int, prog *Program, src int, cfg *engineConfig) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if !prog.NoSource && (src < 0 || src >= n) {
 		return nil, fmt.Errorf("core: %s source %d out of range [0,%d)", prog.App, src, n)
 	}
@@ -328,17 +344,21 @@ func runProgram(dev *gpu.Device, n int, prog *Program, src int, cfg *engineConfi
 	}
 	values, err := rs.alloc(cfg.valueName, int64(n)*4)
 	if err != nil {
+		rs.abort()
 		return nil, err
 	}
 	e := &singleRun{rs: rs, prog: prog, cfg: cfg, n: n, values: values}
 	if prog.Frontier == FrontierActive {
 		if e.snap, err = rs.alloc(cfg.snapName, int64(n)*4); err != nil {
+			rs.abort()
 			return nil, err
 		}
 		if e.cur, err = rs.alloc(cfg.activeNames[0], int64(n)*4); err != nil {
+			rs.abort()
 			return nil, err
 		}
 		if e.next, err = rs.alloc(cfg.activeNames[1], int64(n)*4); err != nil {
+			rs.abort()
 			return nil, err
 		}
 	}
@@ -358,7 +378,11 @@ func runProgram(dev *gpu.Device, n int, prog *Program, src int, cfg *engineConfi
 	}
 	dev.CopyToDevice(int64(n) * 4 * uploadWords)
 
-	iterations := runRounds(e)
+	iterations, err := runRounds(ctx, prog.App, e)
+	if err != nil {
+		rs.abort()
+		return nil, err
+	}
 	res := rs.finish(prog.App, cfg.variant, cfg.transport, src, values, n, iterations)
 	if prog.NoSource {
 		res.Source = -1 // source-free programs (CC) have no source vertex
@@ -451,7 +475,10 @@ func (hr *hybridRun) round(level uint32) bool {
 
 // runHybrid executes a match-policy Program on the hybrid CPU-GPU
 // topology.
-func runHybrid(h *HybridSystem, prog *Program, src int) (*Result, error) {
+func runHybrid(ctx context.Context, h *HybridSystem, prog *Program, src int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := h.graph
 	n := g.NumVertices()
 	if src < 0 || src >= n {
@@ -495,7 +522,10 @@ func runHybrid(h *HybridSystem, prog *Program, src int) (*Result, error) {
 		elapsed: dev.Clock(),
 		mark:    dev.Clock(),
 	}
-	iterations := runRounds(hr)
+	iterations, err := runRounds(ctx, prog.App, hr)
+	if err != nil {
+		return nil, err // labels and flag are freed by the defers above
+	}
 
 	out := make([]uint32, n)
 	for v := 0; v < n; v++ {
@@ -607,7 +637,10 @@ func (mr *multiRun) round(level uint32) bool {
 }
 
 // runMulti executes a Program on the multi-GPU topology.
-func runMulti(ms *MultiSystem, prog *Program, src int) (*Result, error) {
+func runMulti(ctx context.Context, ms *MultiSystem, prog *Program, src int) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	g := ms.graph
 	n := g.NumVertices()
 	if !prog.NoSource && (src < 0 || src >= n) {
@@ -632,20 +665,34 @@ func runMulti(ms *MultiSystem, prog *Program, src int) (*Result, error) {
 		actives: make([]*memsys.Buffer, nd),
 		flags:   make([]*memsys.Buffer, nd),
 	}
+	// freeAll releases whatever per-device buffers exist so every exit —
+	// alloc failure, cancellation, completion — leaves the arenas clean.
+	freeAll := func() {
+		for i, dev := range ms.devs {
+			for _, b := range []*memsys.Buffer{mr.values[i], mr.actives[i], mr.flags[i]} {
+				if b != nil {
+					dev.Arena().Free(b)
+				}
+			}
+		}
+	}
 	statStart := make([]gpu.KernelStats, nd)
 	for i, dev := range ms.devs {
 		statStart[i] = dev.Total()
 		var err error
 		mr.values[i], err = dev.Arena().Alloc("mgpu.values", memsys.SpaceGPU, int64(n)*4)
 		if err != nil {
+			freeAll()
 			return nil, err
 		}
 		mr.actives[i], err = dev.Arena().Alloc("mgpu.active", memsys.SpaceGPU, int64(n)*4)
 		if err != nil {
+			freeAll()
 			return nil, err
 		}
 		mr.flags[i], err = dev.Arena().Alloc("mgpu.flag", memsys.SpaceGPU, 4)
 		if err != nil {
+			freeAll()
 			return nil, err
 		}
 		for v := 0; v < n; v++ {
@@ -673,7 +720,11 @@ func runMulti(ms *MultiSystem, prog *Program, src int) (*Result, error) {
 		mr.clockMark[i] = dev.Clock()
 	}
 
-	iterations := runRounds(mr)
+	iterations, err := runRounds(ctx, prog.App, mr)
+	if err != nil {
+		freeAll()
+		return nil, err
+	}
 
 	out := make([]uint32, n)
 	copy(out, mr.prev)
@@ -681,10 +732,8 @@ func runMulti(ms *MultiSystem, prog *Program, src int) (*Result, error) {
 	for i, dev := range ms.devs {
 		d := dev.Total().Sub(statStart[i])
 		stats.Add(&d)
-		dev.Arena().Free(mr.values[i])
-		dev.Arena().Free(mr.actives[i])
-		dev.Arena().Free(mr.flags[i])
 	}
+	freeAll()
 	resSrc := src
 	if prog.NoSource {
 		resSrc = -1
@@ -734,6 +783,16 @@ func (rs *runState) alloc(name string, size int64) (*memsys.Buffer, error) {
 	}
 	rs.freeList = append(rs.freeList, b)
 	return b, nil
+}
+
+// abort releases the per-run buffers without assembling a Result — the
+// cancellation and alloc-failure path. The arena is left exactly as a
+// completed run leaves it, so the same graph is immediately traversable
+// again.
+func (rs *runState) abort() {
+	for _, b := range rs.freeList {
+		rs.dev.Arena().Free(b)
+	}
 }
 
 // clearFlag resets the convergence flag before a kernel (a 4-byte

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"sync"
 	"testing"
@@ -218,7 +219,7 @@ func TestEngineMatrix(t *testing.T) {
 					t.Fatalf("%s/%s: upload: %v", a.Name, transport, err)
 				}
 				for _, variant := range variants {
-					res, err := a.Run(dev, dg, src, variant)
+					res, err := a.Run(context.Background(), dev, dg, src, variant)
 					if err != nil {
 						t.Fatalf("%s/%s/%s w%d: %v", a.Name, transport, variant, workers, err)
 					}
@@ -316,7 +317,7 @@ func TestAlgorithmRegistry(t *testing.T) {
 				t.Errorf("duplicate registration should panic")
 			}
 		}()
-		RegisterAlgorithm(&Algorithm{Name: "bfs", Run: BFS})
+		RegisterAlgorithm(&Algorithm{Name: "bfs", Run: BFSContext})
 	}()
 	func() {
 		defer func() {
@@ -400,7 +401,7 @@ func FuzzEngineConvergence(f *testing.F) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		res, err := a.Run(dev, dg, src, Merged)
+		res, err := a.Run(context.Background(), dev, dg, src, Merged)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -81,6 +81,10 @@ type DeviceGraph struct {
 	Offsets *memsys.Buffer // GPU, 8-byte elements, len n+1
 	Edges   *memsys.Buffer // host, EdgeBytes elements, len |E|
 	Weights *memsys.Buffer // host, 4-byte elements, len |E| (nil if unweighted)
+
+	// freed guards Free against double-release (the arena treats a
+	// double free as corruption, not a no-op).
+	freed bool
 }
 
 // NumVertices returns |V|.
@@ -155,8 +159,14 @@ func Upload(dev *gpu.Device, g *graph.CSR, transport Transport, edgeBytes int) (
 	return dg, nil
 }
 
-// Free releases the device graph's buffers.
+// Free releases the device graph's buffers. It is idempotent: freeing an
+// already-freed graph is a no-op, so teardown paths (service shutdown,
+// deferred unloads) can release unconditionally.
 func (dg *DeviceGraph) Free(dev *gpu.Device) {
+	if dg == nil || dg.freed {
+		return
+	}
+	dg.freed = true
 	arena := dev.Arena()
 	arena.Free(dg.Offsets)
 	arena.Free(dg.Edges)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -84,5 +85,11 @@ func (h *HybridSystem) Free() { h.dg.Free(h.dev) }
 // the two plus a label-replica reduction. The round loop is the frontier
 // engine's hybrid topology (engine.go) driving the standard BFS program.
 func (h *HybridSystem) BFS(src int) (*Result, error) {
-	return runHybrid(h, bfsProgram(), src)
+	return h.BFSContext(context.Background(), src)
+}
+
+// BFSContext is BFS with cooperative cancellation at round boundaries
+// (see cancel.go for the contract).
+func (h *HybridSystem) BFSContext(ctx context.Context, src int) (*Result, error) {
+	return runHybrid(ctx, h, bfsProgram(), src)
 }

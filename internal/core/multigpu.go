@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -76,23 +77,39 @@ func (ms *MultiSystem) Partition(i int) (lo, hi int) {
 
 // BFS runs multi-GPU breadth-first search from src.
 func (ms *MultiSystem) BFS(src int) (*Result, error) {
-	return runMulti(ms, bfsProgram(), src)
+	return ms.BFSContext(context.Background(), src)
+}
+
+// BFSContext is BFS with cooperative cancellation at round boundaries
+// (see cancel.go for the contract).
+func (ms *MultiSystem) BFSContext(ctx context.Context, src int) (*Result, error) {
+	return runMulti(ctx, ms, bfsProgram(), src)
 }
 
 // SSSP runs multi-GPU single-source shortest path from src.
 func (ms *MultiSystem) SSSP(src int) (*Result, error) {
+	return ms.SSSPContext(context.Background(), src)
+}
+
+// SSSPContext is SSSP with cooperative cancellation at round boundaries.
+func (ms *MultiSystem) SSSPContext(ctx context.Context, src int) (*Result, error) {
 	if ms.graph.Weights == nil {
 		return nil, fmt.Errorf("core: SSSP requires a weighted graph")
 	}
-	return runMulti(ms, ssspProgram(), src)
+	return runMulti(ctx, ms, ssspProgram(), src)
 }
 
 // CC runs multi-GPU connected components (undirected graphs only).
 func (ms *MultiSystem) CC() (*Result, error) {
+	return ms.CCContext(context.Background())
+}
+
+// CCContext is CC with cooperative cancellation at round boundaries.
+func (ms *MultiSystem) CCContext(ctx context.Context) (*Result, error) {
 	if ms.graph.Directed {
 		return nil, fmt.Errorf("core: CC requires an undirected graph")
 	}
-	return runMulti(ms, ccProgram(), 0)
+	return runMulti(ctx, ms, ccProgram(), 0)
 }
 
 // Free releases all per-device graph buffers.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -42,6 +43,12 @@ func DefaultPushPullConfig() PushPullConfig {
 // BFSDirectionOptimized runs push/pull BFS from src over zero-copy memory.
 // It returns the same levels as plain BFS; only the traffic differs.
 func BFSDirectionOptimized(dev *gpu.Device, dg *DeviceGraph, src int, cfg PushPullConfig) (*Result, error) {
+	return BFSDirectionOptimizedContext(context.Background(), dev, dg, src, cfg)
+}
+
+// BFSDirectionOptimizedContext is BFSDirectionOptimized with cooperative
+// cancellation at round boundaries (see cancel.go for the contract).
+func BFSDirectionOptimizedContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, cfg PushPullConfig) (*Result, error) {
 	g := dg.Graph
 	if g.Directed {
 		return nil, fmt.Errorf("core: direction-optimized BFS requires an undirected graph")
@@ -78,7 +85,7 @@ func BFSDirectionOptimized(dev *gpu.Device, dg *DeviceGraph, src int, cfg PushPu
 	}
 	// Which levels ran bottom-up is visible in the device's kernel log
 	// ("bfs/pull" vs "bfs/push" entries).
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:      MergedAligned,
 		transport:    dg.Transport,
 		graphName:    g.Name,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -11,10 +12,10 @@ import (
 // This file is the algorithm registry: every traversal entry point —
 // the paper's applications and the specialty configurations — registered
 // under a stable name so callers (core.Run, the public emogi API, the
-// emogi and emogi-bench commands) dispatch by name instead of hard-coded
-// switches. Registering an Algorithm is the second half of adding an app
-// to the frontier engine (the first is its Program descriptor; see
-// sswp.go for the worked example).
+// emogi and emogi-bench commands, the traversal service) dispatch by name
+// instead of hard-coded switches. Registering an Algorithm is the second
+// half of adding an app to the frontier engine (the first is its Program
+// descriptor; see sswp.go for the worked example).
 
 // Algorithm is one registered traversal entry point.
 type Algorithm struct {
@@ -31,10 +32,11 @@ type Algorithm struct {
 	// FixedVariant marks algorithms that ignore the requested kernel
 	// variant (specialty kernels with their own access discipline).
 	FixedVariant bool
-	// Run executes the algorithm on a loaded device graph. Algorithms
-	// with their own edge layout (compressed, edge-centric) build it from
-	// dg.Graph internally and release it before returning.
-	Run func(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error)
+	// Run executes the algorithm on a loaded device graph, stopping at
+	// the next round boundary with a *CanceledError when ctx is done.
+	// Algorithms with their own edge layout (compressed, edge-centric)
+	// build it from dg.Graph internally and release it before returning.
+	Run func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error)
 }
 
 // registry holds the built-in algorithms. It is populated once at init
@@ -81,42 +83,60 @@ func AlgorithmNames() []string {
 	return names
 }
 
+// UnknownAlgorithmError is returned for a name not in the registry. Its
+// message lists every valid name so the caller never needs a second
+// round-trip to discover them.
+type UnknownAlgorithmError struct {
+	Name string
+}
+
+func (e *UnknownAlgorithmError) Error() string {
+	return fmt.Sprintf("core: unknown algorithm %q (valid algorithms: %s)",
+		e.Name, strings.Join(AlgorithmNames(), ", "))
+}
+
 // RunAlgo dispatches a traversal by registry name.
 func RunAlgo(dev *gpu.Device, dg *DeviceGraph, name string, src int, variant Variant) (*Result, error) {
+	return RunAlgoContext(context.Background(), dev, dg, name, src, variant)
+}
+
+// RunAlgoContext dispatches a traversal by registry name with cooperative
+// cancellation at round boundaries. An unknown name returns an
+// *UnknownAlgorithmError listing the valid names.
+func RunAlgoContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, name string, src int, variant Variant) (*Result, error) {
 	a := LookupAlgorithm(name)
 	if a == nil {
-		return nil, fmt.Errorf("core: unknown algorithm %q (have %s)",
-			name, strings.Join(AlgorithmNames(), ", "))
+		return nil, &UnknownAlgorithmError{Name: name}
 	}
-	return a.Run(dev, dg, src, variant)
+	return a.Run(ctx, dev, dg, src, variant)
 }
 
 func init() {
 	RegisterAlgorithm(&Algorithm{
 		Name:        "bfs",
 		Description: "breadth-first search (match-by-level frontier)",
-		Run:         BFS,
+		Run:         BFSContext,
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:         "sssp",
 		Description:  "single-source shortest path (atomic-min + add)",
 		NeedsWeights: true,
-		Run:          SSSP,
+		Run:          SSSPContext,
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:            "cc",
 		Description:     "connected components (min-label propagation)",
 		NeedsUndirected: true,
 		NoSource:        true,
-		Run: func(dev *gpu.Device, dg *DeviceGraph, _ int, variant Variant) (*Result, error) {
-			return CC(dev, dg, variant)
+		Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, _ int, variant Variant) (*Result, error) {
+			return CCContext(ctx, dev, dg, variant)
 		},
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:         "sswp",
 		Description:  "single-source widest path (atomic-max + min)",
 		NeedsWeights: true,
-		Run:          SSWP,
+		Run:          SSWPContext,
 	})
 	for _, lanes := range []int{4, 8, 16} {
 		lanes := lanes
@@ -124,8 +144,8 @@ func init() {
 			Name:         fmt.Sprintf("bfs-worker%d", lanes),
 			Description:  fmt.Sprintf("BFS with %d-lane sub-warp workers (§4.3.1 study)", lanes),
 			FixedVariant: true,
-			Run: func(dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
-				return BFSWithWorker(dev, dg, src, lanes, true)
+			Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
+				return BFSWithWorkerContext(ctx, dev, dg, src, lanes, true)
 			},
 		})
 	}
@@ -133,8 +153,8 @@ func init() {
 		Name:         "bfs-balanced",
 		Description:  "BFS with hub-list splitting across virtual workers (§6)",
 		FixedVariant: true,
-		Run: func(dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
-			return BFSBalanced(dev, dg, src, 1024)
+		Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
+			return BFSBalancedContext(ctx, dev, dg, src, 1024)
 		},
 	})
 	RegisterAlgorithm(&Algorithm{
@@ -142,34 +162,34 @@ func init() {
 		Description:     "direction-optimized BFS (Beamer push/pull)",
 		NeedsUndirected: true,
 		FixedVariant:    true,
-		Run: func(dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
-			return BFSDirectionOptimized(dev, dg, src, DefaultPushPullConfig())
+		Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
+			return BFSDirectionOptimizedContext(ctx, dev, dg, src, DefaultPushPullConfig())
 		},
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:         "bfs-compressed",
 		Description:  "BFS over the delta-compressed edge stream (§6)",
 		FixedVariant: true,
-		Run: func(dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
+		Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
 			cdg, err := UploadCompressed(dev, dg.Graph)
 			if err != nil {
 				return nil, err
 			}
 			defer cdg.Free(dev)
-			return BFSCompressed(dev, cdg, src)
+			return BFSCompressedContext(ctx, dev, cdg, src)
 		},
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:         "bfs-edgecentric",
 		Description:  "edge-centric BFS over a COO edge stream (§2.1 contrast)",
 		FixedVariant: true,
-		Run: func(dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
+		Run: func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, _ Variant) (*Result, error) {
 			ec, err := UploadEdgeCentric(dev, dg.Graph)
 			if err != nil {
 				return nil, err
 			}
 			defer ec.Free(dev)
-			return BFSEdgeCentric(dev, ec, src)
+			return BFSEdgeCentricContext(ctx, dev, ec, src)
 		},
 	})
 }

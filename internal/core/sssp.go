@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -43,6 +44,12 @@ func ssspProgram() *Program {
 // distance another warp lowered moments earlier) is given up; the fixed
 // point is identical, reached in a few more launches.
 func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
+	return SSSPContext(context.Background(), dev, dg, src, variant)
+}
+
+// SSSPContext is SSSP with cooperative cancellation at round boundaries
+// (see cancel.go for the contract).
+func SSSPContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
 	n := dg.NumVertices()
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("core: SSSP source %d out of range [0,%d)", src, n)
@@ -52,7 +59,7 @@ func SSSP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 	}
 	prog := ssspProgram()
 	name := "sssp/" + variant.String()
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:     variant,
 		transport:   dg.Transport,
 		graphName:   dg.Graph.Name,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -43,6 +44,12 @@ func sswpProgram() *Program {
 // explicit-active-set relaxation rounds to a fixed point with
 // round-boundary snapshots; edge weights stream from host memory.
 func SSWP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
+	return SSWPContext(context.Background(), dev, dg, src, variant)
+}
+
+// SSWPContext is SSWP with cooperative cancellation at round boundaries
+// (see cancel.go for the contract).
+func SSWPContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error) {
 	n := dg.NumVertices()
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("core: SSWP source %d out of range [0,%d)", src, n)
@@ -52,7 +59,7 @@ func SSWP(dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, 
 	}
 	prog := sswpProgram()
 	name := "sswp/" + variant.String()
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:     variant,
 		transport:   dg.Transport,
 		graphName:   dg.Graph.Name,

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/gpu"
@@ -27,6 +28,12 @@ import (
 // warp processes 32/workerLanes vertices concurrently, so a worker's
 // maximum coalesced request is workerLanes*elemBytes bytes.
 func BFSWithWorker(dev *gpu.Device, dg *DeviceGraph, src int, workerLanes int, aligned bool) (*Result, error) {
+	return BFSWithWorkerContext(context.Background(), dev, dg, src, workerLanes, aligned)
+}
+
+// BFSWithWorkerContext is BFSWithWorker with cooperative cancellation at
+// round boundaries (see cancel.go for the contract).
+func BFSWithWorkerContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, workerLanes int, aligned bool) (*Result, error) {
 	switch workerLanes {
 	case 4, 8, 16, 32:
 	default:
@@ -73,7 +80,7 @@ func BFSWithWorker(dev *gpu.Device, dg *DeviceGraph, src int, workerLanes int, a
 			walkGrouped(w, dg, vbase, groups, workerLanes, activeGroups, prog.push(level), aligned, visit)
 		})
 	}
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:      variant,
 		transport:    dg.Transport,
 		graphName:    dg.Graph.Name,
@@ -151,6 +158,12 @@ func walkGrouped(w *gpu.Warp, dg *DeviceGraph, vbase int64, groups, workerLanes 
 // path at splitLen elements. Traffic is identical to MergedAligned; only
 // the critical-path attribution changes.
 func BFSBalanced(dev *gpu.Device, dg *DeviceGraph, src int, splitLen int64) (*Result, error) {
+	return BFSBalancedContext(context.Background(), dev, dg, src, splitLen)
+}
+
+// BFSBalancedContext is BFSBalanced with cooperative cancellation at
+// round boundaries (see cancel.go for the contract).
+func BFSBalancedContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, splitLen int64) (*Result, error) {
 	n := dg.NumVertices()
 	if src < 0 || src >= n {
 		return nil, fmt.Errorf("core: BFS source %d out of range [0,%d)", src, n)
@@ -169,7 +182,7 @@ func BFSBalanced(dev *gpu.Device, dg *DeviceGraph, src int, splitLen int64) (*Re
 			walkMergedBalanced(w, dg, v, prog.push(level), splitLen, visit)
 		})
 	}
-	return runProgram(dev, n, prog, src, &engineConfig{
+	return runProgram(ctx, dev, n, prog, src, &engineConfig{
 		variant:      MergedAligned,
 		transport:    dg.Transport,
 		graphName:    dg.Graph.Name,

@@ -21,6 +21,7 @@
 package gpu
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/memsys"
@@ -200,6 +201,10 @@ type Device struct {
 	// site nil-checks it, so a detached device pays nothing.
 	tel Telemetry
 
+	// runMu serializes whole traversal runs for concurrent callers; see
+	// Exclusive. Single-goroutine callers never touch it.
+	runMu sync.Mutex
+
 	clock   time.Duration
 	kernels []*KernelStats
 	total   KernelStats
@@ -251,6 +256,19 @@ func (d *Device) uvmCapacityPages() int {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Exclusive runs fn while holding the device's run mutex. The simulated
+// device, like a real CUDA context, is a single-caller resource: its
+// clock, arena, kernel log, and UVM residency are unsynchronized state
+// that concurrent traversals would interleave on. Callers that share a
+// device across goroutines (the traversal service, emogi.System.Do)
+// wrap each whole run — BeginRun through EndRun, every launch and copy —
+// in Exclusive; single-goroutine callers never need it.
+func (d *Device) Exclusive(fn func()) {
+	d.runMu.Lock()
+	defer d.runMu.Unlock()
+	fn()
+}
 
 // Arena returns the device's memory arena for allocations.
 func (d *Device) Arena() *memsys.Arena { return d.arena }

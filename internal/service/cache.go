@@ -1,0 +1,78 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+
+	emogi "repro"
+)
+
+// cacheKey identifies one deterministic traversal: the simulator is
+// bit-for-bit reproducible, so (dataset, algorithm, source, variant,
+// transport) fully determines the Result for cold-cache runs. Src and
+// variant are normalized at key construction (source-free algorithms
+// ignore src, fixed-variant kernels ignore variant) so equivalent
+// requests share an entry.
+type cacheKey struct {
+	dataset   string
+	algo      string
+	src       int
+	variant   emogi.Variant
+	transport emogi.Transport
+}
+
+// resultCache is a small mutex-guarded LRU over *emogi.Result. Cached
+// results are shared between callers; they are treated as immutable by
+// convention, like every Result the engine hands out.
+type resultCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List // front = most recently used; elements hold *cacheEntry
+	m   map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *emogi.Result
+}
+
+func newResultCache(capacity int) *resultCache {
+	return &resultCache{
+		cap: capacity,
+		ll:  list.New(),
+		m:   make(map[cacheKey]*list.Element, capacity),
+	}
+}
+
+func (c *resultCache) get(k cacheKey) (*emogi.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.m[k]
+	if !ok {
+		return nil, false
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+func (c *resultCache) put(k cacheKey, res *emogi.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.m[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.m[k] = c.ll.PushFront(&cacheEntry{key: k, res: res})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.m, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}

@@ -1,0 +1,61 @@
+package service
+
+import "repro/internal/telemetry"
+
+// Request outcomes, the label values of emogi_serve_requests_total.
+const (
+	outcomeOK       = "ok"       // admitted, ran to the fixed point
+	outcomeCached   = "cached"   // answered from the result cache, never queued
+	outcomeCanceled = "canceled" // stopped through the request context
+	outcomeRejected = "rejected" // shed at admission (ErrOverloaded / ErrStopped)
+	outcomeError    = "error"    // admitted but failed (bad source, wrong graph kind, ...)
+)
+
+// metrics is the service's per-request instrumentation, exported through
+// the shared telemetry registry. Every series is created — at zero — when
+// the service starts, so scrapes see the full schema deterministically
+// instead of only the outcomes that happened to occur first.
+type metrics struct {
+	requests  map[string]*telemetry.Counter // by outcome
+	queueWait *telemetry.Histogram          // admission -> worker pickup (wall seconds)
+	runTime   *telemetry.Histogram          // worker pickup -> completion (wall seconds)
+	cacheHits *telemetry.Counter
+	cacheMiss *telemetry.Counter
+	inflight  *telemetry.Gauge // requests a worker is currently executing
+	queued    *telemetry.Gauge // admitted requests waiting for a worker
+	datasets  *telemetry.Gauge // graphs loaded on the service
+}
+
+// wallBounds covers host wall-clock latencies from sub-millisecond cache
+// and queue hops to multi-second traversals.
+var wallBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+func newMetrics(reg *telemetry.Registry) *metrics {
+	m := &metrics{
+		requests: map[string]*telemetry.Counter{},
+		queueWait: reg.Histogram("emogi_serve_queue_wait_seconds",
+			"Wall time requests spent in the admission queue.", wallBounds, nil),
+		runTime: reg.Histogram("emogi_serve_run_seconds",
+			"Wall time workers spent executing traversals.", wallBounds, nil),
+		cacheHits: reg.Counter("emogi_serve_cache_hits_total",
+			"Requests answered from the result cache.", nil),
+		cacheMiss: reg.Counter("emogi_serve_cache_misses_total",
+			"Requests that missed the result cache.", nil),
+		inflight: reg.Gauge("emogi_serve_inflight",
+			"Requests currently executing on the device.", nil),
+		queued: reg.Gauge("emogi_serve_queued",
+			"Admitted requests waiting for a worker.", nil),
+		datasets: reg.Gauge("emogi_serve_datasets",
+			"Graphs loaded on the service.", nil),
+	}
+	for _, o := range []string{outcomeOK, outcomeCached, outcomeCanceled, outcomeRejected, outcomeError} {
+		m.requests[o] = reg.Counter("emogi_serve_requests_total",
+			"Traversal requests by outcome.", telemetry.Labels{"outcome": o})
+	}
+	return m
+}
+
+func (m *metrics) outcome(o string) { m.requests[o].Inc() }

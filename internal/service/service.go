@@ -1,0 +1,372 @@
+// Package service is the concurrent traversal service: it owns one
+// simulated System plus a pool of loaded graphs and executes many
+// traversal requests safely over them. The pieces are exactly what a
+// production serving layer needs on top of the frontier engine:
+//
+//   - Admission control: a bounded queue feeding a fixed worker pool.
+//     When the queue is full the request is rejected immediately with
+//     ErrOverloaded — load is shed at the door instead of accumulating
+//     as unbounded goroutines (requests block only after admission).
+//   - Cancellation: each request carries a context; a canceled or
+//     expired request stops at the engine's next round boundary with an
+//     error matching emogi.ErrCanceled (the cancellation contract is the
+//     engine's — see internal/core/cancel.go).
+//   - Result cache: the simulator is deterministic, so (dataset, algo,
+//     src, variant, transport) fully determines a cold-cache Result; a
+//     small LRU answers repeats without touching the device.
+//   - Drain-then-stop shutdown: Close stops admission, lets admitted
+//     requests finish, then unloads the graphs.
+//
+// Every stage is instrumented through the shared telemetry registry
+// (queue wait, run time, cache hits/misses, per-outcome request counts).
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	emogi "repro"
+	"repro/internal/core"
+	"repro/internal/telemetry"
+)
+
+// Typed admission errors.
+var (
+	// ErrOverloaded is returned when the admission queue is full. The
+	// caller should back off and retry; nothing was executed.
+	ErrOverloaded = errors.New("service: overloaded (admission queue full)")
+	// ErrStopped is returned for requests arriving after Close began.
+	ErrStopped = errors.New("service: stopped")
+)
+
+// UnknownDatasetError reports a Request.Dataset the service has not
+// loaded; its message lists the loaded names.
+type UnknownDatasetError struct {
+	Name string
+	Have []string
+}
+
+func (e *UnknownDatasetError) Error() string {
+	if len(e.Have) == 0 {
+		return fmt.Sprintf("service: unknown dataset %q (no datasets loaded)", e.Name)
+	}
+	return fmt.Sprintf("service: unknown dataset %q (loaded: %s)",
+		e.Name, strings.Join(e.Have, ", "))
+}
+
+// Config sizes the service.
+type Config struct {
+	// Concurrency is the number of worker goroutines executing
+	// traversals (default 2). The simulated device serializes runs, so
+	// workers beyond 1 mainly bound how many requests can be mid-flight;
+	// real deployments with per-stream devices raise it.
+	Concurrency int
+	// QueueDepth bounds how many admitted requests may wait for a worker
+	// (default 16). Requests beyond Concurrency+QueueDepth in flight are
+	// rejected with ErrOverloaded.
+	QueueDepth int
+	// CacheEntries is the LRU result-cache capacity: 0 selects the
+	// default (128), negative disables caching.
+	CacheEntries int
+	// Metrics, when non-nil, receives the service's series; nil creates
+	// a private registry (reachable via Registry, e.g. for tests).
+	Metrics *telemetry.Registry
+}
+
+// Request names one traversal over a loaded dataset.
+type Request struct {
+	// Dataset is the name the graph was loaded under (see AddGraph).
+	Dataset string
+	// Algo is the algorithm registry name ("bfs", "sssp", ...; see
+	// emogi.Algorithms).
+	Algo string
+	// Src is the source vertex (ignored by source-free algorithms).
+	Src int
+	// Variant selects the kernel access pattern (ignored by
+	// fixed-variant specialty kernels).
+	Variant emogi.Variant
+}
+
+// DatasetInfo describes one loaded graph.
+type DatasetInfo struct {
+	Name      string
+	Vertices  int
+	Edges     int64
+	Transport string
+	Directed  bool
+	Weighted  bool
+}
+
+// task is one admitted request moving through the queue.
+type task struct {
+	ctx      context.Context
+	req      Request
+	dg       *emogi.DeviceGraph
+	key      cacheKey
+	cachable bool
+	enqueued time.Time
+	done     chan taskResult // buffered: workers never block on delivery
+}
+
+type taskResult struct {
+	res *emogi.Result
+	err error
+}
+
+// Service executes traversal requests over one System.
+type Service struct {
+	sys   *emogi.System
+	cfg   Config
+	reg   *telemetry.Registry
+	met   *metrics
+	cache *resultCache
+
+	queue    chan *task
+	wg       sync.WaitGroup
+	inflight atomic.Int64
+
+	mu     sync.Mutex
+	graphs map[string]*emogi.DeviceGraph
+	closed bool
+}
+
+// New starts a service over sys with cfg's pool sizes. The caller hands
+// the System over: the service serializes all device access, and Close
+// unloads the graphs it loaded.
+func New(sys *emogi.System, cfg Config) *Service {
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	cacheEntries := cfg.CacheEntries
+	if cacheEntries == 0 {
+		cacheEntries = 128
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = telemetry.NewRegistry()
+	}
+	s := &Service{
+		sys:    sys,
+		cfg:    cfg,
+		reg:    reg,
+		met:    newMetrics(reg),
+		queue:  make(chan *task, cfg.QueueDepth),
+		graphs: make(map[string]*emogi.DeviceGraph),
+	}
+	if cacheEntries > 0 {
+		s.cache = newResultCache(cacheEntries)
+	}
+	s.wg.Add(cfg.Concurrency)
+	for i := 0; i < cfg.Concurrency; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Registry returns the telemetry registry the service reports into.
+func (s *Service) Registry() *telemetry.Registry { return s.reg }
+
+// AddGraph loads g onto the service's system under name. Load options
+// (transport, element width) pass through to System.Load.
+func (s *Service) AddGraph(name string, g *emogi.Graph, opts ...emogi.LoadOption) error {
+	if name == "" {
+		return fmt.Errorf("service: AddGraph requires a dataset name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrStopped
+	}
+	if _, dup := s.graphs[name]; dup {
+		return fmt.Errorf("service: dataset %q already loaded", name)
+	}
+	dg, err := s.sys.Load(g, opts...)
+	if err != nil {
+		return err
+	}
+	s.graphs[name] = dg
+	s.met.datasets.Set(float64(len(s.graphs)))
+	return nil
+}
+
+// Datasets describes the loaded graphs sorted by name.
+func (s *Service) Datasets() []DatasetInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]DatasetInfo, 0, len(s.graphs))
+	for name, dg := range s.graphs {
+		out = append(out, DatasetInfo{
+			Name:      name,
+			Vertices:  dg.Graph.NumVertices(),
+			Edges:     dg.Graph.NumEdges(),
+			Transport: dg.Transport.String(),
+			Directed:  dg.Graph.Directed,
+			Weighted:  dg.Graph.Weights != nil,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// datasetNames returns the loaded names sorted, for error messages.
+func (s *Service) datasetNames() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.graphs))
+	for name := range s.graphs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Do executes one request: cache lookup, bounded admission, then a
+// worker runs it on the device. It blocks until the request completes,
+// is canceled, or is rejected. Safe for concurrent use.
+func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.outcome(outcomeRejected)
+		return nil, ErrStopped
+	}
+	dg := s.graphs[req.Dataset]
+	s.mu.Unlock()
+	if dg == nil {
+		s.met.outcome(outcomeError)
+		return nil, &UnknownDatasetError{Name: req.Dataset, Have: s.datasetNames()}
+	}
+	algo := core.LookupAlgorithm(req.Algo)
+	if algo == nil {
+		s.met.outcome(outcomeError)
+		return nil, &core.UnknownAlgorithmError{Name: req.Algo}
+	}
+
+	// Normalize the cache key so equivalent requests share an entry.
+	key := cacheKey{
+		dataset:   req.Dataset,
+		algo:      algo.Name,
+		src:       req.Src,
+		variant:   req.Variant,
+		transport: dg.Transport,
+	}
+	if algo.NoSource {
+		key.src = -1
+	}
+	if algo.FixedVariant {
+		key.variant = 0
+	}
+	if s.cache != nil {
+		if res, ok := s.cache.get(key); ok {
+			s.met.cacheHits.Inc()
+			s.met.outcome(outcomeCached)
+			return res, nil
+		}
+		s.met.cacheMiss.Inc()
+	}
+
+	t := &task{
+		ctx:      ctx,
+		req:      req,
+		dg:       dg,
+		key:      key,
+		cachable: s.cache != nil,
+		enqueued: time.Now(),
+		done:     make(chan taskResult, 1),
+	}
+	// Admission: the closed check and the send share the mutex so Close
+	// cannot close the queue between them.
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.met.outcome(outcomeRejected)
+		return nil, ErrStopped
+	}
+	select {
+	case s.queue <- t:
+		s.met.queued.Set(float64(len(s.queue)))
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.met.outcome(outcomeRejected)
+		return nil, ErrOverloaded
+	}
+
+	// Admitted: the worker always delivers, including for canceled
+	// requests (the engine observes ctx at the next round boundary), so
+	// waiting here cannot hang on an abandoned context.
+	r := <-t.done
+	return r.res, r.err
+}
+
+// worker executes admitted tasks until the queue closes.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for t := range s.queue {
+		s.met.queued.Set(float64(len(s.queue)))
+		s.met.queueWait.Observe(time.Since(t.enqueued).Seconds())
+		s.met.inflight.Set(float64(s.inflight.Add(1)))
+		start := time.Now()
+		// Cold caches make every run independent of queue order: UVM
+		// residency is device-global state the LRU cache key could not
+		// otherwise account for.
+		res, err := s.sys.Do(t.ctx, emogi.Request{
+			Graph:   t.dg,
+			Algo:    t.req.Algo,
+			Src:     t.req.Src,
+			Variant: t.req.Variant,
+			Cold:    true,
+		})
+		s.met.runTime.Observe(time.Since(start).Seconds())
+		s.met.inflight.Set(float64(s.inflight.Add(-1)))
+		switch {
+		case err == nil:
+			s.met.outcome(outcomeOK)
+			if t.cachable {
+				s.cache.put(t.key, res)
+			}
+		case errors.Is(err, emogi.ErrCanceled):
+			s.met.outcome(outcomeCanceled)
+		default:
+			s.met.outcome(outcomeError)
+		}
+		t.done <- taskResult{res: res, err: err}
+	}
+}
+
+// Close drains and stops the service: new requests are rejected with
+// ErrStopped, admitted requests run to completion (or cancellation),
+// the workers exit, and the loaded graphs are unloaded. Close is
+// idempotent and safe to call concurrently with Do.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	// No sender can reach the queue after closed is set (the admission
+	// send happens under the mutex), so closing here is race-free.
+	close(s.queue)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for name, dg := range s.graphs {
+		s.sys.Unload(dg)
+		delete(s.graphs, name)
+	}
+	s.met.datasets.Set(0)
+}

@@ -1,6 +1,7 @@
 package emogi
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -71,7 +72,7 @@ func (s *System) RunManyAlgo(dg *DeviceGraph, name string, sources []int, v Vari
 	}
 	a := core.LookupAlgorithm(name)
 	if a == nil {
-		return nil, fmt.Errorf("emogi: unknown algorithm %q", name)
+		return nil, &core.UnknownAlgorithmError{Name: name}
 	}
 	rs := &RunSummary{
 		Algo:      a.Name,
@@ -83,8 +84,8 @@ func (s *System) RunManyAlgo(dg *DeviceGraph, name string, sources []int, v Vari
 	mon0 := s.dev.Monitor().Snapshot()
 	var total time.Duration
 	for _, src := range sources {
-		s.ColdCaches()
-		res, err := a.Run(s.dev, dg, src, v)
+		res, err := s.Do(context.Background(),
+			Request{Graph: dg, Algo: a.Name, Src: src, Variant: v, Cold: true})
 		if err != nil {
 			return nil, err
 		}

@@ -35,6 +35,7 @@ import (
 	"time"
 
 	emogi "repro"
+	"repro/internal/fault"
 	"repro/internal/service"
 	"repro/internal/telemetry"
 )
@@ -52,6 +53,12 @@ func main() {
 		queueDepth  = flag.Int("queue-depth", 64, "admission queue depth (beyond it requests get 429)")
 		cacheSize   = flag.Int("cache", 128, "result cache entries (0 default, negative disables)")
 		workers     = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS)")
+
+		faultProfile = flag.String("fault-profile", "none",
+			fmt.Sprintf("fault-injection profile: %s", strings.Join(fault.Names(), ", ")))
+		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
+		faultRate = flag.Float64("fault-rate", 0,
+			"override the profile's transient read-fault rate (0 keeps the profile default)")
 	)
 	flag.Parse()
 
@@ -63,6 +70,21 @@ func main() {
 	tr, err := parseTransport(*transport)
 	if err != nil {
 		log.Fatalf("emogi-serve: %v", err)
+	}
+	faultCfg, err := fault.ProfileConfig(*faultProfile, *faultSeed)
+	if err != nil {
+		log.Fatalf("emogi-serve: %v", err)
+	}
+	if *faultRate > 0 {
+		faultCfg.ReadFaultRate = *faultRate
+	}
+	inj, err := fault.New(faultCfg)
+	if err != nil {
+		log.Fatalf("emogi-serve: %v", err)
+	}
+	cfg.Faults = inj
+	if inj != nil {
+		log.Printf("fault injection: profile %s, seed %d", inj.Name(), *faultSeed)
 	}
 
 	sys := emogi.NewSystem(cfg)
@@ -130,7 +152,8 @@ type traverseRequest struct {
 	// Variant is "naive", "merged", or "merged+aligned" (the default).
 	Variant string `json:"variant"`
 	// TimeoutMS bounds the run; on expiry the traversal stops at the
-	// next round boundary and the request returns 504.
+	// next round boundary and the request returns 504. Zero means no
+	// timeout; negative values are rejected with 400.
 	TimeoutMS int64 `json:"timeout_ms"`
 	// IncludeValues returns the full per-vertex value array (large).
 	IncludeValues bool `json:"include_values"`
@@ -153,6 +176,9 @@ type traverseResponse struct {
 	PCIePayload    uint64   `json:"pcie_payload_bytes"`
 	ValuesChecksum string   `json:"values_checksum"`
 	Values         []uint32 `json:"values,omitempty"`
+	// Degraded marks a result served on the UVM fallback transport after
+	// the zero-copy transport kept faulting; the values are still exact.
+	Degraded bool `json:"degraded,omitempty"`
 }
 
 type errorResponse struct {
@@ -186,6 +212,13 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 				return
 			}
 		}
+		if req.TimeoutMS < 0 {
+			// A negative timeout used to silently mean "no timeout" — the
+			// opposite of what the client asked for. Reject it instead.
+			writeJSON(w, http.StatusBadRequest, errorResponse{
+				Error: fmt.Sprintf("timeout_ms must be >= 0, got %d (0 means no timeout)", req.TimeoutMS)})
+			return
+		}
 		ctx := r.Context()
 		if req.TimeoutMS > 0 {
 			var cancel context.CancelFunc
@@ -199,7 +232,13 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 			Variant: variant,
 		})
 		if err != nil {
-			writeJSON(w, statusFor(err), errorResponse{Error: err.Error()})
+			status := statusFor(err)
+			if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+				// Pace well-behaved clients: tell them how long the queue
+				// typically takes to turn over before they try again.
+				w.Header().Set("Retry-After", retryAfterSeconds(svc.RetryAfterHint()))
+			}
+			writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
 		resp := traverseResponse{
@@ -215,6 +254,7 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 			PCIeRequests:   res.Stats.PCIeRequests,
 			PCIePayload:    res.Stats.PCIePayloadBytes,
 			ValuesChecksum: checksum(res.Values),
+			Degraded:       res.Degraded,
 		}
 		if req.IncludeValues {
 			resp.Values = res.Values
@@ -224,7 +264,10 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 }
 
 // statusFor maps service errors onto HTTP statuses: shed load is 429
-// (retryable), cancellation/deadline is 504, unknown names are 404.
+// (retryable), cancellation/deadline is 504, unknown names are 404, and a
+// request whose retry budget was exhausted by transient injected faults is
+// 503 (retryable — the service already retried and degraded on the
+// client's behalf; a later attempt draws fresh fault outcomes).
 func statusFor(err error) int {
 	var unknownDataset *service.UnknownDatasetError
 	var unknownAlgo *emogi.UnknownAlgorithmError
@@ -235,11 +278,24 @@ func statusFor(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, emogi.ErrCanceled):
 		return http.StatusGatewayTimeout
+	case errors.Is(err, emogi.ErrTransient):
+		return http.StatusServiceUnavailable
 	case errors.As(err, &unknownDataset), errors.As(err, &unknownAlgo):
 		return http.StatusNotFound
 	default:
 		return http.StatusBadRequest
 	}
+}
+
+// retryAfterSeconds renders a duration as the integral seconds form of the
+// Retry-After header, rounding up so the hint never tells clients to come
+// back before the queue has plausibly turned over.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return fmt.Sprintf("%d", secs)
 }
 
 func checksum(values []uint32) string {

@@ -1,0 +1,166 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	emogi "repro"
+	"repro/internal/fault"
+	"repro/internal/service"
+)
+
+const testScale = 0.02
+
+// newServeService builds a service over a small system for handler
+// tests. inj may be nil for a fault-free system.
+func newServeService(t *testing.T, inj fault.Injector, cfg service.Config) (*service.Service, *emogi.System) {
+	t.Helper()
+	syscfg := emogi.V100PCIe3(testScale)
+	syscfg.Faults = inj
+	sys := emogi.NewSystem(syscfg)
+	svc := service.New(sys, cfg)
+	g, err := emogi.BuildDataset("GK", testScale, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddGraph("GK", g); err != nil {
+		t.Fatal(err)
+	}
+	return svc, sys
+}
+
+func postTraverse(handler http.HandlerFunc, body string) *httptest.ResponseRecorder {
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/traverse", strings.NewReader(body))
+	handler(rr, req)
+	return rr
+}
+
+// TestTraverseNegativeTimeout: a negative timeout_ms is a client error
+// with a structured body naming the field, not a silent "no timeout".
+func TestTraverseNegativeTimeout(t *testing.T) {
+	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1})
+	defer svc.Close()
+	handler := handleTraverse(svc)
+
+	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":1,"timeout_ms":-5}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rr.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
+		t.Fatalf("400 body is not the structured error JSON: %v (%q)", err, rr.Body.String())
+	}
+	if !strings.Contains(er.Error, "timeout_ms") || !strings.Contains(er.Error, "-5") {
+		t.Errorf("error %q does not name the field and the offending value", er.Error)
+	}
+}
+
+// TestTraverseRetryAfterOn429: shed requests carry a Retry-After header
+// of at least one second so clients can pace their retries.
+func TestTraverseRetryAfterOn429(t *testing.T) {
+	svc, sys := newServeService(t, nil, service.Config{
+		Concurrency:  1,
+		QueueDepth:   1, // capacity 2: the rest of the flood must shed
+		CacheEntries: -1,
+	})
+	defer svc.Close()
+	handler := handleTraverse(svc)
+
+	// Freeze the device so admitted requests block and capacity stays full.
+	release := make(chan struct{})
+	held := make(chan struct{})
+	go sys.Device().Exclusive(func() {
+		close(held)
+		<-release
+	})
+	<-held
+
+	type reply struct {
+		code       int
+		retryAfter string
+	}
+	const flood = 8
+	replies := make(chan reply, flood)
+	for i := 0; i < flood; i++ {
+		go func(i int) {
+			rr := postTraverse(handler,
+				`{"dataset":"GK","algo":"bfs","src":`+strconv.Itoa(i)+`}`)
+			replies <- reply{rr.Code, rr.Header().Get("Retry-After")}
+		}(i)
+	}
+
+	// Rejections return immediately while admitted requests block on the
+	// frozen device, so a 429 arrives long before the timeout.
+	timeout := time.After(10 * time.Second)
+	seen429 := false
+	drained := 0
+	for !seen429 {
+		select {
+		case r := <-replies:
+			drained++
+			if r.code != http.StatusTooManyRequests {
+				continue
+			}
+			seen429 = true
+			secs, err := strconv.Atoi(r.retryAfter)
+			if err != nil {
+				t.Fatalf("429 Retry-After = %q, want integral seconds", r.retryAfter)
+			}
+			if secs < 1 {
+				t.Errorf("429 Retry-After = %d, want >= 1", secs)
+			}
+		case <-timeout:
+			t.Fatalf("no 429 after 10s (%d replies drained)", drained)
+		}
+	}
+	close(release)
+	for ; drained < flood; drained++ {
+		<-replies
+	}
+}
+
+// TestTraverseDegraded: against a flaky link the handler still answers
+// 200 — the service retried and fell back to UVM — and the response
+// carries the degraded marker.
+func TestTraverseDegraded(t *testing.T) {
+	inj, err := fault.Profile(fault.ProfileFlakyLink, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, _ := newServeService(t, inj, service.Config{Concurrency: 1, CacheEntries: -1})
+	defer svc.Close()
+	handler := handleTraverse(svc)
+
+	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":3}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200 via retry+degradation", rr.Code, rr.Body.String())
+	}
+	var resp traverseResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Degraded {
+		t.Error("response not marked degraded despite the UVM fallback")
+	}
+	if resp.Transport != "uvm" {
+		t.Errorf("transport = %q, want uvm after degradation", resp.Transport)
+	}
+	if resp.Iterations == 0 || resp.ValuesChecksum == "" {
+		t.Errorf("degraded response is missing traversal results: %+v", resp)
+	}
+}
+
+// TestStatusForTransient: an exhausted retry budget maps to 503, the
+// retryable server-side status, not a client error.
+func TestStatusForTransient(t *testing.T) {
+	err := &emogi.TransientError{App: "BFS", Rounds: 2, Faults: 7}
+	if got := statusFor(err); got != http.StatusServiceUnavailable {
+		t.Errorf("statusFor(TransientError) = %d, want 503", got)
+	}
+}

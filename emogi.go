@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/gpu"
 	"repro/internal/graph"
 	"repro/internal/memsys"
@@ -64,11 +65,26 @@ type (
 	// UnknownAlgorithmError reports a Request.Algo not in the registry;
 	// its message lists every valid name.
 	UnknownAlgorithmError = core.UnknownAlgorithmError
+	// TransientError reports a traversal aborted by an injected transient
+	// read fault; the device graph remains loaded and re-traversable, and
+	// a retry sees fresh fault outcomes.
+	TransientError = core.TransientError
+	// FaultInjector is a seeded, reproducible fault source attached via
+	// SystemConfig.Faults (build one with fault.Profile / fault.New).
+	FaultInjector = fault.Injector
+	// FaultCounts is a snapshot of an injector's per-kind fault tallies.
+	FaultCounts = fault.Counts
 )
 
 // ErrCanceled matches any traversal stopped through its context:
 // errors.Is(err, emogi.ErrCanceled).
 var ErrCanceled = core.ErrCanceled
+
+// ErrTransient matches any run failed by injected transient faults —
+// aborted traversals (*TransientError) and injected allocation failures
+// alike: errors.Is(err, emogi.ErrTransient). Transient failures are
+// retryable; the serving layer's retry/degradation machinery keys off it.
+var ErrTransient = fault.ErrTransient
 
 // Kernel variants (§5.1.2).
 const (
@@ -111,6 +127,14 @@ type SystemConfig struct {
 	// round, and bulk copy on the system's device. Nil (the default) keeps
 	// the hook points disabled at zero cost.
 	Telemetry Telemetry
+
+	// Faults, when non-nil, injects deterministic faults into the system:
+	// per-request transient read failures and latency spikes on the PCIe
+	// link, a steady wire derating, and allocation failures in the memory
+	// arena (see internal/fault for the profiles and the determinism
+	// contract). Nil (the default) keeps every hot path zero-overhead and
+	// bit-for-bit identical to the fault-free system.
+	Faults FaultInjector
 }
 
 // scaleBytes scales a full-size capacity down by Scale times the user's
@@ -205,12 +229,25 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.Workers != 0 {
 		cfg.GPU.Workers = cfg.Workers
 	}
+	if cfg.Faults != nil {
+		cfg.GPU.Link.Faults = cfg.Faults
+	}
 	s := &System{cfg: cfg, dev: gpu.NewDevice(cfg.GPU)}
 	if cfg.Telemetry != nil {
 		s.dev.SetTelemetry(cfg.Telemetry)
 	}
+	if cfg.Faults != nil {
+		inj := cfg.Faults
+		s.dev.Arena().SetAllocFaultHook(func(_ memsys.Space, size int64) error {
+			return inj.AllocFault(size)
+		})
+	}
 	return s
 }
+
+// Faults returns the system's fault injector, or nil when injection is
+// disabled.
+func (s *System) Faults() FaultInjector { return s.cfg.Faults }
 
 // Config returns the system's configuration.
 func (s *System) Config() SystemConfig { return s.cfg }

@@ -249,6 +249,13 @@ func stdActiveKernel(dg *DeviceGraph, variant Variant, name string, prog *Progra
 // CPU), and multiRun (N devices with a host reduce).
 type topology interface {
 	round(level uint32) bool
+
+	// faultCount returns the topology's devices' cumulative injected read
+	// -fault tally. runRounds snapshots it before the first round and
+	// aborts with a *TransientError when a round increases it: the data
+	// behind a failed completion is unusable, so the run's results cannot
+	// be trusted. Always zero when fault injection is disabled.
+	faultCount() uint64
 }
 
 // runRounds is the round loop — the only one in the codebase. It drives a
@@ -262,11 +269,19 @@ type topology interface {
 // same state a completed run would.
 func runRounds(ctx context.Context, app string, t topology) (int, error) {
 	iterations := 0
+	// Injected read faults also land at round boundaries: the faulted
+	// round completes, then the run aborts with a *TransientError instead
+	// of trusting data from failed completions. The baseline snapshot
+	// scopes the check to this run (the device tally is cumulative).
+	faultBase := t.faultCount()
 	for level := uint32(0); ; level++ {
 		if err := ctx.Err(); err != nil {
 			return iterations, &CanceledError{App: app, Rounds: iterations, Cause: err}
 		}
 		more := t.round(level)
+		if faulted := t.faultCount() - faultBase; faulted > 0 {
+			return iterations + 1, &TransientError{App: app, Rounds: iterations + 1, Faults: faulted}
+		}
 		iterations++
 		if !more {
 			return iterations, nil
@@ -282,6 +297,8 @@ type singleRun struct {
 	n    int
 	values, snap, cur, next *memsys.Buffer
 }
+
+func (e *singleRun) faultCount() uint64 { return e.rs.dev.Total().FaultedReads }
 
 func (e *singleRun) round(level uint32) bool {
 	dev := e.rs.dev
@@ -407,6 +424,8 @@ type hybridRun struct {
 	elapsed time.Duration
 	mark    time.Duration
 }
+
+func (hr *hybridRun) faultCount() uint64 { return hr.h.dev.Total().FaultedReads }
 
 func (hr *hybridRun) round(level uint32) bool {
 	h := hr.h
@@ -559,6 +578,14 @@ type multiRun struct {
 	prev      []uint32
 	clockMark []time.Duration
 	elapsed   time.Duration
+}
+
+func (mr *multiRun) faultCount() uint64 {
+	var total uint64
+	for _, dev := range mr.ms.devs {
+		total += dev.Total().FaultedReads
+	}
+	return total
 }
 
 func (mr *multiRun) round(level uint32) bool {

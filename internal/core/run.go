@@ -31,4 +31,11 @@ type Result struct {
 
 	// Stats is this run's delta of the device counters.
 	Stats gpu.KernelStats
+
+	// Degraded marks a result produced on the UVM fallback transport after
+	// the requested zero-copy transport kept faulting transiently. Set by
+	// the serving layer, never by the engine: the values are still exact,
+	// only the transport (and therefore the performance counters) differ
+	// from what was asked for.
+	Degraded bool `json:",omitempty"`
 }

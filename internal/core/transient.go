@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/fault"
+)
+
+// TransientError reports a traversal aborted because the fault injector
+// failed one or more of its zero-copy read completions. Like cancellation,
+// the abort lands at a round boundary — the faulted round runs to
+// completion (a real device cannot abandon an in-flight kernel) and the
+// engine checks the device's fault tally before starting the next one — so
+// the same abort paths run: every per-run buffer is freed, loaded device
+// graphs stay intact, and the same graph is immediately re-traversable.
+// Because fault decisions are keyed by the device's run epoch, a retry is
+// a fresh draw, not a deterministic replay of the same faults.
+//
+// TransientError matches fault.ErrTransient via errors.Is; the service
+// layer uses that to distinguish retryable runs from hard failures.
+type TransientError struct {
+	// App is the Program's application label ("BFS", "SSSP", ...).
+	App string
+	// Rounds is how many relaxation rounds completed before the abort
+	// (including the faulted one).
+	Rounds int
+	// Faults is how many read completions were injected as failed during
+	// this run.
+	Faults uint64
+}
+
+func (e *TransientError) Error() string {
+	return fmt.Sprintf("core: %s traversal aborted after %d round(s): %d transient read fault(s) injected",
+		e.App, e.Rounds, e.Faults)
+}
+
+// Is matches the fault.ErrTransient sentinel.
+func (e *TransientError) Is(target error) bool { return target == fault.ErrTransient }

@@ -136,6 +136,16 @@ type KernelStats struct {
 	// path. Aggregated by maximum, not sum.
 	MaxWarpHostReqs uint64
 
+	// Fault-injection activity (zero unless a pcie.FaultHook is attached
+	// to the link). FaultedReads counts zero-copy requests whose
+	// completion was injected as failed: their wire traffic happened but
+	// the run that issued them is transiently broken and must be retried.
+	// LatencySpikes counts requests charged an injected latency-spike
+	// stall; the stall seconds are derived from the merged count at finish
+	// time, like the other roofline terms.
+	FaultedReads  uint64
+	LatencySpikes uint64
+
 	// Roofline terms, in seconds.
 	WireSeconds      float64
 	TagSeconds       float64
@@ -160,6 +170,8 @@ func (s *KernelStats) Add(o *KernelStats) {
 	if o.MaxWarpHostReqs > s.MaxWarpHostReqs {
 		s.MaxWarpHostReqs = o.MaxWarpHostReqs
 	}
+	s.FaultedReads += o.FaultedReads
+	s.LatencySpikes += o.LatencySpikes
 	s.WireSeconds += o.WireSeconds
 	s.TagSeconds += o.TagSeconds
 	s.UVMSerialSeconds += o.UVMSerialSeconds
@@ -183,6 +195,8 @@ func (s KernelStats) Sub(prev KernelStats) KernelStats {
 		ZCActiveLanes:    s.ZCActiveLanes - prev.ZCActiveLanes,
 		ZCRefetches:      s.ZCRefetches - prev.ZCRefetches,
 		MaxWarpHostReqs:  s.MaxWarpHostReqs, // max-aggregated; delta is the value itself
+		FaultedReads:     s.FaultedReads - prev.FaultedReads,
+		LatencySpikes:    s.LatencySpikes - prev.LatencySpikes,
 		WireSeconds:      s.WireSeconds - prev.WireSeconds,
 		TagSeconds:       s.TagSeconds - prev.TagSeconds,
 		UVMSerialSeconds: s.UVMSerialSeconds - prev.UVMSerialSeconds,
@@ -208,6 +222,12 @@ type Device struct {
 	clock   time.Duration
 	kernels []*KernelStats
 	total   KernelStats
+
+	// runEpoch counts traversal runs on this device (incremented by
+	// BeginRun). It is mixed into fault-injection decisions so a retry of
+	// a faulted run sees fresh outcomes instead of deterministically
+	// re-hitting the same faults; with injection disabled it is inert.
+	runEpoch uint64
 }
 
 // NewDevice creates a device with a fresh memory arena and UVM manager.
@@ -340,6 +360,12 @@ func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64, workers int)
 		}
 	}
 	ks.Elapsed = d.cfg.LaunchOverhead + time.Duration(bottleneck*float64(time.Second))
+	if h := d.cfg.Link.Faults; h != nil && ks.LatencySpikes > 0 {
+		// Injected latency spikes stall the kernel serially. Derived here
+		// from the merged integer count so the penalty — like the roofline
+		// floats — is independent of the warp partitioning.
+		ks.Elapsed += time.Duration(ks.LatencySpikes) * h.SpikePenalty()
+	}
 	start := d.clock
 	d.clock += ks.Elapsed
 	d.kernels = append(d.kernels, ks)

@@ -85,6 +85,7 @@ func runWarpRange(w *Warp, lo, hi int, body func(w *Warp)) {
 		w.resetMRU()
 		w.zcLanes = 0
 		w.hostReqs = 0
+		w.faultSeq = 0
 		body(w)
 		w.ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
 		w.flushCriticalPath()

@@ -59,12 +59,20 @@ func (d *Device) SetTelemetry(t Telemetry) { d.tel = t }
 func (d *Device) Telemetry() Telemetry { return d.tel }
 
 // BeginRun reports the start of a traversal run to the attached telemetry
-// sink. It is a no-op (and does not allocate) when telemetry is disabled.
+// sink and advances the device's run epoch. It does not allocate; with
+// telemetry and fault injection both disabled the epoch increment is the
+// only work.
 func (d *Device) BeginRun(labels RunLabels) {
+	d.runEpoch++
 	if d.tel != nil {
 		d.tel.RunBegin(d, labels)
 	}
 }
+
+// RunEpoch returns the number of traversal runs begun on this device. Fault
+// injection mixes it into per-request decisions so retries of a faulted run
+// see fresh outcomes.
+func (d *Device) RunEpoch() uint64 { return d.runEpoch }
 
 // EndRun reports the end of the current traversal run.
 func (d *Device) EndRun() {

@@ -84,6 +84,13 @@ type Warp struct {
 	// hostReqs counts host-memory requests issued by the current (virtual)
 	// warp, feeding the latency-bound critical-path term.
 	hostReqs uint64
+
+	// faultSeq numbers this warp's zero-copy requests within the current
+	// launch, giving the fault injector a coordinate — (run epoch, warp ID,
+	// request seq) — that identifies a request independently of how the
+	// launch was sharded across host workers. Reset per warp by
+	// runWarpRange; unused when no FaultHook is attached.
+	faultSeq uint64
 }
 
 // ID returns the warp's global index within the launch grid.
@@ -213,6 +220,19 @@ func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 		w.zcBySize[size/memsys.SectorBytes-1]++
 		ks.HostDRAMBytes += uint64(d.cfg.HostDRAM.ServedBytes(size))
 		w.mon.Record(size, d.cfg.Link.TLPOverheadBytes)
+		if h := d.cfg.Link.Faults; h != nil {
+			// The decision is keyed by (epoch, warp, seq), not call order,
+			// so the injected fault set — and the merged counts — are
+			// identical for every worker count. A failed completion still
+			// occupied the wire; only the usability of the data changes.
+			switch h.RequestFault(d.runEpoch, w.id, w.faultSeq, size) {
+			case pcie.ReqFail:
+				ks.FaultedReads++
+			case pcie.ReqSpike:
+				ks.LatencySpikes++
+			}
+			w.faultSeq++
+		}
 
 	case memsys.SpaceUVM:
 		off := int64(addr - buf.Base)

@@ -133,6 +133,12 @@ type Arena struct {
 	gpuUsed  int64
 	hostUsed int64
 	uvmLive  int
+
+	// allocFault, when non-nil, is consulted before every allocation; a
+	// non-nil return fails the allocation with that error. Used by the
+	// fault-injection layer to simulate device memory pressure. Nil (the
+	// default) costs one pointer check per Alloc.
+	allocFault func(space Space, size int64) error
 }
 
 // NewArena creates an arena with the given capacities in bytes. A zero
@@ -174,6 +180,15 @@ func WithElem(elem int) AllocOption {
 	return func(c *allocConfig) { c.elem = elem }
 }
 
+// SetAllocFaultHook installs (or, with nil, removes) a hook consulted
+// before every allocation; a non-nil return from the hook fails the
+// allocation with that error without touching capacity accounting. The
+// arena is not goroutine-safe, so the hook is called under whatever
+// serialization the caller already provides (the device run mutex).
+func (a *Arena) SetAllocFaultHook(hook func(space Space, size int64) error) {
+	a.allocFault = hook
+}
+
 // ErrOutOfMemory is returned when an allocation exceeds the space capacity.
 type ErrOutOfMemory struct {
 	Space     Space
@@ -198,6 +213,11 @@ func (a *Arena) Alloc(name string, space Space, size int64, opts ...AllocOption)
 	}
 	if cfg.align == 0 || cfg.align&(cfg.align-1) != 0 {
 		return nil, fmt.Errorf("memsys: alignment %d is not a power of two", cfg.align)
+	}
+	if a.allocFault != nil {
+		if err := a.allocFault(space, size); err != nil {
+			return nil, err
+		}
 	}
 	switch space {
 	case SpaceGPU:

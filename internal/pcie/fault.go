@@ -1,0 +1,62 @@
+package pcie
+
+import "time"
+
+// This file is the link model's fault-injection attachment point. Real
+// interconnects are not the always-healthy pipe the analytic model
+// otherwise assumes: links retrain to lower generations under signal
+//-integrity pressure, completions time out and are retried, and external
+// -memory fabrics exhibit microsecond-scale latency spikes (see the CXL
+// external-memory characterization, arXiv:2312.03113). A FaultHook lets a
+// deterministic injector (internal/fault) impose those behaviours on the
+// simulated link without the link model knowing anything about profiles
+// or seeds. A nil hook — the default — keeps every formula bit-for-bit
+// identical to the healthy link.
+
+// RequestOutcome is a FaultHook's verdict on one individual read request.
+type RequestOutcome uint8
+
+const (
+	// ReqOK lets the request complete normally.
+	ReqOK RequestOutcome = iota
+	// ReqFail marks the request as a transient completion failure: the
+	// wire traffic still happened, but the data is unusable and the run
+	// that issued it must be retried (the engine surfaces a
+	// *TransientError at the next round boundary).
+	ReqFail
+	// ReqSpike lets the request complete but charges the link a fixed
+	// latency-spike stall (the hook's SpikePenalty).
+	ReqSpike
+)
+
+// FaultHook injects faults into the link model. Implementations must be
+// safe for concurrent use, and RequestFault must be a pure function of
+// its arguments (plus the hook's own seed): the (epoch, stream, seq)
+// coordinate identifies a request independently of how the launch engine
+// scheduled it across host workers, which is what keeps parallel launches
+// bit-for-bit deterministic under injection.
+type FaultHook interface {
+	// RequestFault decides the fate of one individual (non-bulk) read
+	// request. epoch identifies the traversal run on the device, stream
+	// the issuing warp, and seq the request's index within that warp.
+	RequestFault(epoch uint64, stream int, seq uint64, payloadBytes int) RequestOutcome
+
+	// WireScale returns the steady multiplier (>= 1) on per-request wire
+	// occupancy, modeling a link retrained to a lower generation. 1 means
+	// a healthy link.
+	WireScale() float64
+
+	// SpikePenalty returns the simulated stall charged per ReqSpike.
+	SpikePenalty() time.Duration
+}
+
+// wireScale resolves the effective wire derating of the configured hook.
+func (c LinkConfig) wireScale() float64 {
+	if c.Faults == nil {
+		return 1
+	}
+	if s := c.Faults.WireScale(); s > 1 {
+		return s
+	}
+	return 1
+}

@@ -54,6 +54,12 @@ type LinkConfig struct {
 	// RTT is the request round-trip time between GPU and host memory, the
 	// paper's measured 1.0-1.6us; we use the midpoint.
 	RTT time.Duration
+
+	// Faults, when non-nil, injects deterministic faults into the link:
+	// per-request transient failures and latency spikes, and a steady wire
+	// derating (link retrained to a lower generation). Nil means a healthy
+	// link and leaves every formula bit-for-bit unchanged.
+	Faults FaultHook
 }
 
 // Gen3x16 returns the calibrated PCIe 3.0 x16 link of the paper's V100
@@ -110,7 +116,13 @@ func (c LinkConfig) WireSeconds(payloadBytes int) float64 {
 		return 0
 	}
 	wire := float64(payloadBytes + c.TLPOverheadBytes)
-	return wire / (c.RawBytesPerSec * c.Efficiency)
+	s := wire / (c.RawBytesPerSec * c.Efficiency)
+	if c.Faults != nil {
+		// Degraded link: wire occupancy stretches by the retrained-rate
+		// ratio. Guarded so the fault-free float math stays bit-identical.
+		s *= c.wireScale()
+	}
+	return s
 }
 
 // TagSeconds returns the tag-occupancy cost of one request: with MaxTags

@@ -24,7 +24,21 @@ type metrics struct {
 	inflight  *telemetry.Gauge // requests a worker is currently executing
 	queued    *telemetry.Gauge // admitted requests waiting for a worker
 	datasets  *telemetry.Gauge // graphs loaded on the service
+
+	// Fault-injection and recovery series. faults is synced from the
+	// injector's own tallies (see Service.syncFaultCounters), so the
+	// exported totals are exactly the injector's counts by kind.
+	retries  *telemetry.Counter            // re-attempts after transient failures
+	degraded *telemetry.Counter            // runs answered on the UVM fallback transport
+	faults   map[string]*telemetry.Counter // injected faults by kind
 }
+
+// Fault kinds, the label values of emogi_faults_injected_total.
+const (
+	faultKindRead  = "read"  // transient zero-copy read completion failures
+	faultKindSpike = "spike" // injected latency spikes
+	faultKindAlloc = "alloc" // injected allocation failures
+)
 
 // wallBounds covers host wall-clock latencies from sub-millisecond cache
 // and queue hops to multi-second traversals.
@@ -54,6 +68,15 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 	for _, o := range []string{outcomeOK, outcomeCached, outcomeCanceled, outcomeRejected, outcomeError} {
 		m.requests[o] = reg.Counter("emogi_serve_requests_total",
 			"Traversal requests by outcome.", telemetry.Labels{"outcome": o})
+	}
+	m.retries = reg.Counter("emogi_retries_total",
+		"Traversal attempts re-run after a transient injected fault.", nil)
+	m.degraded = reg.Counter("emogi_degraded_runs_total",
+		"Requests answered on the UVM fallback transport after repeated zero-copy faults.", nil)
+	m.faults = map[string]*telemetry.Counter{}
+	for _, k := range []string{faultKindRead, faultKindSpike, faultKindAlloc} {
+		m.faults[k] = reg.Counter("emogi_faults_injected_total",
+			"Faults injected by the fault-injection layer, by kind.", telemetry.Labels{"kind": k})
 	}
 	return m
 }

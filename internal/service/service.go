@@ -25,7 +25,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"math"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -33,6 +36,7 @@ import (
 
 	emogi "repro"
 	"repro/internal/core"
+	"repro/internal/fault"
 	"repro/internal/telemetry"
 )
 
@@ -77,6 +81,29 @@ type Config struct {
 	// Metrics, when non-nil, receives the service's series; nil creates
 	// a private registry (reachable via Registry, e.g. for tests).
 	Metrics *telemetry.Registry
+
+	// Fault is the injector whose tallies the service exports as
+	// emogi_faults_injected_total (injection itself is wired into the
+	// System via emogi.SystemConfig.Faults). Nil selects the System's own
+	// injector; with no injector anywhere the fault series stay zero.
+	Fault fault.Injector
+	// RetryAttempts bounds the total attempts per admitted request,
+	// including the first (default 4; 1 disables retries). Only failures
+	// matching emogi.ErrTransient are retried.
+	RetryAttempts int
+	// RetryBackoff is the delay before the first retry (default 2ms).
+	// Subsequent retries double it (capped at 64x) and add deterministic
+	// jitter derived from the request key, honoring the request context
+	// during the wait.
+	RetryBackoff time.Duration
+	// DegradeAfter is the number of consecutive transient zero-copy
+	// failures after which the request falls back to the UVM transport
+	// (default 3). UVM traffic is bulk page migrations, which the
+	// per-request link faults cannot touch, so a degraded attempt
+	// completes where zero-copy kept faulting; the Result is marked
+	// Degraded. Requires spare attempts: degradation only happens while
+	// the retry budget lasts.
+	DegradeAfter int
 }
 
 // Request names one traversal over a loaded dataset.
@@ -131,8 +158,23 @@ type Service struct {
 	wg       sync.WaitGroup
 	inflight atomic.Int64
 
+	// runEWMA holds the float64 bits of an exponentially weighted moving
+	// average of run wall time in seconds, feeding RetryAfterHint.
+	runEWMA atomic.Uint64
+
+	// faultMu guards lastFaults, the injector tally already exported to
+	// the telemetry counters; syncFaultCounters adds only the delta, so
+	// the exported series exactly track the injector's own counts.
+	faultMu    sync.Mutex
+	lastFaults fault.Counts
+
+	// fbMu serializes lazy UVM-fallback loads so one dataset is loaded at
+	// most once however many workers degrade concurrently.
+	fbMu sync.Mutex
+
 	mu     sync.Mutex
 	graphs map[string]*emogi.DeviceGraph
+	uvm    map[string]*emogi.DeviceGraph // lazy UVM fallback copies by dataset
 	closed bool
 }
 
@@ -150,6 +192,18 @@ func New(sys *emogi.System, cfg Config) *Service {
 	if cacheEntries == 0 {
 		cacheEntries = 128
 	}
+	if cfg.RetryAttempts <= 0 {
+		cfg.RetryAttempts = 4
+	}
+	if cfg.RetryBackoff <= 0 {
+		cfg.RetryBackoff = 2 * time.Millisecond
+	}
+	if cfg.DegradeAfter <= 0 {
+		cfg.DegradeAfter = 3
+	}
+	if cfg.Fault == nil {
+		cfg.Fault = sys.Faults()
+	}
 	reg := cfg.Metrics
 	if reg == nil {
 		reg = telemetry.NewRegistry()
@@ -161,9 +215,16 @@ func New(sys *emogi.System, cfg Config) *Service {
 		met:    newMetrics(reg),
 		queue:  make(chan *task, cfg.QueueDepth),
 		graphs: make(map[string]*emogi.DeviceGraph),
+		uvm:    make(map[string]*emogi.DeviceGraph),
 	}
 	if cacheEntries > 0 {
-		s.cache = newResultCache(cacheEntries)
+		// cacheEntries is positive by construction here; a constructor
+		// error would be a programming bug, not a config value.
+		cache, err := newResultCache(cacheEntries)
+		if err != nil {
+			panic(err)
+		}
+		s.cache = cache
 	}
 	s.wg.Add(cfg.Concurrency)
 	for i := 0; i < cfg.Concurrency; i++ {
@@ -319,22 +380,17 @@ func (s *Service) worker() {
 		s.met.queueWait.Observe(time.Since(t.enqueued).Seconds())
 		s.met.inflight.Set(float64(s.inflight.Add(1)))
 		start := time.Now()
-		// Cold caches make every run independent of queue order: UVM
-		// residency is device-global state the LRU cache key could not
-		// otherwise account for.
-		res, err := s.sys.Do(t.ctx, emogi.Request{
-			Graph:   t.dg,
-			Algo:    t.req.Algo,
-			Src:     t.req.Src,
-			Variant: t.req.Variant,
-			Cold:    true,
-		})
-		s.met.runTime.Observe(time.Since(start).Seconds())
+		res, err := s.execute(t)
+		elapsed := time.Since(start)
+		s.met.runTime.Observe(elapsed.Seconds())
+		s.observeRunTime(elapsed)
 		s.met.inflight.Set(float64(s.inflight.Add(-1)))
 		switch {
 		case err == nil:
 			s.met.outcome(outcomeOK)
-			if t.cachable {
+			// Degraded results ran on a transport the cache key does not
+			// name; caching them would poison later healthy hits.
+			if t.cachable && !res.Degraded {
 				s.cache.put(t.key, res)
 			}
 		case errors.Is(err, emogi.ErrCanceled):
@@ -344,6 +400,186 @@ func (s *Service) worker() {
 		}
 		t.done <- taskResult{res: res, err: err}
 	}
+}
+
+// execute runs one admitted task with retry, backoff, and transport
+// degradation. Attempts that fail with an error matching
+// emogi.ErrTransient (aborted traversals, injected allocation failures)
+// are retried after an exponential, jittered backoff until the budget
+// (Config.RetryAttempts) runs out; after Config.DegradeAfter consecutive
+// transient zero-copy failures the remaining attempts run on a lazily
+// loaded UVM copy of the dataset and a success is marked Degraded. Every
+// other error — cancellation included — returns immediately.
+func (s *Service) execute(t *task) (*emogi.Result, error) {
+	dg := t.dg
+	degraded := false
+	consecutive := 0
+	var lastErr error
+	for attempt := 0; attempt < s.cfg.RetryAttempts; attempt++ {
+		if attempt > 0 {
+			s.met.retries.Inc()
+			if err := s.backoff(t, attempt); err != nil {
+				return nil, err
+			}
+		}
+		// Cold caches make every run independent of queue order: UVM
+		// residency is device-global state the LRU cache key could not
+		// otherwise account for.
+		res, err := s.sys.Do(t.ctx, emogi.Request{
+			Graph:   dg,
+			Algo:    t.req.Algo,
+			Src:     t.req.Src,
+			Variant: t.req.Variant,
+			Cold:    true,
+		})
+		s.syncFaultCounters()
+		if err == nil {
+			if degraded {
+				res.Degraded = true
+				s.met.degraded.Inc()
+			}
+			return res, nil
+		}
+		if !errors.Is(err, emogi.ErrTransient) {
+			return nil, err
+		}
+		lastErr = err
+		consecutive++
+		if !degraded && consecutive >= s.cfg.DegradeAfter && attempt+1 < s.cfg.RetryAttempts {
+			// Fall back to UVM: its traffic is bulk page migrations, which
+			// the per-request link faults cannot touch. A failed fallback
+			// load (e.g. an injected allocation fault) keeps retrying
+			// zero-copy instead.
+			if fb, fbErr := s.uvmFallback(t); fbErr == nil {
+				dg = fb
+				degraded = true
+			}
+		}
+	}
+	return nil, fmt.Errorf("service: retry budget exhausted after %d attempts: %w",
+		s.cfg.RetryAttempts, lastErr)
+}
+
+// backoff sleeps before retry number attempt (>= 1), honoring the request
+// context: an exponential base delay (doubling per retry, capped at 64x)
+// whose upper half is jittered deterministically from the request key and
+// attempt number, so identical request streams reproduce identical
+// schedules while distinct requests decorrelate.
+func (s *Service) backoff(t *task, attempt int) error {
+	shift := attempt - 1
+	if shift > 6 {
+		shift = 6
+	}
+	base := s.cfg.RetryBackoff << uint(shift)
+	delay := base/2 + time.Duration(retryJitter(t.key, attempt)%uint64(base/2+1))
+	timer := time.NewTimer(delay)
+	defer timer.Stop()
+	select {
+	case <-t.ctx.Done():
+		return &emogi.CanceledError{App: t.req.Algo, Cause: t.ctx.Err()}
+	case <-timer.C:
+		return nil
+	}
+}
+
+// retryJitter hashes the request key and attempt number into the
+// deterministic jitter source for backoff.
+func retryJitter(k cacheKey, attempt int) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(k.dataset))
+	h.Write([]byte{0})
+	h.Write([]byte(k.algo))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(k.src)))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(int(k.variant))))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(attempt)))
+	return h.Sum64()
+}
+
+// uvmFallback returns the dataset's UVM-transport device graph, loading it
+// on first use. The load mutates the arena, so it runs under the device
+// run mutex (no traversal is mid-flight while we hold it); fbMu dedupes
+// concurrent loaders.
+func (s *Service) uvmFallback(t *task) (*emogi.DeviceGraph, error) {
+	s.fbMu.Lock()
+	defer s.fbMu.Unlock()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrStopped
+	}
+	if fb := s.uvm[t.req.Dataset]; fb != nil {
+		s.mu.Unlock()
+		return fb, nil
+	}
+	s.mu.Unlock()
+
+	var fb *emogi.DeviceGraph
+	var err error
+	s.sys.Device().Exclusive(func() {
+		fb, err = s.sys.Load(t.dg.Graph,
+			emogi.WithTransport(emogi.UVM), emogi.WithElemBytes(t.dg.EdgeBytes))
+	})
+	s.syncFaultCounters() // the load may itself hit injected alloc faults
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.uvm[t.req.Dataset] = fb
+	s.mu.Unlock()
+	return fb, nil
+}
+
+// syncFaultCounters folds the injector's tally growth into the telemetry
+// counters. Deltas are taken under faultMu, so concurrent workers export
+// each injected fault exactly once and the series totals always equal the
+// injector's own counts.
+func (s *Service) syncFaultCounters() {
+	inj := s.cfg.Fault
+	if inj == nil {
+		return
+	}
+	now := inj.Counts()
+	s.faultMu.Lock()
+	prev := s.lastFaults
+	s.lastFaults = now
+	s.faultMu.Unlock()
+	s.met.faults[faultKindRead].Add(now.ReadFaults - prev.ReadFaults)
+	s.met.faults[faultKindSpike].Add(now.Spikes - prev.Spikes)
+	s.met.faults[faultKindAlloc].Add(now.AllocFaults - prev.AllocFaults)
+}
+
+// observeRunTime folds one run's wall time into the EWMA behind
+// RetryAfterHint.
+func (s *Service) observeRunTime(d time.Duration) {
+	obs := d.Seconds()
+	for {
+		old := s.runEWMA.Load()
+		next := obs
+		if old != 0 {
+			next = 0.8*math.Float64frombits(old) + 0.2*obs
+		}
+		if s.runEWMA.CompareAndSwap(old, math.Float64bits(next)) {
+			return
+		}
+	}
+}
+
+// RetryAfterHint suggests how long a shed client should wait before
+// retrying: the mean recent run wall time, floored at one second so
+// early scrapes (no runs observed yet) and sub-millisecond simulated
+// workloads still pace clients sanely. Serving layers put it in the
+// Retry-After header of 429 responses.
+func (s *Service) RetryAfterHint() time.Duration {
+	hint := time.Second
+	if bits := s.runEWMA.Load(); bits != 0 {
+		if d := time.Duration(math.Float64frombits(bits) * float64(time.Second)); d > hint {
+			hint = d
+		}
+	}
+	return hint
 }
 
 // Close drains and stops the service: new requests are rejected with
@@ -367,6 +603,10 @@ func (s *Service) Close() {
 	for name, dg := range s.graphs {
 		s.sys.Unload(dg)
 		delete(s.graphs, name)
+	}
+	for name, dg := range s.uvm {
+		s.sys.Unload(dg)
+		delete(s.uvm, name)
 	}
 	s.met.datasets.Set(0)
 }

@@ -227,11 +227,26 @@ func TestServiceCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != first {
-		t.Errorf("repeat request did not return the cached Result")
+	if again == first {
+		t.Errorf("cache hit shared the stored *Result; want a defensive copy")
+	}
+	if !reflect.DeepEqual(again, first) {
+		t.Errorf("cached Result differs from the original")
 	}
 	if got := len(sys.Device().Kernels()); got != kernels {
 		t.Errorf("cache hit launched %d kernel(s)", got-kernels)
+	}
+	// The copies must be independent: mutating one caller's response must
+	// not leak into what the next hit sees.
+	if len(again.Values) > 0 {
+		again.Values[0] = 0xDEAD
+	}
+	third, err := svc.Do(context.Background(), Request{Dataset: "GK", Algo: "bfs", Src: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(third, first) {
+		t.Errorf("mutating a returned Result corrupted the cached entry")
 	}
 
 	// cc is source-free: any src maps onto the same normalized key.
@@ -253,7 +268,10 @@ func TestServiceCache(t *testing.T) {
 // TestServiceCacheLRU: the cache evicts least-recently-used entries at
 // capacity.
 func TestServiceCacheLRU(t *testing.T) {
-	c := newResultCache(2)
+	c, err := newResultCache(2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	r := &emogi.Result{}
 	c.put(cacheKey{dataset: "a"}, r)
 	c.put(cacheKey{dataset: "b"}, r)

@@ -54,6 +54,10 @@ func main() {
 		cacheSize   = flag.Int("cache", 128, "result cache entries (0 default, negative disables)")
 		workers     = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS)")
 
+		batchWindow = flag.Duration("batch-window", 0,
+			"coalesce same-dataset/algo/variant requests arriving within this window into one batched run (0 disables)")
+		batchMax = flag.Int("batch-max", 32, "max distinct sources per coalesced batch (a full batch dispatches early)")
+
 		faultProfile = flag.String("fault-profile", "none",
 			fmt.Sprintf("fault-injection profile: %s", strings.Join(fault.Names(), ", ")))
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
@@ -94,6 +98,8 @@ func main() {
 		QueueDepth:   *queueDepth,
 		CacheEntries: *cacheSize,
 		Metrics:      reg,
+		BatchWindow:  *batchWindow,
+		BatchMax:     *batchMax,
 	})
 	for _, sym := range strings.Split(*graphs, ",") {
 		sym = strings.TrimSpace(sym)

@@ -74,6 +74,12 @@ type (
 	FaultInjector = fault.Injector
 	// FaultCounts is a snapshot of an injector's per-kind fault tallies.
 	FaultCounts = fault.Counts
+	// BatchItem is one lane's outcome of a batched run: exactly one of
+	// Res and Err is set.
+	BatchItem = core.BatchItem
+	// BatchOutcome reports one DoBatch dispatch: per-lane results plus
+	// the edge-scan sharing the batch achieved.
+	BatchOutcome = core.BatchOutcome
 )
 
 // ErrCanceled matches any traversal stopped through its context:
@@ -319,6 +325,12 @@ type Request struct {
 	// runs are unaffected; for UVM runs it makes results independent of
 	// what ran before.
 	Cold bool
+	// Ctx, when non-nil, is this request's own context inside DoBatch:
+	// when it is done, the request's lane detaches at the next round
+	// boundary (its BatchItem reports a *CanceledError) while the batch
+	// keeps running for the other requests. Do ignores it — pass the
+	// context to Do directly.
+	Ctx context.Context
 }
 
 // Do executes one traversal. It is the context-first entry point that
@@ -351,6 +363,65 @@ func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
 		res, err = core.RunAlgoContext(ctx, s.dev, req.Graph, req.Algo, req.Src, req.Variant)
 	})
 	return res, err
+}
+
+// DoBatch executes up to K traversals of the same (Graph, Algo, Variant)
+// as one batched engine run: a per-vertex lane bitmask carries every
+// query through a single fixed-point loop, so each edge scan serves all
+// lanes whose frontier covers it (see DESIGN.md §13). Requirements and
+// semantics:
+//
+//   - All requests must name the same loaded Graph, the same Algo, and
+//     the same Variant — batching shares one sweep, so the keys must
+//     agree. Sources may differ (and may repeat).
+//   - Each request's lane produces the bit-for-bit Values and Iterations
+//     an individual Do of that request returns; Elapsed and Stats on
+//     each Result describe the shared batched run (Result.BatchSize
+//     records the width).
+//   - ctx governs the whole batch: cancellation aborts every lane with
+//     an error matching ErrCanceled. A request's own Request.Ctx
+//     detaches just that lane at the next round boundary; the batch
+//     continues for the rest.
+//   - Algorithms without a batched mode (source-free and fixed-variant
+//     specialty kernels) run each lane sequentially with identical
+//     per-lane semantics; BatchOutcome.BatchedRun reports false.
+//
+// Like Do, DoBatch is safe for concurrent use and serializes on the
+// device.
+func (s *System) DoBatch(ctx context.Context, reqs []Request) (*BatchOutcome, error) {
+	if len(reqs) == 0 {
+		return nil, fmt.Errorf("emogi: DoBatch requires at least one request")
+	}
+	first := reqs[0]
+	if first.Graph == nil {
+		return nil, fmt.Errorf("emogi: DoBatch requires Request.Graph (load one with Load)")
+	}
+	if first.Algo == "" {
+		return nil, fmt.Errorf("emogi: DoBatch requires Request.Algo (valid algorithms: %s)",
+			strings.Join(core.AlgorithmNames(), ", "))
+	}
+	specs := make([]core.BatchSpec, len(reqs))
+	for i, r := range reqs {
+		if r.Graph != first.Graph {
+			return nil, fmt.Errorf("emogi: DoBatch request %d names a different graph; a batch shares one (graph, algo, variant)", i)
+		}
+		if r.Algo != first.Algo {
+			return nil, fmt.Errorf("emogi: DoBatch request %d names algo %q, want %q; a batch shares one (graph, algo, variant)", i, r.Algo, first.Algo)
+		}
+		if r.Variant != first.Variant {
+			return nil, fmt.Errorf("emogi: DoBatch request %d names variant %v, want %v; a batch shares one (graph, algo, variant)", i, r.Variant, first.Variant)
+		}
+		specs[i] = core.BatchSpec{Src: r.Src, Ctx: r.Ctx}
+	}
+	var out *BatchOutcome
+	var err error
+	s.dev.Exclusive(func() {
+		if first.Cold {
+			s.dev.ResetUVMResidency()
+		}
+		out, err = core.RunBatchAlgo(ctx, s.dev, first.Graph, first.Algo, specs, first.Variant)
+	})
+	return out, err
 }
 
 // BFS runs breadth-first search from src.

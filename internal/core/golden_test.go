@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -199,6 +200,34 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			defer ms.Free()
 			return ms.SSSP(src)
 		})
+		// Batched lanes, pinned on GK: each lane's record carries its own
+		// iteration count plus the batch's shared counters, so both the
+		// per-lane convergence and the amortized traffic are pinned.
+		bsrcs := graph.PickSources(g, 4, 71)
+		for _, app := range []string{"bfs", "sssp", "sswp"} {
+			dev := testDevice()
+			dg, err := Upload(dev, g, ZeroCopy, 8)
+			if err != nil {
+				t.Fatalf("GK/%s-batch4: %v", app, err)
+			}
+			specs := make([]BatchSpec, len(bsrcs))
+			for i, src := range bsrcs {
+				specs[i] = BatchSpec{Src: src}
+			}
+			out, err := RunBatchAlgo(context.Background(), dev, dg, app, specs, MergedAligned)
+			if err != nil {
+				t.Fatalf("GK/%s-batch4: %v", app, err)
+			}
+			for i, item := range out.Results {
+				if item.Err != nil {
+					t.Fatalf("GK/%s-batch4 lane %d: %v", app, i, item.Err)
+				}
+				if err := item.Res.Validate(g); err != nil {
+					t.Fatalf("GK/%s-batch4 lane %d: %v", app, i, err)
+				}
+				recs = append(recs, recordOf(fmt.Sprintf("GK/%s-batch4.q%d", app, i), item.Res))
+			}
+		}
 		run("cc-multigpu2", func() (*Result, error) {
 			ms, err := NewMultiSystem(multiDevices(2), g, 8)
 			if err != nil {

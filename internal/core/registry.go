@@ -37,6 +37,10 @@ type Algorithm struct {
 	// Algorithms with their own edge layout (compressed, edge-centric)
 	// build it from dg.Graph internally and release it before returning.
 	Run func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, variant Variant) (*Result, error)
+	// Batch, when non-nil, advances up to K sources in one batched engine
+	// run sharing each edge scan across the lanes (see batch.go). Nil
+	// algorithms batch through RunBatchAlgo's sequential fallback.
+	Batch func(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, specs []BatchSpec, variant Variant) (*BatchOutcome, error)
 }
 
 // registry holds the built-in algorithms. It is populated once at init
@@ -116,12 +120,14 @@ func init() {
 		Name:        "bfs",
 		Description: "breadth-first search (match-by-level frontier)",
 		Run:         BFSContext,
+		Batch:       BFSBatchContext,
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:         "sssp",
 		Description:  "single-source shortest path (atomic-min + add)",
 		NeedsWeights: true,
 		Run:          SSSPContext,
+		Batch:        SSSPBatchContext,
 	})
 	RegisterAlgorithm(&Algorithm{
 		Name:            "cc",
@@ -137,6 +143,7 @@ func init() {
 		Description:  "single-source widest path (atomic-max + min)",
 		NeedsWeights: true,
 		Run:          SSWPContext,
+		Batch:        SSWPBatchContext,
 	})
 	for _, lanes := range []int{4, 8, 16} {
 		lanes := lanes

@@ -32,6 +32,12 @@ type Result struct {
 	// Stats is this run's delta of the device counters.
 	Stats gpu.KernelStats
 
+	// BatchSize records how many sources shared the engine run that
+	// produced this result (see batch.go): zero for single-source runs.
+	// Values and Iterations are bit-for-bit what a single-source run
+	// returns; Elapsed and Stats describe the shared batched run.
+	BatchSize int `json:",omitempty"`
+
 	// Degraded marks a result produced on the UVM fallback transport after
 	// the requested zero-copy transport kept faulting transiently. Set by
 	// the serving layer, never by the engine: the values are still exact,

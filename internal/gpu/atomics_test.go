@@ -57,6 +57,52 @@ func TestAtomicMinConvergesProperty(t *testing.T) {
 	}
 }
 
+// TestAtomicOrU64ConvergesProperty: for any sequence of 64-bit atomicOr
+// operations over any lane/warp partitioning, each cell ends at the OR of
+// its initial value and every value ever pushed at it — the order
+// independence the batched engine's lane-bitmask frontier relies on.
+func TestAtomicOrU64ConvergesProperty(t *testing.T) {
+	f := func(ops []uint16, seed int64) bool {
+		const cells = 16
+		d := testDevice()
+		buf := d.Arena().MustAlloc("orcells", memsys.SpaceGPU, cells*8)
+		want := make([]uint64, cells)
+		for i := range want {
+			want[i] = 1 << 63
+			buf.PutU64(int64(i), 1<<63)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		d.Launch("orprop", 1, func(w *Warp) {
+			i := 0
+			for i < len(ops) {
+				var idx [WarpSize]int64
+				var val [WarpSize]uint64
+				mask := MaskNone
+				batch := 1 + rng.Intn(WarpSize)
+				for l := 0; l < batch && i < len(ops); l++ {
+					cell := int64(ops[i]) % cells
+					v := uint64(1) << (ops[i] % 63)
+					idx[l] = cell
+					val[l] = v
+					mask = mask.Set(l)
+					want[cell] |= v
+					i++
+				}
+				w.AtomicOrU64(buf, &idx, &val, mask)
+			}
+		})
+		for c := int64(0); c < cells; c++ {
+			if buf.U64(c) != want[c] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestAtomicCASLinearizesProperty: within one warp call, exactly one lane
 // wins each contended CAS chain, and the final value is the last winning
 // lane's proposal under the documented ascending-lane serialization.

@@ -434,6 +434,29 @@ func (w *Warp) AtomicOrU32(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpS
 	return old
 }
 
+// AtomicOrU64 performs per-lane atomicOr on the 64-bit elements
+// buf[idx[i]] with val[i], returning the previous values. Like its 32-bit
+// sibling, OR commutes, so the final buffer state is independent of warp
+// execution order; the returned old values may only feed order-insensitive
+// logic. The batched traversal engine uses it to set query-lane bits in
+// next-frontier bitmask words.
+func (w *Warp) AtomicOrU64(buf *memsys.Buffer, idx *[WarpSize]int64, val *[WarpSize]uint64, mask Mask) [WarpSize]uint64 {
+	var off [WarpSize]int64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			off[i] = idx[i] * 8
+		}
+	}
+	w.access(buf, &off, mask, true)
+	var old [WarpSize]uint64
+	for i := 0; i < WarpSize; i++ {
+		if mask.Has(i) {
+			old[i] = buf.AtomicOrU64(idx[i], val[i])
+		}
+	}
+	return old
+}
+
 // AtomicOrScalarU32 performs one atomicOr on buf[idx] through lane 0.
 func (w *Warp) AtomicOrScalarU32(buf *memsys.Buffer, idx int64, v uint32) uint32 {
 	var off [WarpSize]int64

@@ -124,6 +124,24 @@ func (b *Buffer) AtomicOrU32(i int64, v uint32) uint32 {
 	}
 }
 
+// AtomicOrU64 atomically ORs v into the 64-bit element at index i,
+// returning the previous value — the CUDA atomicOr contract on unsigned
+// long long. The batched traversal engine uses it to set per-query lane
+// bits in its next-frontier bitmask words.
+func (b *Buffer) AtomicOrU64(i int64, v uint64) uint64 {
+	p := b.ptr64(i)
+	for {
+		raw := atomic.LoadUint64(p)
+		cur := word64(raw)
+		if cur|v == cur {
+			return cur
+		}
+		if atomic.CompareAndSwapUint64(p, raw, word64(cur|v)) {
+			return cur
+		}
+	}
+}
+
 // AtomicCASU32 atomically sets element i to v if it equals cmp, returning
 // the previous value — the CUDA atomicCAS contract.
 func (b *Buffer) AtomicCASU32(i int64, cmp, v uint32) uint32 {

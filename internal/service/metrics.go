@@ -31,6 +31,11 @@ type metrics struct {
 	retries  *telemetry.Counter            // re-attempts after transient failures
 	degraded *telemetry.Counter            // runs answered on the UVM fallback transport
 	faults   map[string]*telemetry.Counter // injected faults by kind
+
+	// Request-coalescing series (see batch.go).
+	batchSize      *telemetry.Histogram // lanes per dispatched batch
+	batchedRuns    *telemetry.Counter   // batched engine runs completed
+	edgeScansSaved *telemetry.Counter   // edge reads amortized away by sharing
 }
 
 // Fault kinds, the label values of emogi_faults_injected_total.
@@ -46,6 +51,10 @@ var wallBounds = []float64{
 	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
 	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
 }
+
+// batchBounds covers coalesced batch widths from a lone request up past
+// the default BatchMax.
+var batchBounds = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
 func newMetrics(reg *telemetry.Registry) *metrics {
 	m := &metrics{
@@ -78,6 +87,12 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		m.faults[k] = reg.Counter("emogi_faults_injected_total",
 			"Faults injected by the fault-injection layer, by kind.", telemetry.Labels{"kind": k})
 	}
+	m.batchSize = reg.Histogram("emogi_batch_size",
+		"Distinct sources per dispatched coalesced batch.", batchBounds, nil)
+	m.batchedRuns = reg.Counter("emogi_batched_runs_total",
+		"Batched engine runs completed (lanes sharing one edge sweep).", nil)
+	m.edgeScansSaved = reg.Counter("emogi_edge_scans_saved_total",
+		"Edge reads avoided by sharing frontier sweeps across batched lanes.", nil)
 	return m
 }
 

@@ -104,6 +104,17 @@ type Config struct {
 	// Degraded. Requires spare attempts: degradation only happens while
 	// the retry budget lasts.
 	DegradeAfter int
+
+	// BatchWindow, when positive, enables request coalescing: cache-
+	// missing requests for the same (dataset, algo, variant, transport)
+	// arriving within the window are dispatched as one batched engine
+	// run sharing every edge scan (see batch.go). Zero disables
+	// coalescing; every request runs alone.
+	BatchWindow time.Duration
+	// BatchMax caps how many distinct sources one batch carries (default
+	// 32): a full batch seals and dispatches immediately instead of
+	// waiting out the window.
+	BatchMax int
 }
 
 // Request names one traversal over a loaded dataset.
@@ -130,13 +141,16 @@ type DatasetInfo struct {
 	Weighted  bool
 }
 
-// task is one admitted request moving through the queue.
+// task is one admitted unit moving through the queue: a single request,
+// or (batch != nil) a sealed batch of coalesced requests occupying one
+// admission slot together.
 type task struct {
 	ctx      context.Context
 	req      Request
 	dg       *emogi.DeviceGraph
 	key      cacheKey
 	cachable bool
+	batch    *pendingBatch
 	enqueued time.Time
 	done     chan taskResult // buffered: workers never block on delivery
 }
@@ -172,6 +186,10 @@ type Service struct {
 	// most once however many workers degrade concurrently.
 	fbMu sync.Mutex
 
+	// bmu guards pending, the open (unsealed) coalescing batches by key.
+	bmu     sync.Mutex
+	pending map[batchKey]*pendingBatch
+
 	mu     sync.Mutex
 	graphs map[string]*emogi.DeviceGraph
 	uvm    map[string]*emogi.DeviceGraph // lazy UVM fallback copies by dataset
@@ -201,6 +219,9 @@ func New(sys *emogi.System, cfg Config) *Service {
 	if cfg.DegradeAfter <= 0 {
 		cfg.DegradeAfter = 3
 	}
+	if cfg.BatchMax <= 0 {
+		cfg.BatchMax = 32
+	}
 	if cfg.Fault == nil {
 		cfg.Fault = sys.Faults()
 	}
@@ -209,13 +230,14 @@ func New(sys *emogi.System, cfg Config) *Service {
 		reg = telemetry.NewRegistry()
 	}
 	s := &Service{
-		sys:    sys,
-		cfg:    cfg,
-		reg:    reg,
-		met:    newMetrics(reg),
-		queue:  make(chan *task, cfg.QueueDepth),
-		graphs: make(map[string]*emogi.DeviceGraph),
-		uvm:    make(map[string]*emogi.DeviceGraph),
+		sys:     sys,
+		cfg:     cfg,
+		reg:     reg,
+		met:     newMetrics(reg),
+		queue:   make(chan *task, cfg.QueueDepth),
+		graphs:  make(map[string]*emogi.DeviceGraph),
+		uvm:     make(map[string]*emogi.DeviceGraph),
+		pending: make(map[batchKey]*pendingBatch),
 	}
 	if cacheEntries > 0 {
 		// cacheEntries is positive by construction here; a constructor
@@ -338,6 +360,12 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 		s.met.cacheMiss.Inc()
 	}
 
+	// Coalescing: batchable algorithms join the pending batch for their
+	// key instead of queueing alone (see batch.go).
+	if s.cfg.BatchWindow > 0 && algo.Batch != nil {
+		return s.doBatched(ctx, req, dg, key)
+	}
+
 	t := &task{
 		ctx:      ctx,
 		req:      req,
@@ -378,6 +406,10 @@ func (s *Service) worker() {
 	for t := range s.queue {
 		s.met.queued.Set(float64(len(s.queue)))
 		s.met.queueWait.Observe(time.Since(t.enqueued).Seconds())
+		if t.batch != nil {
+			s.runBatch(t)
+			continue
+		}
 		s.met.inflight.Set(float64(s.inflight.Add(1)))
 		start := time.Now()
 		res, err := s.execute(t)
@@ -594,6 +626,23 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Fail the open coalescing batches before the queue closes: their
+	// window timers would otherwise dispatch into a stopped service while
+	// the waiters block forever. Marking them sealed under bmu makes a
+	// concurrently firing timer a no-op; sealed batches already in (or
+	// racing into) the queue drain normally below.
+	s.bmu.Lock()
+	var orphaned []*pendingBatch
+	for k, b := range s.pending {
+		b.sealed = true
+		orphaned = append(orphaned, b)
+		delete(s.pending, k)
+	}
+	s.bmu.Unlock()
+	for _, b := range orphaned {
+		b.timer.Stop()
+		s.failBatch(b, ErrStopped, outcomeRejected)
+	}
 	// No sender can reach the queue after closed is set (the admission
 	// send happens under the mutex), so closing here is race-free.
 	close(s.queue)

@@ -63,6 +63,7 @@ func main() {
 		}
 		col := telemetry.NewCollector(nil, tracer)
 		cfg.Telemetry = col
+		telemetry.RegisterBuildInfo(col.Registry())
 		if *metrics != "" {
 			var err error
 			srv, err = telemetry.ListenAndServe(*metrics, col.Registry())

@@ -9,8 +9,16 @@
 //	POST /v1/traverse   {"dataset":"GK","algo":"bfs","src":12,"variant":"merged+aligned","timeout_ms":500}
 //	GET  /v1/algorithms registered traversal algorithms
 //	GET  /v1/datasets   loaded graphs
-//	GET  /metrics       Prometheus text exposition (queue, cache, outcomes)
-//	GET  /healthz       liveness
+//	GET  /metrics       Prometheus text exposition (queue, cache, outcomes, stage latencies)
+//	GET  /healthz       health probe: 503 while draining or a device is unhealthy
+//	GET  /debug/requests           flight recorder, newest-first (?limit=)
+//	GET  /debug/requests/slowest   flight recorder, slowest-first (?limit=)
+//	GET  /debug/pprof/  CPU/heap profiles (only with -pprof)
+//
+// Every request carries a trace ID: an inbound X-Request-ID is honored
+// (and echoed on the response, error responses included); otherwise one
+// is generated. The ID threads through the structured logs, the request's
+// lifecycle spans, the flight recorder, and the -trace timeline.
 //
 // Overload semantics: requests beyond the -concurrency workers and the
 // -queue-depth admission queue are rejected immediately with 429; a
@@ -25,7 +33,7 @@ import (
 	"flag"
 	"fmt"
 	"hash/fnv"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
 	"os"
@@ -63,36 +71,62 @@ func main() {
 		faultSeed = flag.Uint64("fault-seed", 1, "fault-injection seed (same seed, same faults)")
 		faultRate = flag.Float64("fault-rate", 0,
 			"override the profile's transient read-fault rate (0 keeps the profile default)")
+
+		flightRecorder = flag.Int("flight-recorder", telemetry.DefaultRecorderCapacity,
+			"flight-recorder capacity: last N completed requests served at /debug/requests (0 disables)")
+		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		traceOut = flag.String("trace", "",
+			"write a Chrome trace-event timeline (device tracks + per-request tracks) to this file on shutdown")
+		drainGrace = flag.Duration("drain-grace", 0,
+			"keep serving (with /healthz at 503) this long after SIGTERM before closing, so load balancers can route away")
 	)
 	flag.Parse()
 
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+
 	cfg, err := parsePlatform(*platform, *scale)
 	if err != nil {
-		log.Fatalf("emogi-serve: %v", err)
+		fatal(logger, "bad platform", err)
 	}
 	cfg.Workers = *workers
 	tr, err := parseTransport(*transport)
 	if err != nil {
-		log.Fatalf("emogi-serve: %v", err)
+		fatal(logger, "bad transport", err)
 	}
 	faultCfg, err := fault.ProfileConfig(*faultProfile, *faultSeed)
 	if err != nil {
-		log.Fatalf("emogi-serve: %v", err)
+		fatal(logger, "bad fault profile", err)
 	}
 	if *faultRate > 0 {
 		faultCfg.ReadFaultRate = *faultRate
 	}
 	inj, err := fault.New(faultCfg)
 	if err != nil {
-		log.Fatalf("emogi-serve: %v", err)
+		fatal(logger, "bad fault config", err)
 	}
 	cfg.Faults = inj
 	if inj != nil {
-		log.Printf("fault injection: profile %s, seed %d", inj.Name(), *faultSeed)
+		logger.Info("fault injection enabled", "profile", inj.Name(), "seed", *faultSeed)
 	}
 
-	sys := emogi.NewSystem(cfg)
+	// Observability wiring: one registry backs /metrics; the collector
+	// attributes device events (kernels, rounds, copies) to it and — when
+	// a request is running — to that request's trace; the recorder and
+	// health feed /debug/requests and /healthz.
 	reg := telemetry.NewRegistry()
+	telemetry.RegisterBuildInfo(reg)
+	var tracer *telemetry.Tracer
+	if *traceOut != "" {
+		tracer = telemetry.NewTracer()
+	}
+	cfg.Telemetry = telemetry.NewCollector(reg, tracer)
+	var recorder *telemetry.Recorder
+	if *flightRecorder > 0 {
+		recorder = telemetry.NewRecorder(*flightRecorder)
+	}
+	health := telemetry.NewHealth(reg)
+
+	sys := emogi.NewSystem(cfg)
 	svc := service.New(sys, service.Config{
 		Concurrency:  *concurrency,
 		QueueDepth:   *queueDepth,
@@ -100,6 +134,9 @@ func main() {
 		Metrics:      reg,
 		BatchWindow:  *batchWindow,
 		BatchMax:     *batchMax,
+		Recorder:     recorder,
+		Health:       health,
+		Tracer:       tracer,
 	})
 	for _, sym := range strings.Split(*graphs, ",") {
 		sym = strings.TrimSpace(sym)
@@ -108,46 +145,128 @@ func main() {
 		}
 		g, err := emogi.BuildDataset(sym, *scale, *seed)
 		if err != nil {
-			log.Fatalf("emogi-serve: building %s: %v", sym, err)
+			fatal(logger, "building "+sym, err)
 		}
 		if err := svc.AddGraph(sym, g,
 			emogi.WithTransport(tr), emogi.WithElemBytes(*elemBytes)); err != nil {
-			log.Fatalf("emogi-serve: loading %s: %v", sym, err)
+			fatal(logger, "loading "+sym, err)
 		}
-		log.Printf("loaded %s: %d vertices, %d edges (%s)",
-			sym, g.NumVertices(), g.NumEdges(), tr)
+		logger.Info("loaded dataset", "dataset", sym,
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "transport", tr.String())
 	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/traverse", handleTraverse(svc))
-	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
-	mux.HandleFunc("/v1/datasets", handleDatasets(svc))
-	mux.Handle("/", telemetry.Handler(reg)) // /metrics and /healthz
+	mux := newServeMux(serveDeps{
+		svc:      svc,
+		reg:      reg,
+		recorder: recorder,
+		health:   health,
+		logger:   logger,
+		pprof:    *pprofOn,
+	})
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatalf("emogi-serve: %v", err)
+		fatal(logger, "listen", err)
 	}
 	srv := &http.Server{Handler: mux}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatalf("emogi-serve: %v", err)
+			fatal(logger, "serve", err)
 		}
 	}()
-	log.Printf("serving on http://%s (POST /v1/traverse)", ln.Addr())
+	logger.Info("serving", "addr", ln.Addr().String(), "pprof", *pprofOn,
+		"flight_recorder", recorder.Capacity())
 
-	// Drain-then-stop on SIGINT/SIGTERM: stop accepting connections,
-	// finish in-flight requests, then stop the service and unload.
+	// Drain-then-stop on SIGINT/SIGTERM. The sequence is deliberate:
+	// first flip /healthz to 503 while still accepting requests (the
+	// drain grace), so load balancers route away before connections start
+	// being refused; then stop the listener and finish in-flight
+	// requests; then stop the service and unload.
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
-	log.Printf("shutting down")
+	logger.Info("draining", "grace", drainGrace.String())
+	health.SetDraining(true)
+	if *drainGrace > 0 {
+		time.Sleep(*drainGrace)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("emogi-serve: shutdown: %v", err)
+		logger.Error("shutdown", "err", err)
 	}
 	svc.Close()
+	if tracer != nil {
+		if err := writeTrace(*traceOut, tracer); err != nil {
+			logger.Error("writing trace", "path", *traceOut, "err", err)
+		} else {
+			logger.Info("wrote trace", "path", *traceOut, "events", tracer.Len())
+		}
+	}
+	logger.Info("stopped")
+}
+
+func fatal(logger *slog.Logger, msg string, err error) {
+	logger.Error(msg, "err", err)
+	os.Exit(1)
+}
+
+// writeTrace renders the accumulated timeline to path.
+func writeTrace(path string, tracer *telemetry.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tracer.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// serveDeps is everything the HTTP surface needs; newServeMux keeps the
+// routing in one testable place.
+type serveDeps struct {
+	svc      *service.Service
+	reg      *telemetry.Registry
+	recorder *telemetry.Recorder
+	health   *telemetry.Health
+	logger   *slog.Logger
+	pprof    bool
+}
+
+// newServeMux assembles the server's routes: the traversal API plus the
+// telemetry surface (/metrics, /healthz, /debug/requests, optional
+// pprof).
+func newServeMux(d serveDeps) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/traverse", handleTraverse(d.svc, d.logger))
+	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
+	mux.HandleFunc("/v1/datasets", handleDatasets(d.svc))
+	mux.Handle("/", telemetry.NewHandler(telemetry.HandlerOptions{
+		Registry: d.reg,
+		Recorder: d.recorder,
+		Health:   d.health,
+		Pprof:    d.pprof,
+	}))
+	return mux
+}
+
+// requestIDHeader carries the request's trace ID in and out.
+const requestIDHeader = "X-Request-ID"
+
+// maxRequestIDLen bounds an inbound trace ID; longer ones are replaced so
+// a client cannot balloon the recorder or the logs.
+const maxRequestIDLen = 128
+
+// requestID honors an inbound X-Request-ID (trimmed, length-capped) or
+// generates a fresh trace ID.
+func requestID(r *http.Request) string {
+	id := strings.TrimSpace(r.Header.Get(requestIDHeader))
+	if id == "" || len(id) > maxRequestIDLen {
+		return telemetry.NewTraceID()
+	}
+	return id
 }
 
 // traverseRequest is the POST /v1/traverse body.
@@ -169,6 +288,7 @@ type traverseRequest struct {
 // device time; the values checksum identifies the result without
 // shipping the array.
 type traverseResponse struct {
+	TraceID        string   `json:"trace_id"`
 	Dataset        string   `json:"dataset"`
 	Algo           string   `json:"algo"`
 	App            string   `json:"app"`
@@ -199,14 +319,21 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-func handleTraverse(svc *service.Service) http.HandlerFunc {
+func handleTraverse(svc *service.Service, logger *slog.Logger) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		// The trace ID is echoed on every response, error paths included,
+		// so clients can always correlate.
+		id := requestID(r)
+		w.Header().Set(requestIDHeader, id)
+		log := logger.With("trace_id", id)
+		start := time.Now()
 		if r.Method != http.MethodPost {
 			writeJSON(w, http.StatusMethodNotAllowed, errorResponse{Error: "POST only"})
 			return
 		}
 		var req traverseRequest
 		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			log.Warn("bad request body", "err", err)
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad JSON: " + err.Error()})
 			return
 		}
@@ -214,6 +341,7 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 		if req.Variant != "" {
 			var err error
 			if variant, err = parseVariant(req.Variant); err != nil {
+				log.Warn("bad variant", "variant", req.Variant)
 				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 				return
 			}
@@ -236,6 +364,7 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 			Algo:    req.Algo,
 			Src:     req.Src,
 			Variant: variant,
+			TraceID: id,
 		})
 		if err != nil {
 			status := statusFor(err)
@@ -244,10 +373,16 @@ func handleTraverse(svc *service.Service) http.HandlerFunc {
 				// typically takes to turn over before they try again.
 				w.Header().Set("Retry-After", retryAfterSeconds(svc.RetryAfterHint()))
 			}
+			log.Warn("traverse failed", "dataset", req.Dataset, "algo", req.Algo,
+				"src", req.Src, "status", status, "wall", time.Since(start).String(), "err", err)
 			writeJSON(w, status, errorResponse{Error: err.Error()})
 			return
 		}
+		log.Info("traverse", "dataset", req.Dataset, "algo", req.Algo, "src", req.Src,
+			"iterations", res.Iterations, "degraded", res.Degraded,
+			"sim", res.Elapsed.String(), "wall", time.Since(start).String())
 		resp := traverseResponse{
+			TraceID:        id,
 			Dataset:        req.Dataset,
 			Algo:           req.Algo,
 			App:            res.App,

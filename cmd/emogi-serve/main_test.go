@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"strconv"
@@ -12,7 +14,13 @@ import (
 	emogi "repro"
 	"repro/internal/fault"
 	"repro/internal/service"
+	"repro/internal/telemetry"
 )
+
+// testLogger discards structured log output in handler tests.
+func testLogger() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}
 
 const testScale = 0.02
 
@@ -46,7 +54,7 @@ func postTraverse(handler http.HandlerFunc, body string) *httptest.ResponseRecor
 func TestTraverseNegativeTimeout(t *testing.T) {
 	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1})
 	defer svc.Close()
-	handler := handleTraverse(svc)
+	handler := handleTraverse(svc, testLogger())
 
 	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":1,"timeout_ms":-5}`)
 	if rr.Code != http.StatusBadRequest {
@@ -70,7 +78,7 @@ func TestTraverseRetryAfterOn429(t *testing.T) {
 		CacheEntries: -1,
 	})
 	defer svc.Close()
-	handler := handleTraverse(svc)
+	handler := handleTraverse(svc, testLogger())
 
 	// Freeze the device so admitted requests block and capacity stays full.
 	release := make(chan struct{})
@@ -135,7 +143,7 @@ func TestTraverseDegraded(t *testing.T) {
 	}
 	svc, _ := newServeService(t, inj, service.Config{Concurrency: 1, CacheEntries: -1})
 	defer svc.Close()
-	handler := handleTraverse(svc)
+	handler := handleTraverse(svc, testLogger())
 
 	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":3}`)
 	if rr.Code != http.StatusOK {
@@ -162,5 +170,138 @@ func TestStatusForTransient(t *testing.T) {
 	err := &emogi.TransientError{App: "BFS", Rounds: 2, Faults: 7}
 	if got := statusFor(err); got != http.StatusServiceUnavailable {
 		t.Errorf("statusFor(TransientError) = %d, want 503", got)
+	}
+}
+
+// TestTraverseRequestIDEcho: an inbound X-Request-ID is honored verbatim —
+// on the response header, in the response body, and as the flight
+// recorder's trace ID.
+func TestTraverseRequestIDEcho(t *testing.T) {
+	rec := telemetry.NewRecorder(8)
+	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1, Recorder: rec})
+	defer svc.Close()
+	handler := handleTraverse(svc, testLogger())
+
+	const id = "client-chosen-trace-7f3a"
+	rr := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/traverse",
+		strings.NewReader(`{"dataset":"GK","algo":"bfs","src":1}`))
+	req.Header.Set("X-Request-ID", id)
+	handler(rr, req)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rr.Code, rr.Body.String())
+	}
+	if got := rr.Header().Get("X-Request-ID"); got != id {
+		t.Errorf("response X-Request-ID = %q, want %q", got, id)
+	}
+	var resp traverseResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != id {
+		t.Errorf("body trace_id = %q, want %q", resp.TraceID, id)
+	}
+	recs := rec.Snapshot()
+	if len(recs) != 1 {
+		t.Fatalf("flight recorder holds %d records, want 1", len(recs))
+	}
+	if recs[0].TraceID != id {
+		t.Errorf("recorded trace ID = %q, want %q", recs[0].TraceID, id)
+	}
+}
+
+// TestTraverseRequestIDGenerated: with no inbound header every response —
+// including error responses — carries a fresh server-generated trace ID.
+func TestTraverseRequestIDGenerated(t *testing.T) {
+	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1})
+	defer svc.Close()
+	handler := handleTraverse(svc, testLogger())
+
+	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":2}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s)", rr.Code, rr.Body.String())
+	}
+	id := rr.Header().Get("X-Request-ID")
+	if id == "" {
+		t.Fatal("success response missing generated X-Request-ID")
+	}
+	var resp traverseResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.TraceID != id {
+		t.Errorf("body trace_id = %q, header = %q; want them equal", resp.TraceID, id)
+	}
+
+	// Error paths must echo too: a 404 for an unknown dataset still
+	// carries the trace ID the client sent.
+	rr = httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, "/v1/traverse",
+		strings.NewReader(`{"dataset":"NOPE","algo":"bfs","src":1}`))
+	req.Header.Set("X-Request-ID", "err-path-id")
+	handler(rr, req)
+	if rr.Code != http.StatusNotFound {
+		t.Fatalf("unknown dataset status = %d, want 404", rr.Code)
+	}
+	if got := rr.Header().Get("X-Request-ID"); got != "err-path-id" {
+		t.Errorf("404 response X-Request-ID = %q, want err-path-id", got)
+	}
+}
+
+// TestServeMuxSurface drives the assembled mux end to end: traffic lands
+// in the flight recorder at /debug/requests, /healthz flips to 503 when
+// draining begins, and unknown routes 404.
+func TestServeMuxSurface(t *testing.T) {
+	reg := telemetry.NewRegistry()
+	rec := telemetry.NewRecorder(8)
+	health := telemetry.NewHealth(reg)
+	svc, _ := newServeService(t, nil, service.Config{
+		Concurrency: 1, Metrics: reg, Recorder: rec, Health: health,
+	})
+	defer svc.Close()
+	mux := newServeMux(serveDeps{
+		svc: svc, reg: reg, recorder: rec, health: health, logger: testLogger(),
+	})
+
+	do := func(method, path, body string) *httptest.ResponseRecorder {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		var rd io.Reader
+		if body != "" {
+			rd = strings.NewReader(body)
+		}
+		mux.ServeHTTP(rr, httptest.NewRequest(method, path, rd))
+		return rr
+	}
+
+	if rr := do(http.MethodGet, "/healthz", ""); rr.Code != http.StatusOK {
+		t.Fatalf("/healthz before drain = %d, want 200", rr.Code)
+	}
+	if rr := do(http.MethodPost, "/v1/traverse", `{"dataset":"GK","algo":"bfs","src":1}`); rr.Code != http.StatusOK {
+		t.Fatalf("traverse via mux = %d (%s)", rr.Code, rr.Body.String())
+	}
+
+	rr := do(http.MethodGet, "/debug/requests", "")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/requests = %d", rr.Code)
+	}
+	var payload struct {
+		Total    uint64                    `json:"total"`
+		Requests []telemetry.RequestRecord `json:"requests"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &payload); err != nil {
+		t.Fatalf("/debug/requests body: %v", err)
+	}
+	if payload.Total == 0 || len(payload.Requests) == 0 {
+		t.Fatalf("/debug/requests empty after traffic: %s", rr.Body.String())
+	}
+
+	if rr := do(http.MethodGet, "/no/such/route", ""); rr.Code != http.StatusNotFound {
+		t.Errorf("unknown route = %d, want 404", rr.Code)
+	}
+
+	health.SetDraining(true)
+	if rr := do(http.MethodGet, "/healthz", ""); rr.Code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while draining = %d, want 503", rr.Code)
 	}
 }

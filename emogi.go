@@ -35,6 +35,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/memsys"
 	"repro/internal/pcie"
+	"repro/internal/telemetry"
 )
 
 // Re-exported types so user code only imports this package.
@@ -357,12 +358,33 @@ func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
 	var res *Result
 	var err error
 	s.dev.Exclusive(func() {
+		defer s.bindTrace(ctx)()
 		if req.Cold {
 			s.dev.ResetUVMResidency()
 		}
 		res, err = core.RunAlgoContext(ctx, s.dev, req.Graph, req.Algo, req.Src, req.Variant)
 	})
 	return res, err
+}
+
+// bindTrace attributes the run's device events (traversal rounds) to the
+// request trace carried by ctx, when there is one and the system's
+// telemetry sink can accept it. It must be called under s.dev.Exclusive —
+// runs serialize there, so at most one trace is ever bound — and returns
+// the unbind func (a no-op when nothing was bound). The nil path costs one
+// context lookup and zero allocations, preserving the disabled-telemetry
+// fast path.
+func (s *System) bindTrace(ctx context.Context) func() {
+	rt := telemetry.TraceFrom(ctx)
+	if rt == nil {
+		return func() {}
+	}
+	b, ok := s.dev.Telemetry().(telemetry.TraceBinder)
+	if !ok {
+		return func() {}
+	}
+	b.BindTrace(rt)
+	return b.UnbindTrace
 }
 
 // DoBatch executes up to K traversals of the same (Graph, Algo, Variant)
@@ -416,6 +438,7 @@ func (s *System) DoBatch(ctx context.Context, reqs []Request) (*BatchOutcome, er
 	var out *BatchOutcome
 	var err error
 	s.dev.Exclusive(func() {
+		defer s.bindTrace(ctx)()
 		if first.Cold {
 			s.dev.ResetUVMResidency()
 		}

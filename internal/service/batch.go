@@ -7,6 +7,7 @@ import (
 	"time"
 
 	emogi "repro"
+	"repro/internal/telemetry"
 )
 
 // Request coalescing: when Config.BatchWindow is set, cache-missing
@@ -49,6 +50,13 @@ type batchKey struct {
 type batchWaiter struct {
 	ctx  context.Context
 	done chan taskResult // buffered: delivery never blocks
+
+	// trace is the waiter's own request trace; joined is when it entered
+	// the pending batch. runBatch replays the batch's shared spans into
+	// every waiter's trace, plus a per-waiter coalesce span covering
+	// joined -> dispatch.
+	trace  *telemetry.RequestTrace
+	joined time.Time
 }
 
 // pendingLane is one distinct source inside a pending batch.
@@ -61,20 +69,21 @@ type pendingLane struct {
 
 // pendingBatch collects same-key requests until it seals.
 type pendingBatch struct {
-	key     batchKey
-	dg      *emogi.DeviceGraph
-	variant emogi.Variant
-	lanes   []*pendingLane
-	bySrc   map[int]*pendingLane
-	timer   *time.Timer
-	sealed  bool
+	key        batchKey
+	dg         *emogi.DeviceGraph
+	variant    emogi.Variant
+	lanes      []*pendingLane
+	bySrc      map[int]*pendingLane
+	timer      *time.Timer
+	sealed     bool
+	dispatched time.Time // when the sealed batch entered admission
 }
 
 // doBatched joins (or opens) the pending batch for the request's key and
 // blocks until the batch delivers. Callers have already missed the
 // cache and validated the dataset and algorithm.
-func (s *Service) doBatched(ctx context.Context, req Request, dg *emogi.DeviceGraph, key cacheKey) (*emogi.Result, error) {
-	w := &batchWaiter{ctx: ctx, done: make(chan taskResult, 1)}
+func (s *Service) doBatched(ctx context.Context, req Request, dg *emogi.DeviceGraph, key cacheKey, rt *telemetry.RequestTrace) (*emogi.Result, error) {
+	w := &batchWaiter{ctx: ctx, done: make(chan taskResult, 1), trace: rt, joined: time.Now()}
 	bkey := batchKey{dataset: req.Dataset, algo: key.algo, variant: key.variant, transport: key.transport}
 	s.bmu.Lock()
 	b := s.pending[bkey]
@@ -108,6 +117,16 @@ func (s *Service) doBatched(ctx context.Context, req Request, dg *emogi.DeviceGr
 		s.dispatchBatch(b)
 	}
 	r := <-w.done
+	s.finishRequest(rt, req, requestOutcome{
+		outcome:  outcomeOf(r.err),
+		res:      r.res,
+		err:      r.err,
+		executed: r.executed,
+		retries:  r.retries,
+		faults:   r.faults,
+		batched:  r.batched,
+		lanes:    r.lanes,
+	})
 	return r.res, r.err
 }
 
@@ -131,6 +150,7 @@ func (s *Service) sealBatch(b *pendingBatch) {
 // load-shedding win coalescing buys. Rejection (queue full, service
 // stopped) fails every waiter the way a single request is failed.
 func (s *Service) dispatchBatch(b *pendingBatch) {
+	b.dispatched = time.Now()
 	t := &task{
 		ctx: context.Background(),
 		req: Request{Dataset: b.key.dataset, Algo: b.key.algo, Variant: b.variant},
@@ -138,7 +158,11 @@ func (s *Service) dispatchBatch(b *pendingBatch) {
 		// key feeds retry-backoff jitter; lane 0's is as good as any.
 		key:      b.lanes[0].key,
 		batch:    b,
-		enqueued: time.Now(),
+		enqueued: b.dispatched,
+		// The batch collects its shared lifecycle spans (queue, backoff,
+		// execute, degrade) and round events on its own trace; runBatch
+		// replays them into every waiter's.
+		trace: telemetry.NewRequestTrace(telemetry.NewTraceID()),
 	}
 	s.mu.Lock()
 	if s.closed {
@@ -167,7 +191,10 @@ func (s *Service) failBatch(b *pendingBatch, err error, outcome string) {
 }
 
 // runBatch executes one admitted batch on a worker and delivers per-lane
-// results, cache fills, and metrics.
+// results, cache fills, and metrics. The batch's shared lifecycle spans
+// and round events — collected on the task's batch-scoped trace — are
+// replayed into every waiter's trace, preceded by a per-waiter coalesce
+// span, so each request's record reads like it ran alone.
 func (s *Service) runBatch(t *task) {
 	b := t.batch
 	s.met.inflight.Set(float64(s.inflight.Add(1)))
@@ -178,12 +205,47 @@ func (s *Service) runBatch(t *task) {
 	s.observeRunTime(elapsed)
 	s.met.inflight.Set(float64(s.inflight.Add(-1)))
 	s.met.batchSize.Observe(float64(len(b.lanes)))
+
+	batchSpans := t.trace.Spans()
+	rounds, totalRounds := t.trace.Rounds()
+	replay := func(w *batchWaiter) {
+		wb := w.trace.Begin()
+		s.replaySpan(w.trace, telemetry.Span{
+			Stage:   telemetry.StageCoalesce,
+			StartNS: w.joined.Sub(wb).Nanoseconds(),
+			DurNS:   b.dispatched.Sub(w.joined).Nanoseconds(),
+		})
+		// Shared spans are recorded relative to the batch trace's begin;
+		// rebase them onto this waiter's clock.
+		off := t.trace.Begin().Sub(wb).Nanoseconds()
+		for _, sp := range batchSpans {
+			sp.StartNS += off
+			s.replaySpan(w.trace, sp)
+		}
+		w.trace.ReplayRounds(rounds, totalRounds)
+	}
+	meta := taskResult{
+		executed: true,
+		retries:  t.attempts - 1,
+		faults:   t.faults,
+		lanes:    len(b.lanes),
+		batched:  true,
+	}
+
 	if err != nil {
 		oc := outcomeError
 		if errors.Is(err, emogi.ErrCanceled) {
 			oc = outcomeCanceled
 		}
-		s.failBatch(b, err, oc)
+		for _, ln := range b.lanes {
+			for _, w := range ln.waiters {
+				s.met.outcome(oc)
+				replay(w)
+				r := meta
+				r.err = err
+				w.done <- r
+			}
+		}
 		return
 	}
 	if out.BatchedRun {
@@ -214,7 +276,11 @@ func (s *Service) runBatch(t *task) {
 				// of a lane each get a private copy.
 				res = cloneResult(res)
 			}
-			w.done <- taskResult{res: res, err: item.Err}
+			replay(w)
+			r := meta
+			r.res = res
+			r.err = item.Err
+			w.done <- r
 		}
 	}
 }
@@ -245,14 +311,19 @@ func (s *Service) executeBatch(t *task) (*emogi.BatchOutcome, error) {
 	consecutive := 0
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.RetryAttempts; attempt++ {
+		t.attempts = attempt + 1
 		if attempt > 0 {
 			s.met.retries.Inc()
 			if err := s.backoff(t, attempt); err != nil {
 				return nil, err
 			}
 		}
-		out, err := s.sys.DoBatch(context.Background(), reqs)
+		// The batch trace rides the dispatch context so the collector
+		// attributes the shared run's rounds to it.
+		execStart := time.Now()
+		out, err := s.sys.DoBatch(telemetry.WithTrace(context.Background(), t.trace), reqs)
 		s.syncFaultCounters()
+		s.stageSpan(t, telemetry.StageExecute, attempt+1, execStart, executeDetail(degraded, err))
 		if err == nil {
 			if degraded {
 				for _, item := range out.Results {
@@ -264,17 +335,25 @@ func (s *Service) executeBatch(t *task) (*emogi.BatchOutcome, error) {
 			}
 			return out, nil
 		}
+		var te *emogi.TransientError
+		if errors.As(err, &te) {
+			t.faults += te.Faults
+		}
 		if !errors.Is(err, emogi.ErrTransient) {
 			return nil, err
 		}
 		lastErr = err
 		consecutive++
 		if !degraded && consecutive >= s.cfg.DegradeAfter && attempt+1 < s.cfg.RetryAttempts {
+			degStart := time.Now()
 			if fb, fbErr := s.uvmFallback(t); fbErr == nil {
+				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "uvm fallback loaded")
 				for i := range reqs {
 					reqs[i].Graph = fb
 				}
 				degraded = true
+			} else {
+				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "fallback load failed: "+fbErr.Error())
 			}
 		}
 	}

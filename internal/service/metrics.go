@@ -36,6 +36,13 @@ type metrics struct {
 	batchSize      *telemetry.Histogram // lanes per dispatched batch
 	batchedRuns    *telemetry.Counter   // batched engine runs completed
 	edgeScansSaved *telemetry.Counter   // edge reads amortized away by sharing
+
+	// stage holds the per-lifecycle-stage latency histograms
+	// (emogi_request_stage_seconds by stage label). Every recorded span
+	// lands in exactly one of these, so a stage's histogram count equals
+	// the number of spans requests recorded for it — batched requests
+	// observe the shared stages once per waiter.
+	stage map[string]*telemetry.Histogram
 }
 
 // Fault kinds, the label values of emogi_faults_injected_total.
@@ -93,7 +100,20 @@ func newMetrics(reg *telemetry.Registry) *metrics {
 		"Batched engine runs completed (lanes sharing one edge sweep).", nil)
 	m.edgeScansSaved = reg.Counter("emogi_edge_scans_saved_total",
 		"Edge reads avoided by sharing frontier sweeps across batched lanes.", nil)
+	m.stage = map[string]*telemetry.Histogram{}
+	for _, st := range telemetry.Stages() {
+		m.stage[st] = reg.Histogram("emogi_request_stage_seconds",
+			"Wall time requests spent per lifecycle stage.", wallBounds,
+			telemetry.Labels{"stage": st})
+	}
 	return m
 }
 
 func (m *metrics) outcome(o string) { m.requests[o].Inc() }
+
+// stageObserve folds one lifecycle-stage duration into its histogram.
+func (m *metrics) stageObserve(stage string, seconds float64) {
+	if h := m.stage[stage]; h != nil {
+		h.Observe(seconds)
+	}
+}

@@ -115,6 +115,19 @@ type Config struct {
 	// 32): a full batch seals and dispatches immediately instead of
 	// waiting out the window.
 	BatchMax int
+
+	// Recorder, when non-nil, receives one flight-recorder record per
+	// completed request (every outcome, cache hits and rejections
+	// included). Nil disables recording at zero cost.
+	Recorder *telemetry.Recorder
+	// Health, when non-nil, receives one observation per executed request
+	// and is flipped to draining when Close begins, so /healthz can report
+	// honestly. Nil disables health tracking.
+	Health *telemetry.Health
+	// Tracer, when non-nil, receives each completed request as its own
+	// track in the Chrome-trace timeline, alongside the device tracks the
+	// Collector emits.
+	Tracer *telemetry.Tracer
 }
 
 // Request names one traversal over a loaded dataset.
@@ -129,6 +142,11 @@ type Request struct {
 	// Variant selects the kernel access pattern (ignored by
 	// fixed-variant specialty kernels).
 	Variant emogi.Variant
+	// TraceID, when set, identifies the request across the lifecycle
+	// trace, the flight recorder, and logs (serving layers pass an
+	// inbound X-Request-ID through). Empty generates one. It never enters
+	// the cache key: equivalent requests share an entry regardless of ID.
+	TraceID string
 }
 
 // DatasetInfo describes one loaded graph.
@@ -153,20 +171,38 @@ type task struct {
 	batch    *pendingBatch
 	enqueued time.Time
 	done     chan taskResult // buffered: workers never block on delivery
+
+	// trace collects the task's lifecycle spans: the request's own trace
+	// for single tasks, a shared batch-scoped trace for batch tasks
+	// (runBatch replays it into every waiter). The executing worker owns
+	// the fields below until it delivers on done; the channel receive
+	// orders the caller's reads after them.
+	trace    *telemetry.RequestTrace
+	attempts int    // execution attempts made (retries = attempts - 1)
+	faults   uint64 // injected read faults absorbed by failed attempts
 }
 
 type taskResult struct {
 	res *emogi.Result
 	err error
+	// Batch deliveries carry the shared run's recovery tallies so each
+	// waiter's finishRequest can report them (single requests read them
+	// off their own task instead).
+	executed bool
+	retries  int
+	faults   uint64
+	lanes    int
+	batched  bool
 }
 
 // Service executes traversal requests over one System.
 type Service struct {
-	sys   *emogi.System
-	cfg   Config
-	reg   *telemetry.Registry
-	met   *metrics
-	cache *resultCache
+	sys     *emogi.System
+	cfg     Config
+	reg     *telemetry.Registry
+	met     *metrics
+	cache   *resultCache
+	devName string // health/identity name of the system's device
 
 	queue    chan *task
 	wg       sync.WaitGroup
@@ -234,11 +270,15 @@ func New(sys *emogi.System, cfg Config) *Service {
 		cfg:     cfg,
 		reg:     reg,
 		met:     newMetrics(reg),
+		devName: sys.Config().GPU.Name,
 		queue:   make(chan *task, cfg.QueueDepth),
 		graphs:  make(map[string]*emogi.DeviceGraph),
 		uvm:     make(map[string]*emogi.DeviceGraph),
 		pending: make(map[batchKey]*pendingBatch),
 	}
+	// List the device healthy before traffic, so /healthz names it from
+	// the first scrape.
+	cfg.Health.RegisterDevice(s.devName)
 	if cacheEntries > 0 {
 		// cacheEntries is positive by construction here; a constructor
 		// error would be a programming bug, not a config value.
@@ -315,26 +355,43 @@ func (s *Service) datasetNames() []string {
 // Do executes one request: cache lookup, bounded admission, then a
 // worker runs it on the device. It blocks until the request completes,
 // is canceled, or is rejected. Safe for concurrent use.
+//
+// Every request is traced end to end: its TraceID (generated when empty)
+// and lifecycle spans flow into the flight recorder, the per-stage
+// histograms, and — for executed runs — the device health window.
 func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	id := req.TraceID
+	if id == "" {
+		id = telemetry.NewTraceID()
+	}
+	rt := telemetry.NewRequestTrace(id)
+	admitStart := rt.Begin()
+
+	// fail resolves a request that never reached a worker: the admission
+	// span covers whatever validation rejected it.
+	fail := func(outcome string, err error) (*emogi.Result, error) {
+		s.met.outcome(outcome)
+		s.observeStage(rt, telemetry.StageAdmission, 0, admitStart, err.Error())
+		s.finishRequest(rt, req, requestOutcome{outcome: outcome, err: err})
+		return nil, err
+	}
+
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.met.outcome(outcomeRejected)
-		return nil, ErrStopped
+		return fail(outcomeRejected, ErrStopped)
 	}
 	dg := s.graphs[req.Dataset]
 	s.mu.Unlock()
 	if dg == nil {
-		s.met.outcome(outcomeError)
-		return nil, &UnknownDatasetError{Name: req.Dataset, Have: s.datasetNames()}
+		return fail(outcomeError, &UnknownDatasetError{Name: req.Dataset, Have: s.datasetNames()})
 	}
 	algo := core.LookupAlgorithm(req.Algo)
 	if algo == nil {
-		s.met.outcome(outcomeError)
-		return nil, &core.UnknownAlgorithmError{Name: req.Algo}
+		return fail(outcomeError, &core.UnknownAlgorithmError{Name: req.Algo})
 	}
 
 	// Normalize the cache key so equivalent requests share an entry.
@@ -355,15 +412,18 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 		if res, ok := s.cache.get(key); ok {
 			s.met.cacheHits.Inc()
 			s.met.outcome(outcomeCached)
+			s.observeStage(rt, telemetry.StageAdmission, 0, admitStart, "cache hit")
+			s.finishRequest(rt, req, requestOutcome{outcome: outcomeCached, res: res})
 			return res, nil
 		}
 		s.met.cacheMiss.Inc()
 	}
+	s.observeStage(rt, telemetry.StageAdmission, 0, admitStart, "")
 
 	// Coalescing: batchable algorithms join the pending batch for their
 	// key instead of queueing alone (see batch.go).
 	if s.cfg.BatchWindow > 0 && algo.Batch != nil {
-		return s.doBatched(ctx, req, dg, key)
+		return s.doBatched(ctx, req, dg, key, rt)
 	}
 
 	t := &task{
@@ -374,6 +434,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 		cachable: s.cache != nil,
 		enqueued: time.Now(),
 		done:     make(chan taskResult, 1),
+		trace:    rt,
 	}
 	// Admission: the closed check and the send share the mutex so Close
 	// cannot close the queue between them.
@@ -381,6 +442,7 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 	if s.closed {
 		s.mu.Unlock()
 		s.met.outcome(outcomeRejected)
+		s.finishRequest(rt, req, requestOutcome{outcome: outcomeRejected, err: ErrStopped})
 		return nil, ErrStopped
 	}
 	select {
@@ -390,13 +452,23 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 	default:
 		s.mu.Unlock()
 		s.met.outcome(outcomeRejected)
+		s.finishRequest(rt, req, requestOutcome{outcome: outcomeRejected, err: ErrOverloaded})
 		return nil, ErrOverloaded
 	}
 
 	// Admitted: the worker always delivers, including for canceled
 	// requests (the engine observes ctx at the next round boundary), so
-	// waiting here cannot hang on an abandoned context.
+	// waiting here cannot hang on an abandoned context. The receive
+	// orders our reads of the worker-owned task fields.
 	r := <-t.done
+	s.finishRequest(rt, req, requestOutcome{
+		outcome:  outcomeOf(r.err),
+		res:      r.res,
+		err:      r.err,
+		executed: true,
+		retries:  t.attempts - 1,
+		faults:   t.faults,
+	})
 	return r.res, r.err
 }
 
@@ -405,7 +477,8 @@ func (s *Service) worker() {
 	defer s.wg.Done()
 	for t := range s.queue {
 		s.met.queued.Set(float64(len(s.queue)))
-		s.met.queueWait.Observe(time.Since(t.enqueued).Seconds())
+		qd := s.stageSpan(t, telemetry.StageQueue, 0, t.enqueued, "")
+		s.met.queueWait.Observe(qd.Seconds())
 		if t.batch != nil {
 			s.runBatch(t)
 			continue
@@ -448,6 +521,7 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 	consecutive := 0
 	var lastErr error
 	for attempt := 0; attempt < s.cfg.RetryAttempts; attempt++ {
+		t.attempts = attempt + 1
 		if attempt > 0 {
 			s.met.retries.Inc()
 			if err := s.backoff(t, attempt); err != nil {
@@ -456,8 +530,10 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 		}
 		// Cold caches make every run independent of queue order: UVM
 		// residency is device-global state the LRU cache key could not
-		// otherwise account for.
-		res, err := s.sys.Do(t.ctx, emogi.Request{
+		// otherwise account for. The trace rides the context so the
+		// collector attributes the run's rounds to this request.
+		execStart := time.Now()
+		res, err := s.sys.Do(telemetry.WithTrace(t.ctx, t.trace), emogi.Request{
 			Graph:   dg,
 			Algo:    t.req.Algo,
 			Src:     t.req.Src,
@@ -465,12 +541,17 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 			Cold:    true,
 		})
 		s.syncFaultCounters()
+		s.stageSpan(t, telemetry.StageExecute, attempt+1, execStart, executeDetail(degraded, err))
 		if err == nil {
 			if degraded {
 				res.Degraded = true
 				s.met.degraded.Inc()
 			}
 			return res, nil
+		}
+		var te *emogi.TransientError
+		if errors.As(err, &te) {
+			t.faults += te.Faults
 		}
 		if !errors.Is(err, emogi.ErrTransient) {
 			return nil, err
@@ -482,14 +563,37 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 			// the per-request link faults cannot touch. A failed fallback
 			// load (e.g. an injected allocation fault) keeps retrying
 			// zero-copy instead.
+			degStart := time.Now()
 			if fb, fbErr := s.uvmFallback(t); fbErr == nil {
+				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "uvm fallback loaded")
 				dg = fb
 				degraded = true
+			} else {
+				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "fallback load failed: "+fbErr.Error())
 			}
 		}
 	}
 	return nil, fmt.Errorf("service: retry budget exhausted after %d attempts: %w",
 		s.cfg.RetryAttempts, lastErr)
+}
+
+// executeDetail annotates one execute span: the transport it ran on and
+// how it failed, if it did.
+func executeDetail(degraded bool, err error) string {
+	d := ""
+	if degraded {
+		d = "uvm"
+	}
+	switch {
+	case err == nil:
+		return d
+	case errors.Is(err, emogi.ErrTransient):
+		return strings.TrimSpace(d + " transient fault")
+	case errors.Is(err, emogi.ErrCanceled):
+		return strings.TrimSpace(d + " canceled")
+	default:
+		return strings.TrimSpace(d + " error")
+	}
 }
 
 // backoff sleeps before retry number attempt (>= 1), honoring the request
@@ -506,10 +610,15 @@ func (s *Service) backoff(t *task, attempt int) error {
 	delay := base/2 + time.Duration(retryJitter(t.key, attempt)%uint64(base/2+1))
 	timer := time.NewTimer(delay)
 	defer timer.Stop()
+	// The backoff span carries the attempt it precedes (1-based, matching
+	// the execute span it delays).
+	start := time.Now()
 	select {
 	case <-t.ctx.Done():
+		s.stageSpan(t, telemetry.StageBackoff, attempt+1, start, "canceled")
 		return &emogi.CanceledError{App: t.req.Algo, Cause: t.ctx.Err()}
 	case <-timer.C:
+		s.stageSpan(t, telemetry.StageBackoff, attempt+1, start, "")
 		return nil
 	}
 }
@@ -626,6 +735,10 @@ func (s *Service) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	// Draining starts the moment admission stops: /healthz flips to 503
+	// while admitted requests finish, and stays there — a closed service
+	// never serves again.
+	s.cfg.Health.SetDraining(true)
 	// Fail the open coalescing batches before the queue closes: their
 	// window timers would otherwise dispatch into a stopped service while
 	// the waiters block forever. Marking them sealed under bmu makes a

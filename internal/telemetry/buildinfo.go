@@ -1,0 +1,32 @@
+package telemetry
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// RegisterBuildInfo exports an emogi_build_info gauge with constant value 1
+// and version / goversion / commit labels, the standard pattern for joining
+// build metadata onto any other series in a dashboard. Values come from the
+// binary's embedded module info; unknown fields export as "unknown" so the
+// label schema is stable across build modes (module builds, test binaries,
+// bare `go run`).
+func RegisterBuildInfo(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	version, commit := "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" && s.Value != "" {
+				commit = s.Value
+			}
+		}
+	}
+	reg.Gauge("emogi_build_info",
+		"Build metadata; constant 1 with version, goversion, and commit labels.",
+		Labels{"version": version, "goversion": runtime.Version(), "commit": commit}).Set(1)
+}

@@ -28,6 +28,11 @@ type Collector struct {
 
 	devs map[*gpu.Device]*devState
 	util map[string]*utilAcc // worker utilization accumulators per label set
+
+	// bound is the request trace currently attributed device events.
+	// Binding happens under the device's exclusive run lock (see
+	// System.Do), so at most one run — and one trace — is active at a time.
+	bound *RequestTrace
 }
 
 // devState is the per-device delta-tracking state.
@@ -225,13 +230,31 @@ func (c *Collector) RoundDone(dev *gpu.Device, name string, round int, start, en
 	st := c.state(dev)
 	ls := st.runLabels()
 	devName := st.name
+	rt := c.bound
 	c.mu.Unlock()
 
 	c.reg.Counter("emogi_rounds_total",
 		"Traversal rounds (BFS levels, SSSP/CC relaxation sweeps) completed.", ls).Inc()
+	rt.Round(name, round, start, end)
 	if c.tracer != nil {
 		c.tracer.Round(devName, name, round, start, end)
 	}
+}
+
+// BindTrace implements TraceBinder: round events are attributed to rt
+// until UnbindTrace. The System calls this under the device's exclusive
+// run lock, so bindings never overlap.
+func (c *Collector) BindTrace(rt *RequestTrace) {
+	c.mu.Lock()
+	c.bound = rt
+	c.mu.Unlock()
+}
+
+// UnbindTrace implements TraceBinder.
+func (c *Collector) UnbindTrace() {
+	c.mu.Lock()
+	c.bound = nil
+	c.mu.Unlock()
 }
 
 // foldMonitor writes one monitor growth delta into the registry: wire

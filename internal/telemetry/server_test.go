@@ -1,8 +1,10 @@
 package telemetry
 
 import (
+	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"testing"
 )
@@ -47,7 +49,7 @@ func TestServerEndpoints(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("/healthz status %d", resp.StatusCode)
 	}
-	if !strings.Contains(body, `"status":"ok"`) {
+	if !strings.Contains(body, `"status": "ok"`) || !strings.Contains(body, `"serving": true`) {
 		t.Errorf("/healthz body %q", body)
 	}
 
@@ -65,5 +67,102 @@ func TestServerEndpoints(t *testing.T) {
 func TestServerBadAddressFailsFast(t *testing.T) {
 	if _, err := ListenAndServe("256.0.0.1:bad", NewRegistry()); err == nil {
 		t.Fatalf("expected bind error")
+	}
+}
+
+// TestHandlerDebugRequests exercises the flight-recorder endpoints: JSON
+// schema, newest-first and slowest-first ordering, the limit parameter,
+// and rejection of junk limits.
+func TestHandlerDebugRequests(t *testing.T) {
+	recd := NewRecorder(4)
+	recd.Record(RequestRecord{TraceID: "a", Outcome: "ok", WallNS: 300,
+		Stages: []Span{{Stage: StageAdmission, DurNS: 10}}})
+	recd.Record(RequestRecord{TraceID: "b", Outcome: "error", WallNS: 900})
+	recd.Record(RequestRecord{TraceID: "c", Outcome: "ok", WallNS: 100})
+	h := NewHandler(HandlerOptions{Registry: NewRegistry(), Recorder: recd})
+
+	get := func(path string) (*httptest.ResponseRecorder, requestsPayload) {
+		t.Helper()
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		var p requestsPayload
+		if rr.Code == http.StatusOK {
+			if err := json.Unmarshal(rr.Body.Bytes(), &p); err != nil {
+				t.Fatalf("GET %s body: %v (%q)", path, err, rr.Body.String())
+			}
+		}
+		return rr, p
+	}
+
+	rr, p := get("/debug/requests")
+	if rr.Code != http.StatusOK {
+		t.Fatalf("/debug/requests = %d", rr.Code)
+	}
+	if p.Total != 3 || p.Capacity != 4 || len(p.Requests) != 3 {
+		t.Fatalf("payload total=%d capacity=%d len=%d, want 3/4/3", p.Total, p.Capacity, len(p.Requests))
+	}
+	if p.Requests[0].TraceID != "c" || p.Requests[2].TraceID != "a" {
+		t.Errorf("not newest-first: %q ... %q", p.Requests[0].TraceID, p.Requests[2].TraceID)
+	}
+	if len(p.Requests[2].Stages) != 1 || p.Requests[2].Stages[0].Stage != StageAdmission {
+		t.Errorf("record lost its stage spans: %+v", p.Requests[2])
+	}
+
+	if _, p = get("/debug/requests?limit=1"); len(p.Requests) != 1 || p.Requests[0].TraceID != "c" {
+		t.Errorf("limit=1 returned %+v", p.Requests)
+	}
+	if _, p = get("/debug/requests/slowest?limit=2"); len(p.Requests) != 2 ||
+		p.Requests[0].TraceID != "b" || p.Requests[1].TraceID != "a" {
+		t.Errorf("slowest?limit=2 returned wrong order: %+v", p.Requests)
+	}
+	if rr, _ = get("/debug/requests?limit=banana"); rr.Code != http.StatusBadRequest {
+		t.Errorf("junk limit = %d, want 400", rr.Code)
+	}
+}
+
+// TestHandlerUnknownRouteAndPprof: unregistered paths 404, and pprof is
+// mounted only when asked for.
+func TestHandlerUnknownRouteAndPprof(t *testing.T) {
+	status := func(h http.Handler, path string) int {
+		rr := httptest.NewRecorder()
+		h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, path, nil))
+		return rr.Code
+	}
+
+	plain := NewHandler(HandlerOptions{Registry: NewRegistry()})
+	if got := status(plain, "/no/such/route"); got != http.StatusNotFound {
+		t.Errorf("unknown route = %d, want 404", got)
+	}
+	if got := status(plain, "/debug/pprof/cmdline"); got != http.StatusNotFound {
+		t.Errorf("pprof without opt-in = %d, want 404", got)
+	}
+	withPprof := NewHandler(HandlerOptions{Registry: NewRegistry(), Pprof: true})
+	if got := status(withPprof, "/debug/pprof/cmdline"); got != http.StatusOK {
+		t.Errorf("pprof with opt-in = %d, want 200", got)
+	}
+}
+
+// TestHandlerHealthzUnhealthy: /healthz surfaces an unhealthy device as
+// 503 with the device detail in the body.
+func TestHandlerHealthzUnhealthy(t *testing.T) {
+	reg := NewRegistry()
+	health := NewHealth(reg)
+	for i := 0; i < 3; i++ {
+		health.ObserveRun("gpu0", RunObservation{TransientFailure: true})
+	}
+	h := NewHandler(HandlerOptions{Registry: reg, Health: health})
+
+	rr := httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if rr.Code != http.StatusServiceUnavailable {
+		t.Fatalf("/healthz with unhealthy device = %d, want 503", rr.Code)
+	}
+	var rep HealthReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Status != "unhealthy" || rep.Serving || len(rep.Devices) != 1 ||
+		rep.Devices[0].State != "unhealthy" {
+		t.Errorf("report = %+v", rep)
 	}
 }

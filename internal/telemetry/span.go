@@ -1,0 +1,267 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Request-lifecycle tracing. Every service request carries a RequestTrace
+// from admission to delivery: the serving layer records one Span per
+// lifecycle stage (admission, queue wait, batch-coalescing wait, each
+// retry attempt with its backoff, UVM degradation fallback, engine
+// execution), and the Collector — bound to the trace for the duration of
+// the request's exclusive device run — attributes round-boundary events
+// to it. A completed trace becomes a flight-recorder RequestRecord (see
+// recorder.go) and, when a Tracer is attached, a per-request track in the
+// Chrome-trace timeline.
+//
+// Tracing is strictly opt-in, like the rest of the telemetry subsystem: a
+// request with no trace attached (TraceFrom returns nil) costs the engine
+// one context lookup per run and zero allocations on the hot path.
+
+// Lifecycle stage names. These are the `stage` label values of the
+// emogi_request_stage_seconds histograms and the Span.Stage values in
+// flight-recorder records; DESIGN.md §14 documents the taxonomy.
+const (
+	// StageAdmission spans request validation and the cache lookup.
+	StageAdmission = "admission"
+	// StageQueue spans admission-queue wait: enqueue to worker pickup.
+	StageQueue = "queue"
+	// StageCoalesce spans the batch-coalescing wait: joining a pending
+	// batch to the batch sealing (batched requests only).
+	StageCoalesce = "coalesce"
+	// StageBackoff spans one retry backoff wait (attempt number attached).
+	StageBackoff = "backoff"
+	// StageExecute spans one engine execution attempt (attempt number
+	// attached; the final attempt is the one that produced the outcome).
+	StageExecute = "execute"
+	// StageDegrade spans the lazy UVM-fallback dataset load that precedes
+	// degraded attempts.
+	StageDegrade = "degrade"
+)
+
+// Stages lists every lifecycle stage, in lifecycle order. The service
+// pre-registers one histogram series per entry so scrapes see the full
+// schema deterministically.
+func Stages() []string {
+	return []string{StageAdmission, StageQueue, StageCoalesce, StageBackoff, StageExecute, StageDegrade}
+}
+
+// Span is one recorded lifecycle stage of a request. Offsets are
+// wall-clock time relative to the trace's Begin, so a record's stage
+// durations can be summed against its total wall time.
+type Span struct {
+	// Stage is the lifecycle stage name (Stage* constants).
+	Stage string `json:"stage"`
+	// Attempt is the 1-based attempt number for backoff/execute spans
+	// under retry; zero elsewhere.
+	Attempt int `json:"attempt,omitempty"`
+	// StartNS is the span's start, in nanoseconds since the trace began.
+	StartNS int64 `json:"start_ns"`
+	// DurNS is the span's wall-clock duration in nanoseconds.
+	DurNS int64 `json:"dur_ns"`
+	// Detail optionally carries stage context: an error class for failed
+	// attempts, the fallback transport for degrade spans.
+	Detail string `json:"detail,omitempty"`
+}
+
+// RoundSpan is one engine round attributed to a request, on the simulated
+// device clock (not wall time). The Collector records these through the
+// existing RoundDone telemetry hook while the trace is bound.
+type RoundSpan struct {
+	// Name is the round label the engine emitted ("bfs", "sssp", ...).
+	Name string `json:"name"`
+	// Round is the round number (BFS level, relaxation sweep index).
+	Round int `json:"round"`
+	// StartUS and EndUS bound the round on the simulated clock, in
+	// microseconds (matching the Chrome-trace timebase).
+	StartUS float64 `json:"start_us"`
+	EndUS   float64 `json:"end_us"`
+}
+
+// maxTraceRounds bounds the per-request round list so a pathological
+// million-round traversal cannot balloon the recorder; rounds beyond the
+// cap are counted but not stored.
+const maxTraceRounds = 512
+
+// RequestTrace accumulates one request's lifecycle spans. All methods are
+// safe for concurrent use (the service and the device goroutine both
+// write). A nil *RequestTrace is inert: every method is a no-op, so call
+// sites need no nil checks.
+type RequestTrace struct {
+	id    string
+	begin time.Time
+
+	mu     sync.Mutex
+	spans  []Span
+	rounds []RoundSpan
+	// totalRounds counts every round observed, including ones dropped
+	// beyond maxTraceRounds.
+	totalRounds int
+}
+
+// NewRequestTrace starts a trace identified by id (generate one with
+// NewTraceID when the caller did not supply an inbound request ID).
+func NewRequestTrace(id string) *RequestTrace {
+	return &RequestTrace{id: id, begin: time.Now()}
+}
+
+// ID returns the trace identifier.
+func (t *RequestTrace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Begin returns the wall-clock time the trace started.
+func (t *RequestTrace) Begin() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return t.begin
+}
+
+// Observe records one completed lifecycle stage that started at start and
+// ended now. It returns the span's duration so callers can feed the same
+// measurement into a histogram without a second clock read.
+func (t *RequestTrace) Observe(stage string, attempt int, start time.Time, detail string) time.Duration {
+	d := time.Since(start)
+	if t == nil {
+		return d
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Stage:   stage,
+		Attempt: attempt,
+		StartNS: start.Sub(t.begin).Nanoseconds(),
+		DurNS:   d.Nanoseconds(),
+		Detail:  detail,
+	})
+	t.mu.Unlock()
+	return d
+}
+
+// ObserveSpan records a fully formed span (used when replaying shared
+// batch stages into every waiter's trace).
+func (t *RequestTrace) ObserveSpan(sp Span) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Round records one engine round on the simulated clock. The Collector
+// calls this from the RoundDone hook while the trace is bound to a run.
+func (t *RequestTrace) Round(name string, round int, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.totalRounds++
+	if len(t.rounds) < maxTraceRounds {
+		t.rounds = append(t.rounds, RoundSpan{
+			Name:    name,
+			Round:   round,
+			StartUS: usec(start),
+			EndUS:   usec(end),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// ReplayRounds folds rounds observed elsewhere into this trace — the
+// serving layer uses it to attribute a shared batched run's rounds to
+// every waiter that rode the batch. total counts rounds beyond the
+// storage cap the source trace already dropped.
+func (t *RequestTrace) ReplayRounds(rounds []RoundSpan, total int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.totalRounds += total
+	if room := maxTraceRounds - len(t.rounds); room > 0 {
+		if len(rounds) > room {
+			rounds = rounds[:room]
+		}
+		t.rounds = append(t.rounds, rounds...)
+	}
+	t.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded lifecycle spans in recording order.
+func (t *RequestTrace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// Rounds returns a copy of the recorded round spans (capped at
+// maxTraceRounds) and the total number of rounds observed.
+func (t *RequestTrace) Rounds() ([]RoundSpan, int) {
+	if t == nil {
+		return nil, 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]RoundSpan(nil), t.rounds...), t.totalRounds
+}
+
+// traceIDSeq seeds the fallback trace-ID generator when the system random
+// source is unavailable.
+var traceIDSeq atomic.Uint64
+
+// NewTraceID generates a 16-hex-character request identifier.
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// The system random source failing is vanishingly rare; a process-
+		// unique counter keeps IDs distinct within this process.
+		seq := traceIDSeq.Add(1)
+		for i := 0; i < 8; i++ {
+			b[i] = byte(seq >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// traceKey is the context key RequestTraces travel under.
+type traceKey struct{}
+
+// WithTrace attaches a request trace to a context; the System binds it to
+// the device telemetry sink for the duration of the request's run.
+func WithTrace(ctx context.Context, t *RequestTrace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the context's request trace, or nil. The nil path is
+// allocation-free — the cost of disabled tracing is this one lookup per
+// run, never per round or per warp.
+func TraceFrom(ctx context.Context) *RequestTrace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*RequestTrace)
+	return t
+}
+
+// TraceBinder is implemented by telemetry sinks that can attribute device
+// events to the request currently running on the device. The System binds
+// the request's trace under the device's exclusive run lock, so at most
+// one trace is bound at a time.
+type TraceBinder interface {
+	// BindTrace attaches rt as the destination for round events until
+	// UnbindTrace.
+	BindTrace(rt *RequestTrace)
+	// UnbindTrace detaches the current trace.
+	UnbindTrace()
+}

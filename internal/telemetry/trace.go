@@ -52,6 +52,14 @@ type Tracer struct {
 	events []TraceEvent
 	meta   []TraceEvent
 	pids   map[string]int // device name -> trace process ID
+
+	// Request-track state: completed service requests land in one trace
+	// process ("requests"), one thread per request. Their timebase is
+	// wall-clock offset from the first recorded request (device tracks use
+	// the simulated clock; the two interleave in one file but measure
+	// different things — see DESIGN.md §14).
+	reqEpoch time.Time
+	reqTID   int
 }
 
 // NewTracer creates an empty tracer.
@@ -144,6 +152,59 @@ func (t *Tracer) Copy(device string, toDevice bool, bytes int64, start, end time
 	t.complete(device, "copy", trackCopies, name, start, end, map[string]any{
 		"bytes": bytes,
 	})
+}
+
+// requestPID returns the trace process ID of the shared "requests"
+// process, creating and naming it on first use. Callers hold t.mu.
+func (t *Tracer) requestPID() int {
+	if p, ok := t.pids["requests"]; ok {
+		return p
+	}
+	p := len(t.pids) + 1
+	t.pids["requests"] = p
+	t.meta = append(t.meta, TraceEvent{Name: "process_name", Ph: "M", PID: p,
+		Args: map[string]any{"name": "requests"}})
+	return p
+}
+
+// Request records one completed service request as its own thread in the
+// "requests" trace process: one complete event per lifecycle span, with
+// wall-clock timestamps offset from the first recorded request. outcome
+// labels the thread alongside the trace ID.
+func (t *Tracer) Request(id, outcome string, begin time.Time, spans []Span) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.requestPID()
+	if t.reqEpoch.IsZero() {
+		t.reqEpoch = begin
+	}
+	t.reqTID++
+	tid := t.reqTID
+	t.meta = append(t.meta, TraceEvent{Name: "thread_name", Ph: "M", PID: p, TID: tid,
+		Args: map[string]any{"name": fmt.Sprintf("req %s (%s)", id, outcome)}})
+	// Requests completing out of order may have begun before the epoch;
+	// Chrome trace timestamps may be negative, so the offset stands as-is.
+	off := begin.Sub(t.reqEpoch)
+	for _, sp := range spans {
+		name := sp.Stage
+		if sp.Attempt > 0 {
+			name = fmt.Sprintf("%s #%d", sp.Stage, sp.Attempt)
+		}
+		args := map[string]any{"trace_id": id}
+		if sp.Detail != "" {
+			args["detail"] = sp.Detail
+		}
+		t.events = append(t.events, TraceEvent{
+			Name: name,
+			Cat:  "request",
+			Ph:   "X",
+			TS:   usec(off + time.Duration(sp.StartNS)),
+			Dur:  float64(sp.DurNS) / float64(time.Microsecond),
+			PID:  p,
+			TID:  tid,
+			Args: args,
+		})
+	}
 }
 
 // renderRequests formats a raw request trace compactly: one "<size>" or

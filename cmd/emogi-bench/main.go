@@ -36,7 +36,7 @@ func main() {
 		sources   = flag.Int("sources", 3, "sources averaged per measurement (paper uses 64)")
 		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
 		workers   = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,fig3..fig12,ablation-*")
+		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,transport,fig3..fig12,ablation-*")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
 		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.txt")
 		csv       = flag.Bool("csv", false, "with -o, also write <dir>/<id>.csv")
@@ -187,6 +187,11 @@ func main() {
 		log.Printf("running prior-work comparison (HALO, Subway)...")
 		t, err := bench.Table3(ds)
 		emit("table3", t, err)
+	}
+	if selected("transport") {
+		log.Printf("running transport-policy comparison (static-zc, static-uvm, adaptive)...")
+		t, err := bench.TransportComparison(ds, bench.AllSyms(), []string{"bfs", "sssp"})
+		emit("transport", t, err)
 	}
 
 	type ablation struct {

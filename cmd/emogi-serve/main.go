@@ -9,6 +9,7 @@
 //	POST /v1/traverse   {"dataset":"GK","algo":"bfs","src":12,"variant":"merged+aligned","timeout_ms":500}
 //	GET  /v1/algorithms registered traversal algorithms
 //	GET  /v1/datasets   loaded graphs
+//	GET  /v1/transports selectable transport policies
 //	GET  /metrics       Prometheus text exposition (queue, cache, outcomes, stage latencies)
 //	GET  /healthz       health probe: 503 while draining or a device is unhealthy
 //	GET  /debug/requests           flight recorder, newest-first (?limit=)
@@ -50,12 +51,13 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
-		graphs      = flag.String("graphs", "GK", "comma-separated dataset symbols to load (see -list equivalents in cmd/emogi)")
-		scale       = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the standard 1:1000 reduction)")
-		seed        = flag.Int64("seed", 42, "graph synthesis seed")
-		platform    = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
-		transport   = flag.String("transport", "zerocopy", "edge-list transport: zerocopy or uvm")
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
+		graphs    = flag.String("graphs", "GK", "comma-separated dataset symbols to load (see -list equivalents in cmd/emogi)")
+		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the standard 1:1000 reduction)")
+		seed      = flag.Int64("seed", 42, "graph synthesis seed")
+		platform  = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
+		transport = flag.String("transport", "static-zc",
+			"edge-list transport policy: static-zc, static-uvm, or adaptive (v1 spellings zerocopy/uvm still accepted)")
 		elemBytes   = flag.Int("elem", 8, "edge element bytes (4 or 8)")
 		concurrency = flag.Int("concurrency", 4, "worker goroutines executing traversals")
 		queueDepth  = flag.Int("queue-depth", 64, "admission queue depth (beyond it requests get 429)")
@@ -74,7 +76,7 @@ func main() {
 
 		flightRecorder = flag.Int("flight-recorder", telemetry.DefaultRecorderCapacity,
 			"flight-recorder capacity: last N completed requests served at /debug/requests (0 disables)")
-		pprofOn = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		traceOut = flag.String("trace", "",
 			"write a Chrome trace-event timeline (device tracks + per-request tracks) to this file on shutdown")
 		drainGrace = flag.Duration("drain-grace", 0,
@@ -89,7 +91,7 @@ func main() {
 		fatal(logger, "bad platform", err)
 	}
 	cfg.Workers = *workers
-	tr, err := parseTransport(*transport)
+	pol, err := emogi.PolicyByName(*transport)
 	if err != nil {
 		fatal(logger, "bad transport", err)
 	}
@@ -148,11 +150,11 @@ func main() {
 			fatal(logger, "building "+sym, err)
 		}
 		if err := svc.AddGraph(sym, g,
-			emogi.WithTransport(tr), emogi.WithElemBytes(*elemBytes)); err != nil {
+			emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes)); err != nil {
 			fatal(logger, "loading "+sym, err)
 		}
 		logger.Info("loaded dataset", "dataset", sym,
-			"vertices", g.NumVertices(), "edges", g.NumEdges(), "transport", tr.String())
+			"vertices", g.NumVertices(), "edges", g.NumEdges(), "transport", pol.Name())
 	}
 
 	mux := newServeMux(serveDeps{
@@ -243,6 +245,7 @@ func newServeMux(d serveDeps) *http.ServeMux {
 	mux.HandleFunc("/v1/traverse", handleTraverse(d.svc, d.logger))
 	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
 	mux.HandleFunc("/v1/datasets", handleDatasets(d.svc))
+	mux.HandleFunc("/v1/transports", handleTransports)
 	mux.Handle("/", telemetry.NewHandler(telemetry.HandlerOptions{
 		Registry: d.reg,
 		Recorder: d.recorder,
@@ -276,6 +279,11 @@ type traverseRequest struct {
 	Src     int    `json:"src"`
 	// Variant is "naive", "merged", or "merged+aligned" (the default).
 	Variant string `json:"variant"`
+	// Transport optionally overrides the dataset's transport policy for
+	// this request ("static-zc", "static-uvm", "adaptive", or a v1
+	// spelling; see GET /v1/transports). Unknown names are rejected with
+	// 400 before admission.
+	Transport string `json:"transport"`
 	// TimeoutMS bounds the run; on expiry the traversal stops at the
 	// next round boundary and the request returns 504. Zero means no
 	// timeout; negative values are rejected with 400.
@@ -288,12 +296,16 @@ type traverseRequest struct {
 // device time; the values checksum identifies the result without
 // shipping the array.
 type traverseResponse struct {
-	TraceID        string   `json:"trace_id"`
-	Dataset        string   `json:"dataset"`
-	Algo           string   `json:"algo"`
-	App            string   `json:"app"`
-	Src            int      `json:"src"`
-	Variant        string   `json:"variant"`
+	TraceID string `json:"trace_id"`
+	Dataset string `json:"dataset"`
+	Algo    string `json:"algo"`
+	App     string `json:"app"`
+	Src     int    `json:"src"`
+	Variant string `json:"variant"`
+	// Transport is the registry name of the policy the run executed under
+	// ("static-zc", "static-uvm", "adaptive") — the dataset's loaded
+	// policy, the request's override, or the static-uvm reroute after
+	// degradation.
 	Transport      string   `json:"transport"`
 	Iterations     int      `json:"iterations"`
 	ElapsedNS      int64    `json:"elapsed_ns"`
@@ -302,8 +314,9 @@ type traverseResponse struct {
 	PCIePayload    uint64   `json:"pcie_payload_bytes"`
 	ValuesChecksum string   `json:"values_checksum"`
 	Values         []uint32 `json:"values,omitempty"`
-	// Degraded marks a result served on the UVM fallback transport after
-	// the zero-copy transport kept faulting; the values are still exact.
+	// Degraded marks a result the service rerouted onto the static-uvm
+	// policy after the requested transport kept faulting; the values are
+	// still exact.
 	Degraded bool `json:"degraded,omitempty"`
 }
 
@@ -346,6 +359,15 @@ func handleTraverse(svc *service.Service, logger *slog.Logger) http.HandlerFunc 
 				return
 			}
 		}
+		if req.Transport != "" {
+			// Reject unknown policy names before admission, with the same
+			// structured 400 shape as a bad timeout_ms.
+			if _, err := emogi.PolicyByName(req.Transport); err != nil {
+				log.Warn("bad transport", "transport", req.Transport)
+				writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+				return
+			}
+		}
 		if req.TimeoutMS < 0 {
 			// A negative timeout used to silently mean "no timeout" — the
 			// opposite of what the client asked for. Reject it instead.
@@ -360,11 +382,12 @@ func handleTraverse(svc *service.Service, logger *slog.Logger) http.HandlerFunc 
 			defer cancel()
 		}
 		res, err := svc.Do(ctx, service.Request{
-			Dataset: req.Dataset,
-			Algo:    req.Algo,
-			Src:     req.Src,
-			Variant: variant,
-			TraceID: id,
+			Dataset:   req.Dataset,
+			Algo:      req.Algo,
+			Src:       req.Src,
+			Variant:   variant,
+			Transport: req.Transport,
+			TraceID:   id,
 		})
 		if err != nil {
 			status := statusFor(err)
@@ -388,7 +411,7 @@ func handleTraverse(svc *service.Service, logger *slog.Logger) http.HandlerFunc 
 			App:            res.App,
 			Src:            res.Source,
 			Variant:        res.Variant.String(),
-			Transport:      res.Transport.String(),
+			Transport:      effectiveTransport(res),
 			Iterations:     res.Iterations,
 			ElapsedNS:      res.Elapsed.Nanoseconds(),
 			Elapsed:        res.Elapsed.String(),
@@ -480,6 +503,21 @@ func handleDatasets(svc *service.Service) http.HandlerFunc {
 	}
 }
 
+// transportInfo is one row of GET /v1/transports.
+type transportInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+func handleTransports(w http.ResponseWriter, r *http.Request) {
+	pols := emogi.TransportPolicies()
+	out := make([]transportInfo, len(pols))
+	for i, p := range pols {
+		out[i] = transportInfo{Name: p.Name(), Description: p.Description()}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
 func parseVariant(s string) (emogi.Variant, error) {
 	switch strings.ToLower(s) {
 	case "naive":
@@ -492,14 +530,14 @@ func parseVariant(s string) (emogi.Variant, error) {
 	return 0, fmt.Errorf("unknown variant %q (want naive, merged, or merged+aligned)", s)
 }
 
-func parseTransport(s string) (emogi.Transport, error) {
-	switch strings.ToLower(s) {
-	case "zerocopy", "zc", "emogi":
-		return emogi.ZeroCopy, nil
-	case "uvm":
-		return emogi.UVM, nil
+// effectiveTransport names the policy the run actually executed under.
+// Results from entry points that predate the policy layer carry no policy
+// name; the base transport still tells the story there.
+func effectiveTransport(res *emogi.Result) string {
+	if res.Policy != "" {
+		return res.Policy
 	}
-	return 0, fmt.Errorf("unknown transport %q (want zerocopy or uvm)", s)
+	return res.Transport.String()
 }
 
 func parsePlatform(s string, scale float64) (emogi.SystemConfig, error) {

@@ -134,8 +134,8 @@ func TestTraverseRetryAfterOn429(t *testing.T) {
 }
 
 // TestTraverseDegraded: against a flaky link the handler still answers
-// 200 — the service retried and fell back to UVM — and the response
-// carries the degraded marker.
+// 200 — the service retried and rerouted onto the static-uvm policy — and
+// the response carries the degraded marker plus the policy it ran under.
 func TestTraverseDegraded(t *testing.T) {
 	inj, err := fault.Profile(fault.ProfileFlakyLink, 7)
 	if err != nil {
@@ -154,13 +154,83 @@ func TestTraverseDegraded(t *testing.T) {
 		t.Fatal(err)
 	}
 	if !resp.Degraded {
-		t.Error("response not marked degraded despite the UVM fallback")
+		t.Error("response not marked degraded despite the static-uvm reroute")
 	}
-	if resp.Transport != "uvm" {
-		t.Errorf("transport = %q, want uvm after degradation", resp.Transport)
+	if resp.Transport != "static-uvm" {
+		t.Errorf("transport = %q, want static-uvm after degradation", resp.Transport)
 	}
 	if resp.Iterations == 0 || resp.ValuesChecksum == "" {
 		t.Errorf("degraded response is missing traversal results: %+v", resp)
+	}
+}
+
+// TestTraverseUnknownTransport: an unknown transport policy name is a
+// structured 400 naming the offending value, same shape as a bad
+// timeout_ms — not a silent fallback to the dataset's policy.
+func TestTraverseUnknownTransport(t *testing.T) {
+	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1})
+	defer svc.Close()
+	handler := handleTraverse(svc, testLogger())
+
+	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":1,"transport":"warp-speed"}`)
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", rr.Code)
+	}
+	var er errorResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &er); err != nil {
+		t.Fatalf("400 body is not the structured error JSON: %v (%q)", err, rr.Body.String())
+	}
+	if !strings.Contains(er.Error, "warp-speed") {
+		t.Errorf("error %q does not name the offending transport", er.Error)
+	}
+}
+
+// TestTraverseTransportOverride: a request naming a policy runs under it —
+// the response reports the override, not the dataset's loaded policy.
+func TestTraverseTransportOverride(t *testing.T) {
+	svc, _ := newServeService(t, nil, service.Config{Concurrency: 1})
+	defer svc.Close()
+	handler := handleTraverse(svc, testLogger())
+
+	rr := postTraverse(handler, `{"dataset":"GK","algo":"bfs","src":2,"transport":"adaptive"}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d (%s), want 200", rr.Code, rr.Body.String())
+	}
+	var resp traverseResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.Transport != "adaptive" {
+		t.Errorf("transport = %q, want adaptive (the request's override)", resp.Transport)
+	}
+	if resp.Iterations == 0 || resp.ValuesChecksum == "" {
+		t.Errorf("override response is missing traversal results: %+v", resp)
+	}
+}
+
+// TestTransportsEndpoint: GET /v1/transports lists the selectable policies
+// in registry order with non-empty descriptions.
+func TestTransportsEndpoint(t *testing.T) {
+	rr := httptest.NewRecorder()
+	handleTransports(rr, httptest.NewRequest(http.MethodGet, "/v1/transports", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var out []transportInfo
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"static-zc", "static-uvm", "adaptive"}
+	if len(out) != len(want) {
+		t.Fatalf("got %d transports, want %d: %+v", len(out), len(want), out)
+	}
+	for i, w := range want {
+		if out[i].Name != w {
+			t.Errorf("transports[%d].name = %q, want %q", i, out[i].Name, w)
+		}
+		if out[i].Description == "" {
+			t.Errorf("transports[%d] (%s) has an empty description", i, out[i].Name)
+		}
 	}
 }
 

@@ -1,8 +1,9 @@
 // Command emogi runs one graph traversal on the simulated system and
 // reports its simulated time and PCIe traffic, e.g.:
 //
-//	emogi -graph GK -app bfs -variant merged+aligned -transport zerocopy
-//	emogi -graph SK -app sssp -transport uvm -sources 8
+//	emogi -graph GK -app bfs -variant merged+aligned -transport static-zc
+//	emogi -graph SK -app sssp -transport static-uvm -sources 8
+//	emogi -graph GK -app bfs -transport adaptive
 //	emogi -file mygraph.csr -app cc
 package main
 
@@ -31,7 +32,8 @@ func main() {
 		algo      = flag.String("algo", "", "algorithm registry name (overrides -app; \"list\" prints all)")
 		variant   = flag.String("variant", "merged+aligned",
 			"kernel variant: naive, merged, merged+aligned; BFS also accepts balanced and compressed")
-		transport = flag.String("transport", "zerocopy", "edge-list transport: zerocopy or uvm")
+		transport = flag.String("transport", "static-zc",
+			"edge-list transport policy: static-zc, static-uvm, or adaptive (legacy spellings zerocopy/uvm still accepted)")
 		scale     = flag.Float64("scale", 1.0, "dataset scale (1.0 = standard 1:1000 reduction)")
 		seed      = flag.Int64("seed", 42, "generator and source seed")
 		sources   = flag.Int("sources", 4, "number of source vertices to average over")
@@ -102,7 +104,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := parseTransport(*transport)
+	pol, err := emogi.PolicyByName(*transport)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -112,7 +114,7 @@ func main() {
 	}
 
 	sys := emogi.NewSystem(cfg)
-	dg, err := sys.Load(g, emogi.WithTransport(tr), emogi.WithElemBytes(*elemBytes))
+	dg, err := sys.Load(g, emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes))
 	if err != nil {
 		log.Fatalf("loading graph onto device: %v", err)
 	}
@@ -138,7 +140,7 @@ func main() {
 		g.Name, g.NumVertices(), g.NumEdges(),
 		float64(g.EdgeListBytes(*elemBytes))/1e6, *elemBytes)
 	fmt.Printf("run:        %s, %s kernel, %s transport, %d source(s)\n",
-		sum.Algo, v, tr, len(sum.Results))
+		sum.Algo, v, pol.Name(), len(sum.Results))
 	fmt.Printf("mean time:  %v (simulated)\n", sum.MeanElapsed)
 	fmt.Printf("iterations: %d (first source)\n", sum.Results[0].Iterations)
 	fmt.Printf("PCIe:       %.2f GB/s average payload bandwidth\n", sum.MeanBandwidth()/1e9)
@@ -148,9 +150,9 @@ func main() {
 	if *validate {
 		fmt.Println("validated:  results match CPU reference")
 	}
-	if *compare && tr == emogi.ZeroCopy {
+	if st, isStatic := pol.Static(); *compare && (!isStatic || st == emogi.ZeroCopy) {
 		sysU := emogi.NewSystem(cfg)
-		dgU, err := sysU.Load(g, emogi.WithTransport(emogi.UVM), emogi.WithElemBytes(*elemBytes))
+		dgU, err := sysU.Load(g, emogi.WithTransportPolicy(emogi.StaticPolicy(emogi.UVM)), emogi.WithElemBytes(*elemBytes))
 		if err != nil {
 			log.Fatalf("loading UVM baseline: %v", err)
 		}
@@ -321,16 +323,6 @@ func parseVariant(s string) (emogi.Variant, error) {
 		return emogi.MergedAligned, nil
 	}
 	return 0, fmt.Errorf("unknown variant %q (want naive, merged, or merged+aligned)", s)
-}
-
-func parseTransport(s string) (emogi.Transport, error) {
-	switch strings.ToLower(s) {
-	case "zerocopy", "zc", "emogi":
-		return emogi.ZeroCopy, nil
-	case "uvm":
-		return emogi.UVM, nil
-	}
-	return 0, fmt.Errorf("unknown transport %q (want zerocopy or uvm)", s)
 }
 
 func parsePlatform(s string, scale float64) (emogi.SystemConfig, error) {

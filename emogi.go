@@ -50,6 +50,11 @@ type (
 	Variant = core.Variant
 	// Transport selects where the edge list lives.
 	Transport = core.Transport
+	// TransportPolicy decides, per edge-list partition per round, which
+	// substrate (zero-copy, UVM, explicit staging) serves each partition.
+	// Build one with StaticPolicy or AdaptivePolicy, or resolve a name with
+	// PolicyByName.
+	TransportPolicy = core.TransportPolicy
 	// App identifies a traversal application.
 	App = core.App
 	// Telemetry receives per-launch, per-round, and per-copy events from
@@ -105,6 +110,26 @@ const (
 	ZeroCopy = core.ZeroCopy
 	UVM      = core.UVM
 )
+
+// StaticPolicy returns the transport policy that binds the whole edge list
+// to one transport for the whole run — exactly the historical WithTransport
+// behavior ("static-zc" for ZeroCopy, "static-uvm" for UVM).
+func StaticPolicy(t Transport) TransportPolicy { return core.StaticPolicyFor(t) }
+
+// AdaptivePolicy returns the HyTGraph-style policy: a per-partition cost
+// model rebinds 64KB edge-list segments between zero-copy, UVM, and
+// explicit staging at every round boundary, with hysteresis. See DESIGN.md
+// §15.
+func AdaptivePolicy() TransportPolicy { return core.AdaptivePolicy() }
+
+// TransportPolicies returns the selectable policies in registry order
+// (static-zc, static-uvm, adaptive) — what GET /v1/transports serves.
+func TransportPolicies() []TransportPolicy { return core.TransportPolicies() }
+
+// PolicyByName resolves a transport policy by registry name ("static-zc",
+// "static-uvm", "adaptive"; the v1 spellings "zerocopy", "zc", "emogi",
+// "uvm" are accepted as aliases).
+func PolicyByName(name string) (TransportPolicy, error) { return core.PolicyByName(name) }
 
 // Applications.
 const (
@@ -268,14 +293,27 @@ func (s *System) Device() *gpu.Device { return s.dev }
 type LoadOption func(*loadConfig)
 
 type loadConfig struct {
-	transport Transport
+	policy    TransportPolicy
 	elemBytes int
+}
+
+// WithTransportPolicy selects the transport policy governing the graph's
+// edge list: StaticPolicy(ZeroCopy) (EMOGI, the default), StaticPolicy(UVM)
+// (the migration baseline), or AdaptivePolicy() (per-partition per-round
+// HyTGraph-style rebinding). Static policies take exactly the historical
+// code path; routed policies allocate the edge list pinned and rebind
+// segments at run time.
+func WithTransportPolicy(p TransportPolicy) LoadOption {
+	return func(c *loadConfig) { c.policy = p }
 }
 
 // WithTransport selects where the edge list lives: ZeroCopy (EMOGI, the
 // default) or UVM (the migration baseline).
+//
+// Deprecated: use WithTransportPolicy(StaticPolicy(t)); this wrapper is
+// exactly that.
 func WithTransport(t Transport) LoadOption {
-	return func(c *loadConfig) { c.transport = t }
+	return WithTransportPolicy(StaticPolicy(t))
 }
 
 // WithElemBytes sets the edge element width: 8 (the paper's main
@@ -285,15 +323,15 @@ func WithElemBytes(n int) LoadOption {
 }
 
 // Load places a graph onto the system: the vertex list in GPU memory, the
-// edge list (and weights) in host memory. The defaults — zero-copy
-// transport, 8-byte edge elements — are the paper's main configuration;
-// override them with WithTransport and WithElemBytes.
+// edge list (and weights) in host memory. The defaults — the static
+// zero-copy policy, 8-byte edge elements — are the paper's main
+// configuration; override them with WithTransportPolicy and WithElemBytes.
 func (s *System) Load(g *Graph, opts ...LoadOption) (*DeviceGraph, error) {
-	c := loadConfig{transport: ZeroCopy, elemBytes: 8}
+	c := loadConfig{policy: StaticPolicy(ZeroCopy), elemBytes: 8}
 	for _, o := range opts {
 		o(&c)
 	}
-	return core.Upload(s.dev, g, c.transport, c.elemBytes)
+	return core.UploadPolicy(s.dev, g, c.policy, c.elemBytes)
 }
 
 // LoadV1 is the v1 positional load.
@@ -321,11 +359,18 @@ type Request struct {
 	// Variant selects the kernel access pattern (ignored by
 	// fixed-variant specialty kernels).
 	Variant Variant
-	// Cold evicts UVM residency before the run, so it starts with cold
-	// caches like the paper's measurement discipline (§5.2). Zero-copy
-	// runs are unaffected; for UVM runs it makes results independent of
-	// what ran before.
+	// Cold evicts UVM residency and staged edge segments before the run,
+	// so it starts with cold caches like the paper's measurement
+	// discipline (§5.2). Zero-copy runs are unaffected; for UVM and routed
+	// policy runs it makes results independent of what ran before.
 	Cold bool
+	// Policy, when non-nil, overrides the graph's loaded transport policy
+	// for this request only. An override whose static transport matches
+	// the graph's is a no-op; any other override runs routed (every
+	// partition bound per round by the override). This is how the serving
+	// layer's degradation ladder reroutes retries onto static-uvm without
+	// reloading the graph.
+	Policy TransportPolicy
 	// Ctx, when non-nil, is this request's own context inside DoBatch:
 	// when it is done, the request's lane detaches at the next round
 	// boundary (its BatchItem reports a *CanceledError) while the batch
@@ -354,6 +399,9 @@ func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
 	if req.Algo == "" {
 		return nil, fmt.Errorf("emogi: Do requires Request.Algo (valid algorithms: %s)",
 			strings.Join(core.AlgorithmNames(), ", "))
+	}
+	if req.Policy != nil {
+		ctx = core.WithPolicyOverride(ctx, req.Policy)
 	}
 	var res *Result
 	var err error
@@ -433,7 +481,13 @@ func (s *System) DoBatch(ctx context.Context, reqs []Request) (*BatchOutcome, er
 		if r.Variant != first.Variant {
 			return nil, fmt.Errorf("emogi: DoBatch request %d names variant %v, want %v; a batch shares one (graph, algo, variant)", i, r.Variant, first.Variant)
 		}
+		if r.Policy != first.Policy {
+			return nil, fmt.Errorf("emogi: DoBatch request %d overrides the transport policy differently from request 0; a batch shares one policy", i)
+		}
 		specs[i] = core.BatchSpec{Src: r.Src, Ctx: r.Ctx}
+	}
+	if first.Policy != nil {
+		ctx = core.WithPolicyOverride(ctx, first.Policy)
 	}
 	var out *BatchOutcome
 	var err error
@@ -506,7 +560,8 @@ func Algorithms() []*Algorithm {
 // measurement runs while keeping loaded graphs in place.
 func (s *System) ResetStats() { s.dev.ResetStats() }
 
-// ColdCaches evicts all UVM pages so the next run starts cold.
+// ColdCaches evicts all UVM pages and all staged edge-list segments so the
+// next run starts cold, whatever transport policy it uses.
 func (s *System) ColdCaches() { s.dev.ResetUVMResidency() }
 
 // BuildDataset synthesizes one of the paper's six Table 2 dataset analogs

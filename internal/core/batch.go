@@ -99,7 +99,8 @@ type batchRun struct {
 	flags  *memsys.Buffer // per-lane convergence flags, K elements
 
 	lanes []*batchLane
-	live  []uint64 // host-side live-lane mask words
+	live  []uint64       // host-side live-lane mask words
+	prt   *policyRuntime // non-nil only for routed transport-policy runs
 
 	scans, saved uint64
 }
@@ -145,6 +146,9 @@ func (br *batchRun) round(level uint32) bool {
 		return false
 	}
 	br.accountScans(liveList, level)
+	if br.prt != nil {
+		br.prt.beforeRound(int(level), func(v int) bool { return br.anyActive(liveList, v, level) })
+	}
 
 	// Clear the live lanes' convergence flags (a host-to-device write,
 	// the batched analog of runState.clearFlag).
@@ -181,6 +185,35 @@ func (br *batchRun) round(level uint32) bool {
 		dev.Memset(br.next, 0)
 	}
 	return more
+}
+
+// anyActive reports whether any live lane puts vertex v in the coming
+// round's frontier — the batched density predicate the transport-policy
+// runtime samples (the union of the per-lane singleRun.frontierActive
+// tests, which is exactly what the shared sweep will scan).
+func (br *batchRun) anyActive(liveList []int, v int, level uint32) bool {
+	k := int64(br.k)
+	ident := br.prog.Relax.Identity
+	if br.prog.Frontier == FrontierActive {
+		lw := int64(br.lwords)
+		for wd := int64(0); wd < lw; wd++ {
+			bm := br.cur.U64(int64(v)*lw+wd) & br.live[wd]
+			for bm != 0 {
+				q := int(wd)<<6 + bits.TrailingZeros64(bm)
+				bm &= bm - 1
+				if br.values.U32(int64(v)*k+int64(q)) != ident {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for _, q := range liveList {
+		if br.values.U32(int64(v)*k+int64(q)) == level {
+			return true
+		}
+	}
+	return false
 }
 
 // accountScans tallies the round's edge-scan sharing, host-side (this is
@@ -388,9 +421,17 @@ func runBatchProgram(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, prog
 	}
 	lwords := (k + 63) / 64
 
+	// Same policy resolution as runProgram: static policies matching the
+	// graph's base transport take the historical fast path, anything else
+	// routes per partition per round.
+	pol, routed := effectivePolicy(ctx, dg)
+	labelTransport := dg.Transport.String()
+	if routed {
+		labelTransport = pol.Name()
+	}
 	dev.BeginRun(gpu.RunLabels{App: prog.App,
 		Variant:   fmt.Sprintf("batch%d/%s", k, variant),
-		Transport: dg.Transport.String(), Graph: dg.Graph.Name})
+		Transport: labelTransport, Graph: dg.Graph.Name})
 	defer dev.EndRun()
 	clockStart := dev.Clock()
 	statStart := dev.Total()
@@ -469,6 +510,15 @@ func runBatchProgram(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, prog
 	}
 	dev.CopyToDevice(uploadBytes)
 
+	if routed {
+		// Built after the per-run buffers exist so the staged budget sees
+		// the GPU memory actually left for this run.
+		// The batched kernel always walks merged (the variant selects only
+		// the alignment shift), so the density model uses merged coalescing.
+		br.prt = newPolicyRuntime(dev, dg, pol, Merged, prog.Weighted)
+		defer br.prt.close()
+	}
+
 	if _, err := runRounds(ctx, prog.App, br); err != nil {
 		freeAll()
 		return nil, err
@@ -483,6 +533,10 @@ func runBatchProgram(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, prog
 		BatchedRun:     true,
 		EdgeScans:      br.scans,
 		EdgeScansSaved: br.saved,
+	}
+	policyName := dg.PolicyName()
+	if pol != nil {
+		policyName = pol.Name()
 	}
 	for q, ln := range br.lanes {
 		if ln.err != nil {
@@ -504,6 +558,7 @@ func runBatchProgram(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, prog
 			Elapsed:    elapsed,
 			Stats:      stats,
 			BatchSize:  k,
+			Policy:     policyName,
 		}}
 	}
 	freeAll()

@@ -51,6 +51,7 @@ func BFSContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int, 
 		graphName: dg.Graph.Name,
 		valueName: "bfs.labels",
 		roundName: name,
+		dg:        dg,
 		kernel:    stdMatchKernel(dg, variant, name, prog),
 	})
 }

@@ -27,7 +27,7 @@ type cancelAfterRound struct {
 }
 
 func (c *cancelAfterRound) RunBegin(dev *gpu.Device, labels gpu.RunLabels) {}
-func (c *cancelAfterRound) RunEnd(dev *gpu.Device)                        {}
+func (c *cancelAfterRound) RunEnd(dev *gpu.Device)                         {}
 func (c *cancelAfterRound) KernelDone(dev *gpu.Device, ks *gpu.KernelStats, workers, maxWorkers int, start, end time.Duration) {
 }
 func (c *cancelAfterRound) CopyDone(dev *gpu.Device, toDevice bool, bytes int64, start, end time.Duration) {

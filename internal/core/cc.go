@@ -58,6 +58,7 @@ func CCContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, variant Va
 		snapName:    "cc.compread",
 		activeNames: [2]string{"cc.active0", "cc.active1"},
 		roundName:   name,
+		dg:          dg,
 		kernel:      stdActiveKernel(dg, variant, name, prog),
 	})
 }

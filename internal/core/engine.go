@@ -222,6 +222,11 @@ type engineConfig struct {
 	activeNames  [2]string
 	roundName    string
 	kernel       kernelFunc
+	// dg, when set, enables the transport-policy layer for this run: the
+	// engine resolves the effective policy (graph's loaded policy or a
+	// context override) and, for routed policies, drives per-partition
+	// decisions at round boundaries. Nil keeps the historical static path.
+	dg *DeviceGraph
 	// postRound observes each finished round (host-side only; it must not
 	// touch the device). Direction-optimized BFS uses it to recount the
 	// frontier that steers its push/pull heuristic.
@@ -291,18 +296,33 @@ func runRounds(ctx context.Context, app string, t topology) (int, error) {
 
 // singleRun is the standard one-device topology.
 type singleRun struct {
-	rs   *runState
-	prog *Program
-	cfg  *engineConfig
-	n    int
+	rs                      *runState
+	prog                    *Program
+	cfg                     *engineConfig
+	n                       int
+	prt                     *policyRuntime // non-nil only for routed transport-policy runs
 	values, snap, cur, next *memsys.Buffer
 }
 
 func (e *singleRun) faultCount() uint64 { return e.rs.dev.Total().FaultedReads }
 
+// frontierActive reports whether v is in the frontier of the round about to
+// execute — the host-side density predicate the transport-policy runtime
+// samples. It mirrors the kernels' own activity tests: match-by-level for
+// FrontierMatch, bitmap-and-non-identity for FrontierActive.
+func (e *singleRun) frontierActive(v int, level uint32) bool {
+	if e.prog.Frontier == FrontierActive {
+		return e.cur.U32(int64(v)) != 0 && e.values.U32(int64(v)) != e.prog.Relax.Identity
+	}
+	return e.values.U32(int64(v)) == level
+}
+
 func (e *singleRun) round(level uint32) bool {
 	dev := e.rs.dev
 	roundStart := dev.Clock()
+	if e.prt != nil {
+		e.prt.beforeRound(int(level), func(v int) bool { return e.frontierActive(v, level) })
+	}
 	e.rs.clearFlag()
 	r := &engineRound{
 		dev:    dev,
@@ -352,8 +372,17 @@ func runProgram(ctx context.Context, dev *gpu.Device, n int, prog *Program, src 
 	if labelVariant == "" {
 		labelVariant = cfg.variant.String()
 	}
+	// Resolve the transport policy for this run. Static policies matching
+	// the graph's base transport take the historical fast path (no router,
+	// no density accounting — bit-for-bit the pre-policy engine); anything
+	// else routes per partition per round.
+	pol, routed := effectivePolicy(ctx, cfg.dg)
+	labelTransport := cfg.transport.String()
+	if routed {
+		labelTransport = pol.Name()
+	}
 	dev.BeginRun(gpu.RunLabels{App: prog.App, Variant: labelVariant,
-		Transport: cfg.transport.String(), Graph: cfg.graphName})
+		Transport: labelTransport, Graph: cfg.graphName})
 	defer dev.EndRun()
 	rs, err := newRunState(dev)
 	if err != nil {
@@ -395,6 +424,13 @@ func runProgram(ctx context.Context, dev *gpu.Device, n int, prog *Program, src 
 	}
 	dev.CopyToDevice(int64(n) * 4 * uploadWords)
 
+	if routed {
+		// Built after the per-run buffers exist so the staged budget sees
+		// the GPU memory actually left for this run.
+		e.prt = newPolicyRuntime(dev, cfg.dg, pol, cfg.variant, prog.Weighted)
+		defer e.prt.close()
+	}
+
 	iterations, err := runRounds(ctx, prog.App, e)
 	if err != nil {
 		rs.abort()
@@ -403,6 +439,11 @@ func runProgram(ctx context.Context, dev *gpu.Device, n int, prog *Program, src 
 	res := rs.finish(prog.App, cfg.variant, cfg.transport, src, values, n, iterations)
 	if prog.NoSource {
 		res.Source = -1 // source-free programs (CC) have no source vertex
+	}
+	if pol != nil {
+		res.Policy = pol.Name()
+	} else if cfg.dg != nil {
+		res.Policy = cfg.dg.PolicyName()
 	}
 	return res, nil
 }

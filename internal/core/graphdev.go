@@ -78,6 +78,14 @@ type DeviceGraph struct {
 	// experiments, 4 for the Subway comparison (Table 3).
 	EdgeBytes int
 
+	// Policy is the transport policy the graph was loaded under. Nil is
+	// equivalent to the static policy for Transport (the pre-policy code
+	// path, kept for direct Upload callers and old tests). Transport always
+	// holds the policy's base transport — the space Edges/Weights were
+	// actually allocated in — so static runs are untouched by the policy
+	// layer.
+	Policy TransportPolicy
+
 	Offsets *memsys.Buffer // GPU, 8-byte elements, len n+1
 	Edges   *memsys.Buffer // host, EdgeBytes elements, len |E|
 	Weights *memsys.Buffer // host, 4-byte elements, len |E| (nil if unweighted)
@@ -85,6 +93,16 @@ type DeviceGraph struct {
 	// freed guards Free against double-release (the arena treats a
 	// double free as corruption, not a no-op).
 	freed bool
+}
+
+// PolicyName returns the name of the transport policy governing this graph:
+// the loaded policy's name, or the static policy name matching Transport
+// when the graph was uploaded without one.
+func (dg *DeviceGraph) PolicyName() string {
+	if dg.Policy != nil {
+		return dg.Policy.Name()
+	}
+	return StaticPolicyFor(dg.Transport).Name()
 }
 
 // NumVertices returns |V|.
@@ -102,6 +120,19 @@ func (dg *DeviceGraph) ElemsPerCacheLine() int64 {
 // list", §4.2); edges and weights go to pinned host memory (ZeroCopy) or
 // managed memory (UVM).
 func Upload(dev *gpu.Device, g *graph.CSR, transport Transport, edgeBytes int) (*DeviceGraph, error) {
+	return UploadPolicy(dev, g, StaticPolicyFor(transport), edgeBytes)
+}
+
+// UploadPolicy places g into the device's memory system under a transport
+// policy. The edge and weight lists are allocated in the policy's base
+// space: pinned host memory unless the policy is statically UVM-bound.
+// Routed (adaptive) policies start from pinned memory and rebind segments
+// per round at run time.
+func UploadPolicy(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeBytes int) (*DeviceGraph, error) {
+	if policy == nil {
+		policy = StaticPolicyFor(ZeroCopy)
+	}
+	transport := policyBase(policy)
 	if edgeBytes != 4 && edgeBytes != 8 {
 		return nil, fmt.Errorf("core: unsupported edge element width %d", edgeBytes)
 	}
@@ -128,6 +159,7 @@ func Upload(dev *gpu.Device, g *graph.CSR, transport Transport, edgeBytes int) (
 	dg := &DeviceGraph{
 		Graph:     g,
 		Transport: transport,
+		Policy:    policy,
 		EdgeBytes: edgeBytes,
 		Offsets:   offsets,
 		Edges:     edges,

@@ -1,0 +1,393 @@
+package core
+
+import (
+	"repro/internal/gpu"
+	"repro/internal/memsys"
+)
+
+// policyRuntime is the engine-side glue for routed transport policies: it
+// installs the per-segment space router on the edge-list buffer, computes
+// each partition's access-density snapshot from the upcoming frontier at
+// every round boundary, asks the policy for new bindings, and applies the
+// transitions (staging copies, UVM evictions) before the round's kernel
+// launches. Static fast-path runs never construct one, so they cost nothing
+// and stay bit-for-bit identical to the pre-policy engine.
+//
+// Decisions happen only at round boundaries: mid-kernel rebinding would
+// make the traffic of a launch depend on warp execution order, breaking the
+// determinism contract, and a real implementation could not swap a
+// partition's backing store under a running kernel either.
+type policyRuntime struct {
+	dev *gpu.Device
+	dg  *DeviceGraph
+	pol TransportPolicy
+
+	// naive and weighted describe the run's kernel so the density snapshot
+	// predicts the traffic the coalescer will actually emit: the Naive
+	// variant's lane-strided walk issues sector-granule requests (one per
+	// element when interleaved weight reads evict the lane's MRU sector),
+	// while the merged variants issue line-granule gathers.
+	naive    bool
+	weighted bool
+
+	// Thrash-model constants (mirroring Device.chargeThrash): per-lane
+	// sector reuse only survives in L2 while the concurrent zero-copy
+	// stream footprint fits, so a fraction of the reuses the request
+	// estimate assumes come back as extra 32B re-fetches.
+	thrashSens float64
+	l2Bytes    int64
+	maxLanes   int
+
+	segBytes int64
+	reuses   []int64 // per-partition expected sector reuses (scratch)
+	parts    []PartitionStats
+	state    []PartitionState
+	choices  []Choice // live routing table (read by the router closure)
+	next     []Choice // Decide scratch
+	costs    CostParams
+	moves    []gpu.TransportMove
+}
+
+// newPolicyRuntime builds the runtime for one routed run and installs its
+// router. Call after per-run buffers are allocated (the staged budget is
+// derived from the GPU memory left at that point) and close when the run
+// ends.
+func newPolicyRuntime(dev *gpu.Device, dg *DeviceGraph, pol TransportPolicy, variant Variant, weighted bool) *policyRuntime {
+	rt := &policyRuntime{
+		dev:      dev,
+		dg:       dg,
+		pol:      pol,
+		naive:    variant == Naive,
+		weighted: weighted,
+		segBytes: memsys.SegmentBytes,
+	}
+	n := dg.Edges.Segments()
+	if n < 1 {
+		n = 1
+	}
+	rt.parts = make([]PartitionStats, n)
+	rt.state = make([]PartitionState, n)
+	rt.choices = make([]Choice, n)
+	rt.next = make([]Choice, n)
+	rt.reuses = make([]int64, n)
+	cfg := dev.Config()
+	rt.thrashSens = cfg.ThrashSensitivity
+	rt.l2Bytes = cfg.L2Bytes
+	rt.maxLanes = cfg.MaxConcurrentLanes
+	size := dg.Edges.Size()
+	base := ChoiceZeroCopy
+	if dg.Transport == UVM {
+		base = ChoiceUVM
+	}
+	for i := range rt.parts {
+		pb := rt.segBytes
+		if off := int64(i) * rt.segBytes; off+pb > size {
+			pb = size - off
+		}
+		rt.parts[i].Bytes = pb
+		rt.state[i].Choice = base
+		rt.state[i].Since = -1
+		rt.choices[i] = base
+	}
+	rt.costs = rt.deriveCosts()
+
+	// Replay determinism: every routed run starts cold — no UVM pages, no
+	// staged segments inherited from a previous run — so the decision
+	// sequence is a pure function of (graph, rounds, frontier), and a
+	// fault-injected retry replays it identically.
+	dev.ResetUVMResidency()
+	dg.Edges.SpaceFn = rt.spaceAt
+	if dg.Weights != nil {
+		// Weights ride their edges' binding: edge i's weight is at offset
+		// i*4 while the edge is at i*EdgeBytes, so the weight router maps
+		// back through the edge offset. Segment boundaries fall on
+		// cache-line and page multiples of both layouts, so a coalesced
+		// weight request never spans two partitions either.
+		ew := int64(dg.EdgeBytes)
+		dg.Weights.SpaceFn = func(off int64) memsys.Space { return rt.spaceAt(off / 4 * ew) }
+	}
+	// Routed runs may bind segments to UVM mid-run; the UVM manager's LRU
+	// is order-dependent, so launches stay serial (same rule static UVM
+	// runs already follow via Arena.HasUVM).
+	dev.SetSerialLaunches(true)
+	return rt
+}
+
+// close removes the router and releases the serial-launch pin. Staged
+// segment copies and UVM residency stay for warm reruns; ColdCaches (or the
+// next routed run's cold start) evicts them.
+func (rt *policyRuntime) close() {
+	rt.dg.Edges.SpaceFn = nil
+	if rt.dg.Weights != nil {
+		rt.dg.Weights.SpaceFn = nil
+	}
+	rt.dev.SetSerialLaunches(false)
+}
+
+// spaceAt is the router: one table lookup per coalesced request.
+func (rt *policyRuntime) spaceAt(off int64) memsys.Space {
+	switch rt.choices[off/rt.segBytes] {
+	case ChoiceStaged:
+		return memsys.SpaceGPU
+	case ChoiceUVM:
+		return memsys.SpaceUVM
+	default:
+		return memsys.SpaceHostPinned
+	}
+}
+
+// deriveCosts fills the policy's cost model from the device platform.
+func (rt *policyRuntime) deriveCosts() CostParams {
+	cfg := rt.dev.Config()
+	uvmCfg := rt.dev.UVM().Config()
+	pageBytes := int64(uvmCfg.PageBytes)
+	chunk := int64(uvmCfg.BlockPages) * pageBytes
+	if chunk < pageBytes {
+		chunk = pageBytes
+	}
+	// Effective UVM rate: page transfer at bulk rate plus the serialized
+	// fault-handler cost per page.
+	pageSeconds := cfg.Link.BulkSeconds(pageBytes) + uvmCfg.FaultCPUSeconds
+	budget := rt.dev.Arena().GPUFree()
+	// The UVM page cache holds at most the GPU's free memory; binding more
+	// than that makes the driver's LRU evict between rounds, so residency
+	// stops being sticky (see CostParams.UVMBudgetBytes).
+	uvmBudget := budget
+	if budget < 0 {
+		uvmBudget = -1 // uncapped device: UVM never thrashes
+	}
+	if budget > 0 {
+		// Leave headroom: UVM-bound partitions and later runs' buffers
+		// share the same free memory.
+		budget -= budget / 4
+	}
+	if rt.dg.Weights != nil && budget > 0 {
+		// Staging a weighted partition uploads its weight slice too (4 bytes
+		// per edge riding the edge binding); shrink the edge-byte budget so
+		// the policy's edge-only accounting stays within the real footprint.
+		ew := int64(rt.dg.EdgeBytes)
+		budget = budget * ew / (ew + 4)
+		if uvmBudget > 0 {
+			// Weight pages migrate alongside their edges' pages, so the
+			// edge-only UVM accounting shares the cache with them too.
+			uvmBudget = uvmBudget * ew / (ew + 4)
+		}
+	}
+	perWarp := cfg.PerWarpOutstanding
+	if perWarp < 1 {
+		perWarp = 1
+	}
+	return CostParams{
+		SegmentBytes:          rt.segBytes,
+		ZCBytesPerSec:         cfg.Link.EffectiveBandwidth(memsys.CacheLineBytes),
+		ZCSecondsPerRequest:   cfg.Link.TagSeconds(),
+		CritSecondsPerRequest: cfg.Link.RTT.Seconds() / float64(perWarp),
+		BulkBytesPerSec:       cfg.Link.MemcpyPeak(),
+		UVMBytesPerSec:        float64(pageBytes) / pageSeconds,
+		UVMChunkBytes:         chunk,
+		StagedBudgetBytes:     budget,
+		UVMBudgetBytes:        uvmBudget,
+		HoldRounds:            2,
+		SwitchMargin:          1.25,
+	}
+}
+
+// beforeRound runs at one round boundary: snapshot density from the
+// frontier (active reports whether vertex v is in the coming round's
+// frontier), get the policy's decisions, and apply the transitions. Charged
+// device time (staging copies) lands here, before the round's kernel.
+func (rt *policyRuntime) beforeRound(round int, active func(v int) bool) {
+	start := rt.dev.Clock()
+	for i := range rt.parts {
+		rt.parts[i].AccessedBytes = 0
+		rt.parts[i].Requests = 0
+		rt.parts[i].MaxVertexRequests = 0
+		rt.parts[i].ActiveVertices = 0
+		rt.reuses[i] = 0
+	}
+	g := rt.dg.Graph
+	ew := int64(rt.dg.EdgeBytes)
+	n := g.NumVertices()
+	var zcLanes int64
+	for v := 0; v < n; v++ {
+		if !active(v) {
+			continue
+		}
+		lo := g.Offsets[v] * ew
+		hi := g.Offsets[v+1] * ew
+		if lo == hi {
+			continue
+		}
+		p0 := lo / rt.segBytes
+		p1 := (hi - 1) / rt.segBytes
+		rt.parts[p0].ActiveVertices++
+		if rt.naive {
+			zcLanes++ // one lane walks this vertex's list
+		} else {
+			zcLanes += int64(gpu.WarpSize) // a whole warp gathers it
+		}
+		for p := p0; p <= p1; p++ {
+			segLo := p * rt.segBytes
+			segHi := segLo + rt.parts[p].Bytes
+			a, b := lo, hi
+			if a < segLo {
+				a = segLo
+			}
+			if b > segHi {
+				b = segHi
+			}
+			// Estimate the requests and wire payload this vertex's walk puts
+			// on the link if the partition serves it zero-copy, following
+			// the coalescer's actual behavior per kernel variant.
+			var req, acc int64
+			if rt.naive {
+				if rt.weighted {
+					// Strided walk alternating edge and weight reads: the
+					// interleaving evicts the lane's MRU sector between
+					// consecutive edge elements, so every element read is its
+					// own 32B request (edge plus weight, both routed to this
+					// partition — weights ride the edge binding).
+					req = (b - a) / ew * 2
+					acc = req * memsys.SectorBytes
+				} else {
+					// Strided walk, one buffer: the lane reuses its current
+					// sector until the walk crosses a 32B boundary — but the
+					// reuse must survive in L2; the thrash pass below turns a
+					// concurrency-dependent fraction into re-fetches.
+					sa := a &^ (memsys.SectorBytes - 1)
+					sb := (b + memsys.SectorBytes - 1) &^ (memsys.SectorBytes - 1)
+					acc = sb - sa
+					req = acc / memsys.SectorBytes
+					rt.reuses[p] += (b-a)/ew - req
+				}
+			} else {
+				// Merged (warp-per-vertex) gathers: one request per 128B
+				// line from the aligned walk start, 32B-sector payload.
+				sa := a &^ (memsys.SectorBytes - 1)
+				sb := (b + memsys.SectorBytes - 1) &^ (memsys.SectorBytes - 1)
+				la := a &^ (memsys.CacheLineBytes - 1)
+				req = (b - la + memsys.CacheLineBytes - 1) / memsys.CacheLineBytes
+				acc = sb - sa
+				if rt.weighted {
+					// One weight gather per 32-edge chunk (32 4-byte weights
+					// coalesce into a single line request).
+					chunkBytes := int64(gpu.WarpSize) * ew
+					req += (b - a + chunkBytes - 1) / chunkBytes
+					acc += (b - a) / ew * 4
+				}
+			}
+			rt.parts[p].AccessedBytes += acc
+			rt.parts[p].Requests += req
+			if req > rt.parts[p].MaxVertexRequests {
+				rt.parts[p].MaxVertexRequests = req
+			}
+		}
+	}
+
+	// Thrash pass (the policy-side mirror of the device's §3.3 cache
+	// model): estimate the fraction of per-lane sector reuses evicted from
+	// L2 by the round's concurrent zero-copy streams and fold them back in
+	// as extra 32B requests.
+	if rt.thrashSens > 0 && rt.l2Bytes > 0 {
+		streams := zcLanes
+		if hw := int64(rt.maxLanes); hw > 0 && streams > hw {
+			streams = hw
+		}
+		missFrac := rt.thrashSens * float64(streams) * float64(memsys.SectorBytes) / float64(rt.l2Bytes)
+		if missFrac > 1 {
+			missFrac = 1
+		}
+		for p := range rt.parts {
+			if rt.reuses[p] == 0 {
+				continue
+			}
+			extra := int64(float64(rt.reuses[p]) * missFrac)
+			rt.parts[p].Requests += extra
+			rt.parts[p].AccessedBytes += extra * memsys.SectorBytes
+		}
+	}
+
+	rt.pol.Decide(round, rt.parts, rt.state, rt.costs, rt.next)
+	rt.applyDecisions(round)
+
+	// Accrue this round's zero-copy rent on the partitions that will serve
+	// it zero-copy — the ski-rental balance the next decision sees.
+	for p := range rt.parts {
+		if rt.state[p].Choice != ChoiceZeroCopy || rt.parts[p].AccessedBytes == 0 {
+			continue
+		}
+		rent := float64(rt.parts[p].AccessedBytes) / rt.costs.ZCBytesPerSec
+		if tag := float64(rt.parts[p].Requests) * rt.costs.ZCSecondsPerRequest; tag > rent {
+			rent = tag
+		}
+		if crit := float64(rt.parts[p].MaxVertexRequests) * rt.costs.CritSecondsPerRequest; crit > rent {
+			rent = crit
+		}
+		rt.state[p].SpentSeconds += rent
+	}
+	if len(rt.moves) > 0 {
+		rt.dev.EmitTransportDecisions(round, rt.moves, start, rt.dev.Clock())
+	}
+}
+
+// applyDecisions transitions partitions whose binding changed: stage or
+// drop explicit copies, evict pages leaving UVM, update the routing table,
+// and aggregate the moves for telemetry. Staging is charged as one batched
+// copy (the substrate's whole point: segment uploads coalesce into a single
+// round-boundary DMA).
+func (rt *policyRuntime) applyDecisions(round int) {
+	rt.moves = rt.moves[:0]
+	ew := int64(rt.dg.EdgeBytes)
+	var stageBytes int64
+	for p := range rt.next {
+		newC, oldC := rt.next[p], rt.state[p].Choice
+		if newC == oldC {
+			continue
+		}
+		off := int64(p) * rt.segBytes
+		// The partition's weight slice rides the same binding (see the
+		// router in newPolicyRuntime): evict and stage it alongside.
+		woff, wbytes := off/ew*4, rt.parts[p].Bytes/ew*4
+		if oldC == ChoiceUVM {
+			rt.dev.UVM().EvictRange(rt.dg.Edges, off, rt.parts[p].Bytes)
+			if rt.dg.Weights != nil {
+				rt.dev.UVM().EvictRange(rt.dg.Weights, woff, wbytes)
+			}
+		}
+		if newC == ChoiceStaged && !rt.state[p].Staged {
+			stageBytes += rt.parts[p].Bytes
+			if rt.dg.Weights != nil {
+				stageBytes += wbytes
+			}
+			rt.dg.Edges.SetSegmentStaged(p, true)
+			rt.state[p].Staged = true
+		}
+		if oldC == ChoiceStaged && newC != ChoiceStaged {
+			// Leaving the staged substrate releases the copy (and its
+			// budget); re-entry pays the upload again.
+			rt.dg.Edges.SetSegmentStaged(p, false)
+			rt.state[p].Staged = false
+		}
+		rt.state[p].Choice = newC
+		rt.state[p].Since = round
+		rt.state[p].SpentSeconds = 0
+		rt.choices[p] = newC
+		rt.recordMove(rt.parts[p].DensityClass(), newC)
+	}
+	if stageBytes > 0 {
+		rt.dev.StageSegments(stageBytes)
+	}
+}
+
+// recordMove aggregates one partition transition into the per-round move
+// groups ((density class, choice) pairs; at most 9 distinct).
+func (rt *policyRuntime) recordMove(class string, c Choice) {
+	choice := c.String()
+	for i := range rt.moves {
+		if rt.moves[i].PartitionClass == class && rt.moves[i].Choice == choice {
+			rt.moves[i].Count++
+			return
+		}
+	}
+	rt.moves = append(rt.moves, gpu.TransportMove{PartitionClass: class, Choice: choice, Count: 1})
+}

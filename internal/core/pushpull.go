@@ -92,6 +92,7 @@ func BFSDirectionOptimizedContext(ctx context.Context, dev *gpu.Device, dg *Devi
 		labelVariant: "pushpull",
 		valueName:    "dobfs.labels",
 		roundName:    "bfs/pushpull",
+		dg:           dg,
 		kernel:       kernel,
 		postRound:    postRound,
 	})

@@ -38,10 +38,16 @@ type Result struct {
 	// returns; Elapsed and Stats describe the shared batched run.
 	BatchSize int `json:",omitempty"`
 
-	// Degraded marks a result produced on the UVM fallback transport after
-	// the requested zero-copy transport kept faulting transiently. Set by
+	// Degraded marks a result produced under the service's degradation
+	// ladder: after the requested transport policy kept faulting
+	// transiently, the run was rerouted onto the static-uvm policy. Set by
 	// the serving layer, never by the engine: the values are still exact,
 	// only the transport (and therefore the performance counters) differ
 	// from what was asked for.
 	Degraded bool `json:",omitempty"`
+
+	// Policy names the transport policy that governed the run ("static-zc",
+	// "static-uvm", "adaptive"). Empty for entry points that predate the
+	// policy layer (hybrid, multi-GPU); Transport then tells the story.
+	Policy string `json:",omitempty"`
 }

@@ -67,6 +67,7 @@ func SSSPContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int,
 		snapName:    "sssp.distread",
 		activeNames: [2]string{"sssp.active0", "sssp.active1"},
 		roundName:   name,
+		dg:          dg,
 		kernel:      stdActiveKernel(dg, variant, name, prog),
 	})
 }

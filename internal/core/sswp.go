@@ -67,6 +67,7 @@ func SSWPContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, src int,
 		snapName:    "sswp.widthread",
 		activeNames: [2]string{"sswp.active0", "sswp.active1"},
 		roundName:   name,
+		dg:          dg,
 		kernel:      stdActiveKernel(dg, variant, name, prog),
 	})
 }

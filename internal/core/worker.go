@@ -87,6 +87,7 @@ func BFSWithWorkerContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph,
 		labelVariant: labelVariant,
 		valueName:    "bfs.labels",
 		roundName:    name,
+		dg:           dg,
 		kernel:       kernel,
 	})
 }
@@ -189,6 +190,7 @@ func BFSBalancedContext(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, s
 		labelVariant: "balanced",
 		valueName:    "bfs.labels",
 		roundName:    "bfs/balanced",
+		dg:           dg,
 		kernel:       kernel,
 	})
 }

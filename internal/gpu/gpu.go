@@ -228,6 +228,12 @@ type Device struct {
 	// a faulted run sees fresh outcomes instead of deterministically
 	// re-hitting the same faults; with injection disabled it is inert.
 	runEpoch uint64
+
+	// forceSerial pins launches to the serial path while set. The
+	// transport-policy runtime sets it for routed (adaptive) runs: a policy
+	// may bind segments to UVM mid-run, and the UVM manager's LRU
+	// bookkeeping is order-dependent, so such launches must not be sharded.
+	forceSerial bool
 }
 
 // NewDevice creates a device with a fresh memory arena and UVM manager.
@@ -318,12 +324,21 @@ func (d *Device) ResetStats() {
 	d.mon.Reset()
 }
 
-// ResetUVMResidency evicts all UVM pages so the next run starts cold, and
-// refreshes the UVM capacity from current free GPU memory.
+// ResetUVMResidency evicts all UVM pages and all explicitly staged segment
+// copies so the next run starts cold, and refreshes the UVM capacity from
+// current free GPU memory. Staged segments belong to the batched-copy
+// transport substrate; dropping them here keeps cold-vs-warm comparisons
+// honest across policies (System.ColdCaches routes through this).
 func (d *Device) ResetUVMResidency() {
 	d.uvmgr.Reset()
 	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
+	d.arena.ResetStaged()
 }
+
+// SetSerialLaunches pins (or, with false, unpins) kernel launches to the
+// serial path. Used by the transport-policy runtime around routed runs; see
+// Device.forceSerial.
+func (d *Device) SetSerialLaunches(on bool) { d.forceSerial = on }
 
 // finish folds the per-size zero-copy request counts into the link roofline
 // terms, converts the kernel's traffic into elapsed time, and advances the
@@ -411,22 +426,30 @@ func (d *Device) chargeThrash(ks *KernelStats) {
 // (e.g. Subway's subgraph upload). The transfer crosses the link at memcpy
 // peak and is recorded by the monitor.
 func (d *Device) CopyToDevice(n int64) time.Duration {
-	return d.bulk(n, true)
+	return d.bulk(n, true, pcie.ClassBulk)
 }
 
 // CopyToHost models a device-to-host transfer of n bytes (result download,
 // frontier flag readback).
 func (d *Device) CopyToHost(n int64) time.Duration {
-	return d.bulk(n, false)
+	return d.bulk(n, false, pcie.ClassBulk)
 }
 
-func (d *Device) bulk(n int64, record bool) time.Duration {
+// StageSegments models the batched-copy transport substrate's round-boundary
+// upload: n bytes of edge-list segments copied host-to-device at memcpy
+// peak, attributed to the staged transfer class on the monitor so adaptive
+// runs can show where their traffic went.
+func (d *Device) StageSegments(n int64) time.Duration {
+	return d.bulk(n, true, pcie.ClassStaged)
+}
+
+func (d *Device) bulk(n int64, record bool, class pcie.TransferClass) time.Duration {
 	if n < 0 {
 		panic("gpu: negative copy size")
 	}
 	dt := d.cfg.CopyOverhead + time.Duration(d.cfg.Link.BulkSeconds(n)*float64(time.Second))
 	if record && n > 0 {
-		d.mon.RecordBulk(n, d.cfg.Link.TLPOverheadBytes)
+		d.mon.RecordBulkClass(n, d.cfg.Link.TLPOverheadBytes, class)
 	}
 	start := d.clock
 	d.clock += dt

@@ -61,8 +61,9 @@ type launchShard struct {
 func (d *Device) workerCount(warps int, lc *launchConfig) int {
 	// UVM page faults mutate the manager's LRU residency state, whose
 	// outcome depends on fault order; those launches stay serial, as does
-	// anything that asked for it explicitly.
-	if lc.serial || d.arena.HasUVM() {
+	// anything that asked for it explicitly and any routed (adaptive
+	// transport policy) run, which can bind segments to UVM mid-run.
+	if lc.serial || d.forceSerial || d.arena.HasUVM() {
 		return 1
 	}
 	n := d.cfg.Workers

@@ -52,6 +52,36 @@ type Telemetry interface {
 	RoundDone(dev *Device, name string, round int, start, end time.Duration)
 }
 
+// TransportMove summarizes one group of same-shaped transport-policy
+// decisions in a round: n partitions of the given access-density class moved
+// to (or were confirmed on) the given substrate choice.
+type TransportMove struct {
+	PartitionClass string // density class: "hot", "warm", or "cold"
+	Choice         string // substrate: "zerocopy", "uvm", or "staged"
+	Count          uint64
+}
+
+// TransportDecisionSink is an optional extension of Telemetry: sinks that
+// also implement it receive the transport-policy layer's per-round partition
+// decisions (the telemetry collector turns them into the
+// emogi_transport_decisions_total counter and per-round decision spans). The
+// engine discovers it by type assertion on the attached Telemetry, the same
+// pattern the request tracer uses, so plain sinks need no stub methods.
+type TransportDecisionSink interface {
+	// TransportDecisions fires once per decided round on routed runs. moves
+	// holds only non-empty groups; start and end bound the decision point —
+	// including any staging copies it charged — on the simulated clock.
+	TransportDecisions(dev *Device, round int, moves []TransportMove, start, end time.Duration)
+}
+
+// EmitTransportDecisions forwards a decided round to the attached sink if it
+// implements TransportDecisionSink; otherwise it is a no-op.
+func (d *Device) EmitTransportDecisions(round int, moves []TransportMove, start, end time.Duration) {
+	if s, ok := d.tel.(TransportDecisionSink); ok {
+		s.TransportDecisions(d, round, moves, start, end)
+	}
+}
+
 // SetTelemetry attaches a telemetry sink to the device (nil detaches).
 func (d *Device) SetTelemetry(t Telemetry) { d.tel = t }
 

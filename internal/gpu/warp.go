@@ -155,13 +155,13 @@ func (w *Warp) access(buf *memsys.Buffer, off *[WarpSize]int64, mask Mask, write
 				// in the shared L2 until this touch; the thrash model at
 				// kernel finish converts a concurrency-dependent fraction
 				// of these into 32B re-fetches (§3.3).
-				if buf.Space == memsys.SpaceHostPinned {
+				if buf.SpaceAt(off[lane]) == memsys.SpaceHostPinned {
 					w.ks.ZCSectorReuses++
 				}
 				continue
 			}
 			w.mru[lane] = sector
-			if buf.Space == memsys.SpaceHostPinned {
+			if buf.SpaceAt(off[lane]) == memsys.SpaceHostPinned {
 				w.zcLanes |= 1 << uint(lane)
 			}
 		}
@@ -204,12 +204,15 @@ func (w *Warp) access(buf *memsys.Buffer, off *[WarpSize]int64, mask Mask, write
 	}
 }
 
-// dispatch routes one coalesced request to the buffer's backing space and
-// performs the corresponding accounting.
+// dispatch routes one coalesced request to the space serving the request's
+// address — the buffer's static space, or the substrate its transport
+// policy bound the containing segment to — and performs the corresponding
+// accounting. A request never spans two segments: coalescing keeps requests
+// within one 128B cache line and segments are cache-line multiples.
 func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 	d := w.dev
 	ks := w.ks
-	switch buf.Space {
+	switch buf.SpaceAt(int64(addr - buf.Base)) {
 	case memsys.SpaceGPU:
 		ks.HBMBytes += uint64(size)
 
@@ -252,7 +255,7 @@ func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 			ks.UVMSerialSeconds += d.uvmgr.FaultCPUTime(migrated).Seconds() +
 				d.cfg.Link.BulkSeconds(bytes)
 			ks.HostDRAMBytes += uint64(bytes)
-			w.mon.RecordBulk(bytes, d.cfg.Link.TLPOverheadBytes)
+			w.mon.RecordBulkClass(bytes, d.cfg.Link.TLPOverheadBytes, pcie.ClassUVM)
 		}
 		ks.UVMHits += uint64(pagesTouched - migrated)
 		// After migration the access is served from GPU memory.

@@ -53,6 +53,14 @@ const SectorBytes = 32
 // PageBytes is the UVM migration granularity (one system page).
 const PageBytes = 4096
 
+// SegmentBytes is the fixed partition granule used by the transport-policy
+// layer: edge lists are split into segments of this size and each segment is
+// bound to one transport substrate per round. It is a multiple of
+// CacheLineBytes so a coalesced request (which never spans a cache line)
+// never straddles two segments, and a multiple of PageBytes so segment
+// boundaries align with UVM pages.
+const SegmentBytes = 64 * 1024
+
 // Buffer is a device-visible allocation. Base is its simulated virtual
 // address; Data is the real backing store.
 type Buffer struct {
@@ -66,9 +74,67 @@ type Buffer struct {
 	// take explicit widths.
 	Elem int
 
+	// SpaceFn, when non-nil, overrides Space per byte offset: the transport
+	// router installed by an adaptive policy. Accesses consult SpaceAt so a
+	// single buffer can be served zero-copy, via UVM, or from a staged HBM
+	// copy on a per-segment basis. Nil (the default, and always for
+	// statically-bound buffers) costs one pointer check per access.
+	SpaceFn func(off int64) Space
+
 	// pageState is used by the UVM manager for SpaceUVM buffers; nil
 	// otherwise. Each entry tracks residency of one 4KB page.
 	pageState []bool
+
+	// segState tracks which SegmentBytes-sized segments have an explicit
+	// staged copy resident in GPU memory (the batched-copy substrate). Nil
+	// until the first SetSegmentStaged call.
+	segState []bool
+}
+
+// SpaceAt returns the space that serves a GPU access at byte offset off.
+// With no router installed it is the buffer's static Space.
+func (b *Buffer) SpaceAt(off int64) Space {
+	if b.SpaceFn != nil {
+		return b.SpaceFn(off)
+	}
+	return b.Space
+}
+
+// Segments returns the number of SegmentBytes-sized segments the buffer
+// spans.
+func (b *Buffer) Segments() int {
+	return int((b.Size() + SegmentBytes - 1) / SegmentBytes)
+}
+
+// SegmentStaged reports whether segment i has a staged device copy.
+func (b *Buffer) SegmentStaged(i int) bool {
+	return b.segState != nil && i < len(b.segState) && b.segState[i]
+}
+
+// SetSegmentStaged marks segment i's staged-copy residency.
+func (b *Buffer) SetSegmentStaged(i int, staged bool) {
+	if b.segState == nil {
+		b.segState = make([]bool, b.Segments())
+	}
+	b.segState[i] = staged
+}
+
+// StagedSegments returns how many segments currently hold a staged copy.
+func (b *Buffer) StagedSegments() int {
+	n := 0
+	for _, s := range b.segState {
+		if s {
+			n++
+		}
+	}
+	return n
+}
+
+// ResetSegments drops all staged segment copies (e.g. on ColdCaches).
+func (b *Buffer) ResetSegments() {
+	for i := range b.segState {
+		b.segState[i] = false
+	}
 }
 
 // Size returns the buffer length in bytes.
@@ -308,3 +374,12 @@ func (a *Arena) Buffers() []*Buffer { return a.buffers }
 // engine uses it to keep launches that can fault pages on the serial path
 // (the UVM manager's residency bookkeeping is order-dependent).
 func (a *Arena) HasUVM() bool { return a.uvmLive > 0 }
+
+// ResetStaged drops every staged segment copy across all live buffers.
+// Called from Device.ResetUVMResidency so ColdCaches evicts the explicit
+// batched-copy substrate alongside UVM pages.
+func (a *Arena) ResetStaged() {
+	for _, b := range a.buffers {
+		b.ResetSegments()
+	}
+}

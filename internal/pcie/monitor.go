@@ -9,6 +9,48 @@ import (
 	"repro/internal/stats"
 )
 
+// TransferClass labels why bytes crossed the link, so the monitor can
+// attribute traffic to the transport substrate that generated it. The
+// transport-policy layer uses the split to show where an adaptive run's
+// traffic went (per-request zero-copy reads vs. UVM page migrations vs.
+// explicit segment staging vs. plain memcpys).
+type TransferClass uint8
+
+const (
+	// ClassZeroCopy is individual coalesced zero-copy reads/writes.
+	ClassZeroCopy TransferClass = iota
+	// ClassUVM is page-migration bulk traffic from the UVM manager.
+	ClassUVM
+	// ClassStaged is explicit segment staging by the batched-copy substrate.
+	ClassStaged
+	// ClassBulk is ordinary explicit copies (result downloads, uploads).
+	ClassBulk
+
+	numTransferClasses
+)
+
+// String returns the class label used in snapshots and metrics.
+func (c TransferClass) String() string {
+	switch c {
+	case ClassZeroCopy:
+		return "zerocopy"
+	case ClassUVM:
+		return "uvm"
+	case ClassStaged:
+		return "staged"
+	case ClassBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("class(%d)", uint8(c))
+	}
+}
+
+// TransferClasses returns all classes in a fixed order, for pre-registering
+// metric label values.
+func TransferClasses() []TransferClass {
+	return []TransferClass{ClassZeroCopy, ClassUVM, ClassStaged, ClassBulk}
+}
+
 // Monitor observes the request stream crossing the link, playing the role
 // of the paper's FPGA-based PCIe traffic monitor (§3.2): it records request
 // counts by size, payload and wire bytes, and per-interval bandwidth
@@ -17,6 +59,10 @@ type Monitor struct {
 	sizeHist  stats.Histogram
 	wireBytes uint64
 	series    stats.TimeSeries
+
+	// per-transfer-class request and payload-byte attribution
+	classReqs  [numTransferClasses]uint64
+	classBytes [numTransferClasses]uint64
 
 	// interval state for bandwidth sampling
 	intervalBytes uint64
@@ -39,7 +85,8 @@ func (m *Monitor) Record(payloadBytes, overheadBytes int) {
 	m.RecordN(payloadBytes, overheadBytes, 1)
 }
 
-// RecordN notes n identical requests of the given payload size.
+// RecordN notes n identical requests of the given payload size, attributed
+// to the zero-copy transfer class.
 func (m *Monitor) RecordN(payloadBytes, overheadBytes int, n uint64) {
 	if n == 0 {
 		return
@@ -47,12 +94,20 @@ func (m *Monitor) RecordN(payloadBytes, overheadBytes int, n uint64) {
 	m.sizeHist.AddN(int64(payloadBytes), n)
 	m.wireBytes += n * uint64(payloadBytes+overheadBytes)
 	m.intervalBytes += n * uint64(payloadBytes)
+	m.classReqs[ClassZeroCopy] += n
+	m.classBytes[ClassZeroCopy] += n * uint64(payloadBytes)
 	m.traceAddN(payloadBytes, false, n)
 }
 
 // RecordBulk notes a bulk (DMA) transfer of n payload bytes moved as
-// maximum-size requests, e.g. a UVM page migration or cudaMemcpy.
+// maximum-size requests, e.g. a cudaMemcpy, attributed to ClassBulk.
 func (m *Monitor) RecordBulk(n int64, overheadBytes int) {
+	m.RecordBulkClass(n, overheadBytes, ClassBulk)
+}
+
+// RecordBulkClass is RecordBulk with an explicit transfer class: ClassUVM
+// for page migrations, ClassStaged for segment staging copies.
+func (m *Monitor) RecordBulkClass(n int64, overheadBytes int, class TransferClass) {
 	if n <= 0 {
 		return
 	}
@@ -61,15 +116,25 @@ func (m *Monitor) RecordBulk(n int64, overheadBytes int) {
 		m.sizeHist.AddN(128, uint64(full))
 		m.wireBytes += uint64(full) * uint64(128+overheadBytes)
 		m.intervalBytes += uint64(full) * 128
+		m.classReqs[class] += uint64(full)
+		m.classBytes[class] += uint64(full) * 128
 		m.traceAddN(128, true, uint64(full))
 	}
 	if rem := n % 128; rem != 0 {
 		m.sizeHist.Add(rem)
 		m.wireBytes += uint64(rem) + uint64(overheadBytes)
 		m.intervalBytes += uint64(rem)
+		m.classReqs[class]++
+		m.classBytes[class] += uint64(rem)
 		m.traceAdd(int(rem), true)
 	}
 }
+
+// ClassRequests returns the number of requests attributed to class c.
+func (m *Monitor) ClassRequests(c TransferClass) uint64 { return m.classReqs[c] }
+
+// ClassBytes returns the payload bytes attributed to class c.
+func (m *Monitor) ClassBytes(c TransferClass) uint64 { return m.classBytes[c] }
 
 // Sample closes the current bandwidth-sampling interval at simulated time
 // now, appending (now, bytes/elapsed) to the time series. Intervals are
@@ -114,6 +179,8 @@ func (m *Monitor) Reset() {
 	m.series = stats.TimeSeries{}
 	m.intervalBytes = 0
 	m.intervalStart = 0
+	m.classReqs = [numTransferClasses]uint64{}
+	m.classBytes = [numTransferClasses]uint64{}
 	m.traceDropped = 0
 	m.generation++
 	if m.traceLimit > 0 {
@@ -139,6 +206,10 @@ func (m *Monitor) Merge(other *Monitor) {
 	m.sizeHist.Merge(&other.sizeHist)
 	m.wireBytes += other.wireBytes
 	m.intervalBytes += other.intervalBytes
+	for c := TransferClass(0); c < numTransferClasses; c++ {
+		m.classReqs[c] += other.classReqs[c]
+		m.classBytes[c] += other.classBytes[c]
+	}
 	if m.traceLimit > 0 {
 		m.traceDropped += other.traceDropped
 		for _, e := range other.trace {
@@ -158,6 +229,7 @@ type Snapshot struct {
 	PayloadBytes uint64
 	WireBytes    uint64
 	BySize       map[int64]uint64
+	ByClass      map[string]uint64 // payload bytes per transfer class (non-zero only)
 	AvgBandwidth float64
 }
 
@@ -167,11 +239,18 @@ func (m *Monitor) Snapshot() Snapshot {
 	for _, k := range m.sizeHist.Keys() {
 		by[k] = m.sizeHist.Count(k)
 	}
+	byClass := make(map[string]uint64)
+	for c := TransferClass(0); c < numTransferClasses; c++ {
+		if m.classBytes[c] > 0 {
+			byClass[c.String()] = m.classBytes[c]
+		}
+	}
 	return Snapshot{
 		Requests:     m.Requests(),
 		PayloadBytes: m.PayloadBytes(),
 		WireBytes:    m.WireBytes(),
 		BySize:       by,
+		ByClass:      byClass,
 		AvgBandwidth: m.AverageBandwidth(),
 	}
 }

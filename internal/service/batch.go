@@ -11,7 +11,7 @@ import (
 )
 
 // Request coalescing: when Config.BatchWindow is set, cache-missing
-// requests for the same (dataset, algo, variant, transport) that arrive
+// requests for the same (dataset, algo, variant, transport policy) that arrive
 // within the window are collected into one pending batch and dispatched
 // as a single System.DoBatch — one admission-queue slot, one engine run,
 // one edge scan serving every lane (see internal/core/batch.go and
@@ -37,13 +37,14 @@ import (
 
 // batchKey groups coalescable requests. Sources are intentionally
 // absent: differing sources are the point of batching. The algo name and
-// variant are the cache-normalized ones, so requests that would share a
-// cache entry also share a lane.
+// variant are the cache-normalized ones, and policy is the effective
+// transport-policy name, so requests that would share a cache entry also
+// share a lane (and requests under different policies never coalesce).
 type batchKey struct {
-	dataset   string
-	algo      string
-	variant   emogi.Variant
-	transport emogi.Transport
+	dataset string
+	algo    string
+	variant emogi.Variant
+	policy  string
 }
 
 // batchWaiter is one caller blocked in Do waiting for its lane.
@@ -71,6 +72,7 @@ type pendingLane struct {
 type pendingBatch struct {
 	key        batchKey
 	dg         *emogi.DeviceGraph
+	pol        emogi.TransportPolicy // shared per-request override, nil = dataset's
 	variant    emogi.Variant
 	lanes      []*pendingLane
 	bySrc      map[int]*pendingLane
@@ -82,15 +84,16 @@ type pendingBatch struct {
 // doBatched joins (or opens) the pending batch for the request's key and
 // blocks until the batch delivers. Callers have already missed the
 // cache and validated the dataset and algorithm.
-func (s *Service) doBatched(ctx context.Context, req Request, dg *emogi.DeviceGraph, key cacheKey, rt *telemetry.RequestTrace) (*emogi.Result, error) {
+func (s *Service) doBatched(ctx context.Context, req Request, dg *emogi.DeviceGraph, pol emogi.TransportPolicy, key cacheKey, rt *telemetry.RequestTrace) (*emogi.Result, error) {
 	w := &batchWaiter{ctx: ctx, done: make(chan taskResult, 1), trace: rt, joined: time.Now()}
-	bkey := batchKey{dataset: req.Dataset, algo: key.algo, variant: key.variant, transport: key.transport}
+	bkey := batchKey{dataset: req.Dataset, algo: key.algo, variant: key.variant, policy: key.policy}
 	s.bmu.Lock()
 	b := s.pending[bkey]
 	if b == nil {
 		b = &pendingBatch{
 			key:     bkey,
 			dg:      dg,
+			pol:     pol,
 			variant: key.variant,
 			bySrc:   make(map[int]*pendingLane),
 		}
@@ -254,10 +257,10 @@ func (s *Service) runBatch(t *task) {
 	}
 	for i, ln := range b.lanes {
 		item := out.Results[i]
-		// Per-lane cache fill: only lanes that completed cleanly on the
-		// requested transport. A degraded lane ran on UVM — a transport
-		// its cache key does not name — so it must never be cached even
-		// when its batchmates are.
+		// Per-lane cache fill: only lanes that completed cleanly under the
+		// requested transport policy. A degraded lane ran rerouted onto
+		// static-uvm — a policy its cache key does not name — so it must
+		// never be cached even when its batchmates are.
 		if item.Err == nil && ln.cachable && !item.Res.Degraded {
 			s.cache.put(ln.key, item.Res)
 		}
@@ -286,12 +289,12 @@ func (s *Service) runBatch(t *task) {
 }
 
 // executeBatch runs one batch through DoBatch with the same retry,
-// backoff, and UVM-degradation ladder as single requests (execute): the
+// backoff, and degradation ladder as single requests (execute): the
 // whole batch retries on transient faults, and after DegradeAfter
 // consecutive zero-copy failures the remaining attempts run every lane
-// on the UVM fallback copy, marking each delivered Result Degraded.
-// The batch itself never carries a caller context — each lane detaches
-// through its own waiters' contexts instead.
+// under the static-uvm policy override, marking each delivered Result
+// Degraded. The batch itself never carries a caller context — each lane
+// detaches through its own waiters' contexts instead.
 func (s *Service) executeBatch(t *task) (*emogi.BatchOutcome, error) {
 	b := t.batch
 	stop := make(chan struct{})
@@ -304,6 +307,7 @@ func (s *Service) executeBatch(t *task) (*emogi.BatchOutcome, error) {
 			Src:     ln.src,
 			Variant: b.variant,
 			Cold:    true,
+			Policy:  b.pol,
 			Ctx:     laneContext(ln.waiters, stop),
 		}
 	}
@@ -346,15 +350,11 @@ func (s *Service) executeBatch(t *task) (*emogi.BatchOutcome, error) {
 		consecutive++
 		if !degraded && consecutive >= s.cfg.DegradeAfter && attempt+1 < s.cfg.RetryAttempts {
 			degStart := time.Now()
-			if fb, fbErr := s.uvmFallback(t); fbErr == nil {
-				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "uvm fallback loaded")
-				for i := range reqs {
-					reqs[i].Graph = fb
-				}
-				degraded = true
-			} else {
-				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "fallback load failed: "+fbErr.Error())
+			for i := range reqs {
+				reqs[i].Policy = emogi.StaticPolicy(emogi.UVM)
 			}
+			degraded = true
+			s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "rerouted onto static-uvm policy")
 		}
 	}
 	return nil, fmt.Errorf("service: retry budget exhausted after %d attempts: %w",

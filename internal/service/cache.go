@@ -10,16 +10,19 @@ import (
 
 // cacheKey identifies one deterministic traversal: the simulator is
 // bit-for-bit reproducible, so (dataset, algorithm, source, variant,
-// transport) fully determines the Result for cold-cache runs. Src and
-// variant are normalized at key construction (source-free algorithms
-// ignore src, fixed-variant kernels ignore variant) so equivalent
-// requests share an entry.
+// transport policy) fully determines the Result for cold-cache runs — a
+// routed policy's per-round decisions are themselves a pure function of
+// those inputs. Src and variant are normalized at key construction
+// (source-free algorithms ignore src, fixed-variant kernels ignore
+// variant) so equivalent requests share an entry. policy is the registry
+// name of the policy the run executes under (the dataset's loaded policy,
+// or the request's override).
 type cacheKey struct {
-	dataset   string
-	algo      string
-	src       int
-	variant   emogi.Variant
-	transport emogi.Transport
+	dataset string
+	algo    string
+	src     int
+	variant emogi.Variant
+	policy  string
 }
 
 // resultCache is a small mutex-guarded LRU over emogi.Result values. Both

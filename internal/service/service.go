@@ -97,12 +97,13 @@ type Config struct {
 	// during the wait.
 	RetryBackoff time.Duration
 	// DegradeAfter is the number of consecutive transient zero-copy
-	// failures after which the request falls back to the UVM transport
-	// (default 3). UVM traffic is bulk page migrations, which the
-	// per-request link faults cannot touch, so a degraded attempt
-	// completes where zero-copy kept faulting; the Result is marked
-	// Degraded. Requires spare attempts: degradation only happens while
-	// the retry budget lasts.
+	// failures after which the request is rerouted onto the static-uvm
+	// transport policy (default 3) — a policy transition over the same
+	// loaded graph, not a reload. UVM traffic is bulk page migrations,
+	// which the per-request link faults cannot touch, so a degraded
+	// attempt completes where zero-copy kept faulting; the Result is
+	// marked Degraded. Requires spare attempts: degradation only happens
+	// while the retry budget lasts.
 	DegradeAfter int
 
 	// BatchWindow, when positive, enables request coalescing: cache-
@@ -142,6 +143,12 @@ type Request struct {
 	// Variant selects the kernel access pattern (ignored by
 	// fixed-variant specialty kernels).
 	Variant emogi.Variant
+	// Transport, when set, names the transport policy this request runs
+	// under ("static-zc", "static-uvm", "adaptive"; the v1 spellings
+	// "zerocopy", "zc", "emogi", "uvm" are aliases), overriding the
+	// dataset's loaded policy for this request only. Unknown names are
+	// rejected before admission. Empty uses the dataset's policy.
+	Transport string
 	// TraceID, when set, identifies the request across the lifecycle
 	// trace, the flight recorder, and logs (serving layers pass an
 	// inbound X-Request-ID through). Empty generates one. It never enters
@@ -155,8 +162,11 @@ type DatasetInfo struct {
 	Vertices  int
 	Edges     int64
 	Transport string
-	Directed  bool
-	Weighted  bool
+	// Policy is the registry name of the transport policy the dataset was
+	// loaded under ("static-zc", "static-uvm", "adaptive").
+	Policy   string
+	Directed bool
+	Weighted bool
 }
 
 // task is one admitted unit moving through the queue: a single request,
@@ -166,6 +176,7 @@ type task struct {
 	ctx      context.Context
 	req      Request
 	dg       *emogi.DeviceGraph
+	pol      emogi.TransportPolicy // per-request policy override, nil = dataset's
 	key      cacheKey
 	cachable bool
 	batch    *pendingBatch
@@ -218,17 +229,12 @@ type Service struct {
 	faultMu    sync.Mutex
 	lastFaults fault.Counts
 
-	// fbMu serializes lazy UVM-fallback loads so one dataset is loaded at
-	// most once however many workers degrade concurrently.
-	fbMu sync.Mutex
-
 	// bmu guards pending, the open (unsealed) coalescing batches by key.
 	bmu     sync.Mutex
 	pending map[batchKey]*pendingBatch
 
 	mu     sync.Mutex
 	graphs map[string]*emogi.DeviceGraph
-	uvm    map[string]*emogi.DeviceGraph // lazy UVM fallback copies by dataset
 	closed bool
 }
 
@@ -273,7 +279,6 @@ func New(sys *emogi.System, cfg Config) *Service {
 		devName: sys.Config().GPU.Name,
 		queue:   make(chan *task, cfg.QueueDepth),
 		graphs:  make(map[string]*emogi.DeviceGraph),
-		uvm:     make(map[string]*emogi.DeviceGraph),
 		pending: make(map[batchKey]*pendingBatch),
 	}
 	// List the device healthy before traffic, so /healthz names it from
@@ -332,6 +337,7 @@ func (s *Service) Datasets() []DatasetInfo {
 			Vertices:  dg.Graph.NumVertices(),
 			Edges:     dg.Graph.NumEdges(),
 			Transport: dg.Transport.String(),
+			Policy:    dg.PolicyName(),
 			Directed:  dg.Graph.Directed,
 			Weighted:  dg.Graph.Weights != nil,
 		})
@@ -393,14 +399,25 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 	if algo == nil {
 		return fail(outcomeError, &core.UnknownAlgorithmError{Name: req.Algo})
 	}
+	// Resolve the per-request transport-policy override before admission,
+	// so unknown names fail fast with the resolver's error.
+	var pol emogi.TransportPolicy
+	policyName := dg.PolicyName()
+	if req.Transport != "" {
+		var perr error
+		if pol, perr = emogi.PolicyByName(req.Transport); perr != nil {
+			return fail(outcomeError, perr)
+		}
+		policyName = pol.Name()
+	}
 
 	// Normalize the cache key so equivalent requests share an entry.
 	key := cacheKey{
-		dataset:   req.Dataset,
-		algo:      algo.Name,
-		src:       req.Src,
-		variant:   req.Variant,
-		transport: dg.Transport,
+		dataset: req.Dataset,
+		algo:    algo.Name,
+		src:     req.Src,
+		variant: req.Variant,
+		policy:  policyName,
 	}
 	if algo.NoSource {
 		key.src = -1
@@ -423,13 +440,14 @@ func (s *Service) Do(ctx context.Context, req Request) (*emogi.Result, error) {
 	// Coalescing: batchable algorithms join the pending batch for their
 	// key instead of queueing alone (see batch.go).
 	if s.cfg.BatchWindow > 0 && algo.Batch != nil {
-		return s.doBatched(ctx, req, dg, key, rt)
+		return s.doBatched(ctx, req, dg, pol, key, rt)
 	}
 
 	t := &task{
 		ctx:      ctx,
 		req:      req,
 		dg:       dg,
+		pol:      pol,
 		key:      key,
 		cachable: s.cache != nil,
 		enqueued: time.Now(),
@@ -512,11 +530,14 @@ func (s *Service) worker() {
 // emogi.ErrTransient (aborted traversals, injected allocation failures)
 // are retried after an exponential, jittered backoff until the budget
 // (Config.RetryAttempts) runs out; after Config.DegradeAfter consecutive
-// transient zero-copy failures the remaining attempts run on a lazily
-// loaded UVM copy of the dataset and a success is marked Degraded. Every
-// other error — cancellation included — returns immediately.
+// transient zero-copy failures the remaining attempts run under the
+// static-uvm policy override — a transport-policy transition, not a
+// reload: the policy layer rebinds the same pinned edge list to page
+// migration, whose bulk traffic the per-request link faults cannot touch
+// — and a success is marked Degraded. Every other error — cancellation
+// included — returns immediately.
 func (s *Service) execute(t *task) (*emogi.Result, error) {
-	dg := t.dg
+	pol := t.pol
 	degraded := false
 	consecutive := 0
 	var lastErr error
@@ -529,16 +550,18 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 			}
 		}
 		// Cold caches make every run independent of queue order: UVM
-		// residency is device-global state the LRU cache key could not
-		// otherwise account for. The trace rides the context so the
-		// collector attributes the run's rounds to this request.
+		// residency and staged segments are device-global state the LRU
+		// cache key could not otherwise account for. The trace rides the
+		// context so the collector attributes the run's rounds to this
+		// request.
 		execStart := time.Now()
 		res, err := s.sys.Do(telemetry.WithTrace(t.ctx, t.trace), emogi.Request{
-			Graph:   dg,
+			Graph:   t.dg,
 			Algo:    t.req.Algo,
 			Src:     t.req.Src,
 			Variant: t.req.Variant,
 			Cold:    true,
+			Policy:  pol,
 		})
 		s.syncFaultCounters()
 		s.stageSpan(t, telemetry.StageExecute, attempt+1, execStart, executeDetail(degraded, err))
@@ -559,18 +582,10 @@ func (s *Service) execute(t *task) (*emogi.Result, error) {
 		lastErr = err
 		consecutive++
 		if !degraded && consecutive >= s.cfg.DegradeAfter && attempt+1 < s.cfg.RetryAttempts {
-			// Fall back to UVM: its traffic is bulk page migrations, which
-			// the per-request link faults cannot touch. A failed fallback
-			// load (e.g. an injected allocation fault) keeps retrying
-			// zero-copy instead.
 			degStart := time.Now()
-			if fb, fbErr := s.uvmFallback(t); fbErr == nil {
-				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "uvm fallback loaded")
-				dg = fb
-				degraded = true
-			} else {
-				s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "fallback load failed: "+fbErr.Error())
-			}
+			pol = emogi.StaticPolicy(emogi.UVM)
+			degraded = true
+			s.stageSpan(t, telemetry.StageDegrade, attempt+1, degStart, "rerouted onto static-uvm policy")
 		}
 	}
 	return nil, fmt.Errorf("service: retry budget exhausted after %d attempts: %w",
@@ -635,42 +650,10 @@ func retryJitter(k cacheKey, attempt int) uint64 {
 	h.Write([]byte{0})
 	h.Write([]byte(strconv.Itoa(int(k.variant))))
 	h.Write([]byte{0})
+	h.Write([]byte(k.policy))
+	h.Write([]byte{0})
 	h.Write([]byte(strconv.Itoa(attempt)))
 	return h.Sum64()
-}
-
-// uvmFallback returns the dataset's UVM-transport device graph, loading it
-// on first use. The load mutates the arena, so it runs under the device
-// run mutex (no traversal is mid-flight while we hold it); fbMu dedupes
-// concurrent loaders.
-func (s *Service) uvmFallback(t *task) (*emogi.DeviceGraph, error) {
-	s.fbMu.Lock()
-	defer s.fbMu.Unlock()
-	s.mu.Lock()
-	if s.closed {
-		s.mu.Unlock()
-		return nil, ErrStopped
-	}
-	if fb := s.uvm[t.req.Dataset]; fb != nil {
-		s.mu.Unlock()
-		return fb, nil
-	}
-	s.mu.Unlock()
-
-	var fb *emogi.DeviceGraph
-	var err error
-	s.sys.Device().Exclusive(func() {
-		fb, err = s.sys.Load(t.dg.Graph,
-			emogi.WithTransport(emogi.UVM), emogi.WithElemBytes(t.dg.EdgeBytes))
-	})
-	s.syncFaultCounters() // the load may itself hit injected alloc faults
-	if err != nil {
-		return nil, err
-	}
-	s.mu.Lock()
-	s.uvm[t.req.Dataset] = fb
-	s.mu.Unlock()
-	return fb, nil
 }
 
 // syncFaultCounters folds the injector's tally growth into the telemetry
@@ -765,10 +748,6 @@ func (s *Service) Close() {
 	for name, dg := range s.graphs {
 		s.sys.Unload(dg)
 		delete(s.graphs, name)
-	}
-	for name, dg := range s.uvm {
-		s.sys.Unload(dg)
-		delete(s.uvm, name)
 	}
 	s.met.datasets.Set(0)
 }

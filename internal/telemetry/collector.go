@@ -2,6 +2,7 @@ package telemetry
 
 import (
 	"fmt"
+	"strings"
 	"sync"
 	"time"
 
@@ -61,12 +62,27 @@ func NewCollector(reg *Registry, tracer *Tracer) *Collector {
 	if reg == nil {
 		reg = NewRegistry()
 	}
+	// Pre-register every (partition_class, choice) combination so scrapes
+	// see the transport-decision schema deterministically, zeros included.
+	for _, class := range []string{"hot", "warm", "cold"} {
+		for _, choice := range []string{"zerocopy", "uvm", "staged"} {
+			transportDecisionCounter(reg, class, choice)
+		}
+	}
 	return &Collector{
 		reg:    reg,
 		tracer: tracer,
 		devs:   make(map[*gpu.Device]*devState),
 		util:   make(map[string]*utilAcc),
 	}
+}
+
+// transportDecisionCounter returns the emogi_transport_decisions_total
+// series for one (density class, substrate choice) pair.
+func transportDecisionCounter(reg *Registry, class, choice string) *Counter {
+	return reg.Counter("emogi_transport_decisions_total",
+		"Transport-policy partition rebinds by access-density class and chosen substrate.",
+		Labels{"partition_class": class, "choice": choice})
 }
 
 // Registry returns the registry the collector writes into.
@@ -239,6 +255,41 @@ func (c *Collector) RoundDone(dev *gpu.Device, name string, round int, start, en
 	if c.tracer != nil {
 		c.tracer.Round(devName, name, round, start, end)
 	}
+}
+
+// TransportDecisions implements gpu.TransportDecisionSink: each decided
+// round on a routed run feeds the emogi_transport_decisions_total counter
+// and — while a request trace is bound — a "transport-decide" entry on
+// that request's round timeline, plus a transport-track slice in the
+// Chrome timeline.
+func (c *Collector) TransportDecisions(dev *gpu.Device, round int, moves []gpu.TransportMove, start, end time.Duration) {
+	c.mu.Lock()
+	st := c.state(dev)
+	devName := st.name
+	rt := c.bound
+	c.mu.Unlock()
+
+	for _, mv := range moves {
+		transportDecisionCounter(c.reg, mv.PartitionClass, mv.Choice).Add(mv.Count)
+	}
+	detail := transportMovesDetail(moves)
+	rt.Decision(round, detail, start, end)
+	if c.tracer != nil {
+		c.tracer.TransportDecision(devName, round, detail, start, end)
+	}
+}
+
+// transportMovesDetail renders a move group compactly, e.g.
+// "hot>staged x3, cold>zerocopy x12".
+func transportMovesDetail(moves []gpu.TransportMove) string {
+	var b strings.Builder
+	for i, mv := range moves {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s>%s x%d", mv.PartitionClass, mv.Choice, mv.Count)
+	}
+	return b.String()
 }
 
 // BindTrace implements TraceBinder: round events are attributed to rt

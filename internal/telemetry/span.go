@@ -81,6 +81,9 @@ type RoundSpan struct {
 	// microseconds (matching the Chrome-trace timebase).
 	StartUS float64 `json:"start_us"`
 	EndUS   float64 `json:"end_us"`
+	// Detail optionally carries round context: transport-decision entries
+	// (Name "transport-decide") summarize the partition moves here.
+	Detail string `json:"detail,omitempty"`
 }
 
 // maxTraceRounds bounds the per-request round list so a pathological
@@ -171,6 +174,27 @@ func (t *RequestTrace) Round(name string, round int, start, end time.Duration) {
 			Round:   round,
 			StartUS: usec(start),
 			EndUS:   usec(end),
+		})
+	}
+	t.mu.Unlock()
+}
+
+// Decision records one transport-policy decision point on the simulated
+// clock as a "transport-decide" entry on the round timeline. Decisions
+// share the rounds list (they interleave with rounds chronologically) but
+// do not count toward the trace's round total.
+func (t *RequestTrace) Decision(round int, detail string, start, end time.Duration) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	if len(t.rounds) < maxTraceRounds {
+		t.rounds = append(t.rounds, RoundSpan{
+			Name:    "transport-decide",
+			Round:   round,
+			StartUS: usec(start),
+			EndUS:   usec(end),
+			Detail:  detail,
 		})
 	}
 	t.mu.Unlock()

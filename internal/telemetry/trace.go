@@ -20,10 +20,11 @@ import (
 
 // Track thread IDs within one device's trace process.
 const (
-	trackKernels = 0
-	trackRounds  = 1
-	trackUVM     = 2
-	trackCopies  = 3
+	trackKernels   = 0
+	trackRounds    = 1
+	trackUVM       = 2
+	trackCopies    = 3
+	trackTransport = 4
 )
 
 // TraceEvent is one trace-event entry. Exported fields marshal to the
@@ -86,6 +87,8 @@ func (t *Tracer) pid(device string) int {
 			Args: map[string]any{"name": "uvm migrations"}},
 		TraceEvent{Name: "thread_name", Ph: "M", PID: p, TID: trackCopies,
 			Args: map[string]any{"name": "bulk copies"}},
+		TraceEvent{Name: "thread_name", Ph: "M", PID: p, TID: trackTransport,
+			Args: map[string]any{"name": "transport decisions"}},
 	)
 	return p
 }
@@ -131,6 +134,15 @@ func (t *Tracer) Kernel(device, name string, start, end time.Duration, args map[
 func (t *Tracer) Round(device, name string, round int, start, end time.Duration) {
 	t.complete(device, "round", trackRounds, fmt.Sprintf("%s round %d", name, round),
 		start, end, map[string]any{"round": round})
+}
+
+// TransportDecision records one transport-policy decision point: the
+// partition rebinds a routed run applied at a round boundary, including
+// the staging copies it charged.
+func (t *Tracer) TransportDecision(device string, round int, detail string, start, end time.Duration) {
+	t.complete(device, "transport", trackTransport,
+		fmt.Sprintf("transport decide round %d", round), start, end,
+		map[string]any{"round": round, "moves": detail})
 }
 
 // UVMBurst records one kernel's UVM migration burst: pages migrated while

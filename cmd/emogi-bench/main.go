@@ -43,6 +43,10 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "with -o, also write <dir>/<id>.json and a run.json summary")
 		metrics   = flag.String("metrics-addr", "", "serve Prometheus metrics on this address (e.g. :9400) during the run; keeps serving after it until interrupted")
 		tracePath = flag.String("trace", "", "write a Chrome trace-event timeline of the run to this file")
+		tiers     = flag.String("tiers", "2tier",
+			"memory-tier stack applied to every system: 2tier (the classic machine) or 3tier-cxl (adds CXL-class external memory)")
+		paging = flag.String("paging", "cpu",
+			"UVM paging model: cpu (serialized fault handler) or gpu (GPU-driven page fetch)")
 	)
 	flag.Parse()
 
@@ -51,6 +55,17 @@ func main() {
 		cfg = bench.QuickConfig()
 	}
 	cfg.Workers = *workers
+	if _, err := emogi.TierStackByName(*tiers); err != nil {
+		log.Fatal(err)
+	}
+	cfg.TierStack = *tiers
+	switch strings.ToLower(*paging) {
+	case "cpu", "":
+	case "gpu":
+		cfg.GPUDrivenPaging = true
+	default:
+		log.Fatalf("unknown paging model %q (want cpu or gpu)", *paging)
+	}
 
 	// Telemetry: one collector observes every system the harness builds.
 	var (
@@ -192,6 +207,11 @@ func main() {
 		log.Printf("running transport-policy comparison (static-zc, static-uvm, adaptive)...")
 		t, err := bench.TransportComparison(ds, bench.AllSyms(), []string{"bfs", "sssp"})
 		emit("transport", t, err)
+	}
+	if selected("paging") {
+		log.Printf("running UVM paging-model comparison (cpu fault handler vs gpu-driven)...")
+		t, err := bench.PagingComparison(ds, bench.AllSyms(), []string{"bfs", "sssp"})
+		emit("paging", t, err)
 	}
 
 	type ablation struct {

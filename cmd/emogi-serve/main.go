@@ -10,6 +10,7 @@
 //	GET  /v1/algorithms registered traversal algorithms
 //	GET  /v1/datasets   loaded graphs
 //	GET  /v1/transports selectable transport policies
+//	GET  /v1/tiers      selectable memory-tier stacks (?name= resolves one, 400 on unknown)
 //	GET  /metrics       Prometheus text exposition (queue, cache, outcomes, stage latencies)
 //	GET  /healthz       health probe: 503 while draining or a device is unhealthy
 //	GET  /debug/requests           flight recorder, newest-first (?limit=)
@@ -51,11 +52,17 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", "127.0.0.1:8080", "listen address")
-		graphs    = flag.String("graphs", "GK", "comma-separated dataset symbols to load (see -list equivalents in cmd/emogi)")
-		scale     = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the standard 1:1000 reduction)")
-		seed      = flag.Int64("seed", 42, "graph synthesis seed")
-		platform  = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address")
+		graphs   = flag.String("graphs", "GK", "comma-separated dataset symbols to load (see -list equivalents in cmd/emogi)")
+		scale    = flag.Float64("scale", 1.0, "dataset scale factor (1.0 = the standard 1:1000 reduction)")
+		seed     = flag.Int64("seed", 42, "graph synthesis seed")
+		platform = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
+		tiers    = flag.String("tiers", "2tier",
+			"memory-tier stack: 2tier (the classic machine) or 3tier-cxl (adds CXL-class external memory); see GET /v1/tiers")
+		paging = flag.String("paging", "cpu",
+			"UVM paging model: cpu (serialized fault handler) or gpu (GPU-driven page fetch)")
+		placement = flag.String("placement", "auto",
+			"edge-list tier placement: auto (DRAM with CXL spill), dram, or cxl")
 		transport = flag.String("transport", "static-zc",
 			"edge-list transport policy: static-zc, static-uvm, or adaptive (v1 spellings zerocopy/uvm still accepted)")
 		elemBytes   = flag.Int("elem", 8, "edge element bytes (4 or 8)")
@@ -91,6 +98,19 @@ func main() {
 		fatal(logger, "bad platform", err)
 	}
 	cfg.Workers = *workers
+	cfg, err = emogi.ApplyTierStack(cfg, *tiers)
+	if err != nil {
+		fatal(logger, "bad tier stack", err)
+	}
+	gpuPaging, err := parsePaging(*paging)
+	if err != nil {
+		fatal(logger, "bad paging model", err)
+	}
+	cfg.GPUDrivenPaging = gpuPaging
+	place, err := emogi.ParsePlacement(*placement)
+	if err != nil {
+		fatal(logger, "bad placement", err)
+	}
 	pol, err := emogi.PolicyByName(*transport)
 	if err != nil {
 		fatal(logger, "bad transport", err)
@@ -150,7 +170,8 @@ func main() {
 			fatal(logger, "building "+sym, err)
 		}
 		if err := svc.AddGraph(sym, g,
-			emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes)); err != nil {
+			emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes),
+			emogi.WithPlacement(place)); err != nil {
 			fatal(logger, "loading "+sym, err)
 		}
 		logger.Info("loaded dataset", "dataset", sym,
@@ -246,6 +267,7 @@ func newServeMux(d serveDeps) *http.ServeMux {
 	mux.HandleFunc("/v1/algorithms", handleAlgorithms)
 	mux.HandleFunc("/v1/datasets", handleDatasets(d.svc))
 	mux.HandleFunc("/v1/transports", handleTransports)
+	mux.HandleFunc("/v1/tiers", handleTiers)
 	mux.Handle("/", telemetry.NewHandler(telemetry.HandlerOptions{
 		Registry: d.reg,
 		Recorder: d.recorder,
@@ -516,6 +538,34 @@ func handleTransports(w http.ResponseWriter, r *http.Request) {
 		out[i] = transportInfo{Name: p.Name(), Description: p.Description()}
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleTiers serves the memory-tier-stack catalog. With ?name= it answers
+// for one stack (resolving aliases), returning a structured 400 listing the
+// valid spellings on an unknown name — the same discipline as
+// /v1/transports' policy names.
+func handleTiers(w http.ResponseWriter, r *http.Request) {
+	if name := r.URL.Query().Get("name"); name != "" {
+		e, err := emogi.TierStackByName(name)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, e)
+		return
+	}
+	writeJSON(w, http.StatusOK, emogi.TierStacks())
+}
+
+// parsePaging maps the -paging flag to the UVM paging model selector.
+func parsePaging(s string) (bool, error) {
+	switch strings.ToLower(s) {
+	case "cpu", "":
+		return false, nil
+	case "gpu":
+		return true, nil
+	}
+	return false, fmt.Errorf("unknown paging model %q (want cpu or gpu)", s)
 }
 
 func parseVariant(s string) (emogi.Variant, error) {

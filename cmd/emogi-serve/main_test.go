@@ -375,3 +375,51 @@ func TestServeMuxSurface(t *testing.T) {
 		t.Errorf("/healthz while draining = %d, want 503", rr.Code)
 	}
 }
+
+// TestTiersEndpoint: GET /v1/tiers lists the named memory-tier stacks,
+// ?name= resolves aliases, and an unknown name is a structured 400.
+func TestTiersEndpoint(t *testing.T) {
+	rr := httptest.NewRecorder()
+	handleTiers(rr, httptest.NewRequest(http.MethodGet, "/v1/tiers", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status = %d, want 200", rr.Code)
+	}
+	var out []emogi.TierStackEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Name != "2tier" || out[1].Name != "3tier-cxl" {
+		t.Fatalf("catalog = %+v", out)
+	}
+	for _, e := range out {
+		if e.Description == "" || e.Tiers < 2 {
+			t.Errorf("entry %s is missing description or tiers: %+v", e.Name, e)
+		}
+	}
+
+	rr = httptest.NewRecorder()
+	handleTiers(rr, httptest.NewRequest(http.MethodGet, "/v1/tiers?name=cxl", nil))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("?name=cxl status = %d, want 200", rr.Code)
+	}
+	var one emogi.TierStackEntry
+	if err := json.Unmarshal(rr.Body.Bytes(), &one); err != nil {
+		t.Fatal(err)
+	}
+	if one.Name != "3tier-cxl" {
+		t.Errorf("?name=cxl resolved to %q, want 3tier-cxl", one.Name)
+	}
+
+	rr = httptest.NewRecorder()
+	handleTiers(rr, httptest.NewRequest(http.MethodGet, "/v1/tiers?name=nvlink", nil))
+	if rr.Code != http.StatusBadRequest {
+		t.Fatalf("unknown name status = %d, want 400", rr.Code)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(rr.Body.Bytes(), &e); err != nil {
+		t.Fatal(err)
+	}
+	if e.Error == "" || !strings.Contains(e.Error, "nvlink") {
+		t.Errorf("structured 400 should name the unknown stack: %+v", e)
+	}
+}

@@ -39,10 +39,16 @@ func main() {
 		sources   = flag.Int("sources", 4, "number of source vertices to average over")
 		elemBytes = flag.Int("elem", 8, "edge element width in bytes (4 or 8)")
 		platform  = flag.String("platform", "v100", "platform: v100, titanxp, a100-pcie3, a100-pcie4")
-		validate  = flag.Bool("validate", true, "validate results against CPU references")
-		kernels   = flag.Bool("kernels", false, "print the per-kernel (per-level) breakdown of the last run")
-		compare   = flag.Bool("compare", false, "run the UVM baseline alongside and print the speedup")
-		gpus      = flag.Int("gpus", 1, "simulated GPU count (>1 uses the multi-GPU engine; BFS/SSSP/CC)")
+		tiers     = flag.String("tiers", "2tier",
+			"memory-tier stack: 2tier (the classic machine) or 3tier-cxl (adds CXL-class external memory)")
+		paging = flag.String("paging", "cpu",
+			"UVM paging model: cpu (serialized fault handler) or gpu (GPU-driven page fetch)")
+		placement = flag.String("placement", "auto",
+			"edge-list tier placement: auto (DRAM with CXL spill), dram, or cxl")
+		validate = flag.Bool("validate", true, "validate results against CPU references")
+		kernels  = flag.Bool("kernels", false, "print the per-kernel (per-level) breakdown of the last run")
+		compare  = flag.Bool("compare", false, "run the UVM baseline alongside and print the speedup")
+		gpus     = flag.Int("gpus", 1, "simulated GPU count (>1 uses the multi-GPU engine; BFS/SSSP/CC)")
 	)
 	flag.Parse()
 
@@ -112,9 +118,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg, err = emogi.ApplyTierStack(cfg, *tiers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	switch strings.ToLower(*paging) {
+	case "cpu", "":
+	case "gpu":
+		cfg.GPUDrivenPaging = true
+	default:
+		log.Fatalf("unknown paging model %q (want cpu or gpu)", *paging)
+	}
+	place, err := emogi.ParsePlacement(*placement)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	sys := emogi.NewSystem(cfg)
-	dg, err := sys.Load(g, emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes))
+	dg, err := sys.Load(g, emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes),
+		emogi.WithPlacement(place))
 	if err != nil {
 		log.Fatalf("loading graph onto device: %v", err)
 	}
@@ -147,6 +169,10 @@ func main() {
 	fmt.Printf("traffic:    %s\n", sum.Monitor)
 	amp := sum.IOAmplification(g.EdgeListBytes(*elemBytes))
 	fmt.Printf("I/O amp:    %.2fx of edge-list bytes per run\n", amp)
+	if sum.Stats.CXLRequests > 0 {
+		fmt.Printf("CXL:        reqs=%d payload=%d bytes over the external tier's link\n",
+			sum.Stats.CXLRequests, sum.Stats.CXLPayloadBytes)
+	}
 	if *validate {
 		fmt.Println("validated:  results match CPU reference")
 	}

@@ -148,6 +148,23 @@ type SystemConfig struct {
 	Name string
 	GPU  gpu.Config
 
+	// Tiers, when non-nil, describes the machine's memory hierarchy as an
+	// explicit tier stack (HBM → host DRAM → optional CXL-class external
+	// memory); it overrides the classic GPU.MemBytes/HostMemBytes/HBM/
+	// HostDRAM/Link fields. Nil (the default) synthesizes the canonical
+	// two-tier stack from those fields — bit-for-bit the historical
+	// machine. Build stacks with TwoTier / ThreeTierCXL, or apply a named
+	// catalog stack with ApplyTierStack.
+	Tiers TierStack
+
+	// GPUDrivenPaging selects the GPUVM-style paging model for UVM
+	// migrations: page fetches issue from the GPU as tag-limited link
+	// transfers with no serialized CPU fault handler. False (the default)
+	// keeps the classic CPU fault-handler model. Migration counts and
+	// traversal results are identical either way; only the time model
+	// changes.
+	GPUDrivenPaging bool
+
 	// Workers, when non-zero, overrides GPU.Workers: the number of host
 	// goroutines each kernel launch spreads its warps over (0 selects
 	// GOMAXPROCS, 1 runs warps serially). Simulated results — values,
@@ -261,6 +278,10 @@ func NewSystem(cfg SystemConfig) *System {
 	if cfg.Workers != 0 {
 		cfg.GPU.Workers = cfg.Workers
 	}
+	if cfg.Tiers != nil {
+		cfg.GPU.Tiers = cfg.Tiers
+	}
+	cfg.GPU.GPUDrivenPaging = cfg.GPUDrivenPaging
 	if cfg.Faults != nil {
 		cfg.GPU.Link.Faults = cfg.Faults
 	}
@@ -295,6 +316,8 @@ type LoadOption func(*loadConfig)
 type loadConfig struct {
 	policy    TransportPolicy
 	elemBytes int
+	placement Placement
+	tiers     TierStack
 }
 
 // WithTransportPolicy selects the transport policy governing the graph's
@@ -322,6 +345,23 @@ func WithElemBytes(n int) LoadOption {
 	return func(c *loadConfig) { c.elemBytes = n }
 }
 
+// WithTierStack replaces the system's memory-tier stack before placing the
+// graph — the load-time route to a CXL-class external tier on a system
+// built without one. The stack's HBM and DRAM tiers must match the system's
+// configured capacities; Load fails otherwise. Systems that set
+// SystemConfig.Tiers up front don't need this option.
+func WithTierStack(ts TierStack) LoadOption {
+	return func(c *loadConfig) { c.tiers = ts }
+}
+
+// WithPlacement selects which host-side tier(s) the edge and weight lists
+// are homed on: PlaceAuto (host DRAM with CXL spill under pressure, the
+// default), PlaceDRAM (DRAM only, fail when full), or PlaceCXL (external
+// tier only). A no-op on two-tier systems except that PlaceCXL fails.
+func WithPlacement(p Placement) LoadOption {
+	return func(c *loadConfig) { c.placement = p }
+}
+
 // Load places a graph onto the system: the vertex list in GPU memory, the
 // edge list (and weights) in host memory. The defaults — the static
 // zero-copy policy, 8-byte edge elements — are the paper's main
@@ -331,7 +371,12 @@ func (s *System) Load(g *Graph, opts ...LoadOption) (*DeviceGraph, error) {
 	for _, o := range opts {
 		o(&c)
 	}
-	return core.UploadPolicy(s.dev, g, c.policy, c.elemBytes)
+	if c.tiers != nil {
+		if err := s.dev.SetTiers(c.tiers); err != nil {
+			return nil, fmt.Errorf("emogi: WithTierStack: %w", err)
+		}
+	}
+	return core.UploadPolicyPlaced(s.dev, g, c.policy, c.elemBytes, c.placement)
 }
 
 // LoadV1 is the v1 positional load.
@@ -364,6 +409,12 @@ type Request struct {
 	// discipline (§5.2). Zero-copy runs are unaffected; for UVM and routed
 	// policy runs it makes results independent of what ran before.
 	Cold bool
+	// Placement, when not PlaceAuto, re-homes the graph's edge and weight
+	// segments onto the named host-side tier before the run (sticky: the
+	// graph keeps the new homes afterward). The data movement is charged
+	// over the CXL link. PlaceAuto (the zero value) keeps the graph's
+	// current homes — the two-tier behavior.
+	Placement Placement
 	// Policy, when non-nil, overrides the graph's loaded transport policy
 	// for this request only. An override whose static transport matches
 	// the graph's is a no-op; any other override runs routed (every
@@ -407,6 +458,11 @@ func (s *System) Do(ctx context.Context, req Request) (*Result, error) {
 	var err error
 	s.dev.Exclusive(func() {
 		defer s.bindTrace(ctx)()
+		if req.Placement != PlaceAuto {
+			if err = core.ApplyPlacement(s.dev, req.Graph, req.Placement); err != nil {
+				return
+			}
+		}
 		if req.Cold {
 			s.dev.ResetUVMResidency()
 		}

@@ -7,6 +7,7 @@ import (
 	emogi "repro"
 	"repro/internal/core"
 	"repro/internal/gpu"
+	"repro/internal/memsys"
 	"repro/internal/pcie"
 	"repro/internal/uvm"
 )
@@ -38,8 +39,9 @@ func AblationUVMBlock(ds *Datasets) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		// Rebuild the UVM manager with the ablated block size.
-		ucfg := uvm.DefaultConfig(dev.UVM().Config().CapacityPages)
+		// Rebuild the UVM manager with the ablated block size, keeping the
+		// device's capacity and paging mode.
+		ucfg := dev.UVM().Config()
 		ucfg.BlockPages = block
 		*dev.UVM() = *uvm.NewManager(ucfg)
 		res, err := core.BFS(dev, dg, src, core.Merged)
@@ -306,8 +308,11 @@ func AblationLink(ds *Datasets) (*Table, error) {
 	for _, l := range links {
 		link := pcie.Link(l.gen, l.lanes)
 
+		// Swap the interconnect by rebuilding the two-tier stack around the
+		// swept link — the tier interface is the canonical route to the
+		// device's link model.
 		gcfg := emogi.V100PCIe3(cfg.Scale).GPU
-		gcfg.Link = link
+		gcfg.Tiers = memsys.TwoTier(gcfg.MemBytes, gcfg.HostMemBytes, gcfg.HBM, gcfg.HostDRAM, link)
 		devE := cfg.Device(gcfg)
 		dgE, err := core.Upload(devE, g, core.ZeroCopy, 8)
 		if err != nil {

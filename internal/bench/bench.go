@@ -35,6 +35,13 @@ type Config struct {
 	// Telemetry, when non-nil, is attached to every system the harness
 	// builds, so one exporter observes the whole evaluation.
 	Telemetry emogi.Telemetry
+	// TierStack, when non-empty, is the named memory-tier stack applied to
+	// every system the harness builds ("2tier", "3tier-cxl" or an alias);
+	// empty keeps each platform's native two-tier stack.
+	TierStack string
+	// GPUDrivenPaging selects the GPUVM-style UVM paging model on every
+	// system the harness builds.
+	GPUDrivenPaging bool
 }
 
 // DefaultConfig returns the full-size configuration used for EXPERIMENTS.md.
@@ -68,6 +75,13 @@ func (d *Datasets) Config() Config { return d.cfg }
 func (c Config) System(sc emogi.SystemConfig) *emogi.System {
 	sc.Workers = c.Workers
 	sc.Telemetry = c.Telemetry
+	if c.TierStack != "" {
+		var err error
+		if sc, err = emogi.ApplyTierStack(sc, c.TierStack); err != nil {
+			panic(err) // names are validated at flag-parse time
+		}
+	}
+	sc.GPUDrivenPaging = c.GPUDrivenPaging
 	return emogi.NewSystem(sc)
 }
 

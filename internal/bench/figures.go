@@ -76,7 +76,7 @@ func Figure4(cfg Config) (*Table, error) {
 		}
 		t.AddRow(v.name, gb(r.PCIeBandwidth), gb(r.DRAMBandwidth))
 	}
-	peak := emogi.V100PCIe3(cfg.Scale).GPU.Link.MemcpyPeak()
+	peak := emogi.V100PCIe3(cfg.Scale).TierStack().DRAM().Link.MemcpyPeak()
 	t.Notes = append(t.Notes, "cudaMemcpy peak: "+gb(peak)+" GB/s")
 	return t, nil
 }
@@ -88,13 +88,15 @@ func Table1(cfg Config) *Table {
 		Title:  "Table 1: evaluation system configuration (simulated)",
 		Header: []string{"category", "specification"},
 	}
+	ts := sys.TierStack()
+	hbm, dram := ts.HBM(), ts.DRAM()
 	t.AddRow("GPU", sys.GPU.Name)
-	t.AddRow("GPU memory", fmt.Sprintf("%d bytes (1:1000 of 16GB at scale %.2g)", sys.GPU.MemBytes, cfg.Scale))
-	t.AddRow("Host memory", fmt.Sprintf("%d bytes, %s", sys.GPU.HostMemBytes, sys.GPU.HostDRAM.Name))
-	t.AddRow("Interconnect", sys.GPU.Link.Name)
-	t.AddRow("Memcpy peak", gb(sys.GPU.Link.MemcpyPeak())+" GB/s")
-	t.AddRow("PCIe RTT", sys.GPU.Link.RTT.String())
-	t.AddRow("Effective tags", fmt.Sprintf("%d", sys.GPU.Link.MaxTags))
+	t.AddRow("GPU memory", fmt.Sprintf("%d bytes (1:1000 of 16GB at scale %.2g)", hbm.CapacityBytes, cfg.Scale))
+	t.AddRow("Host memory", fmt.Sprintf("%d bytes, %s", dram.CapacityBytes, dram.Mem.Name))
+	t.AddRow("Interconnect", dram.Link.Name)
+	t.AddRow("Memcpy peak", gb(dram.Link.MemcpyPeak())+" GB/s")
+	t.AddRow("PCIe RTT", dram.Link.RTT.String())
+	t.AddRow("Effective tags", fmt.Sprintf("%d", dram.Link.MaxTags))
 	return t
 }
 

@@ -1,0 +1,109 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	emogi "repro"
+)
+
+// The paging comparison isolates the UVM fault path: the same static-UVM
+// traversal once under the classic serialized CPU fault handler and once
+// under GPU-driven paging (GPUVM-style page fetch issued from the SM, paced
+// by link tag occupancy instead of the host round trip). Migration counts
+// are identical by construction; only the time model changes, so the ratio
+// is exactly the fault-handling overhead the GPU-driven path removes.
+
+// PagingCell is one (graph, algo) measurement under both paging models.
+type PagingCell struct {
+	Graph string
+	Algo  string
+	// CPU and GPU are mean cold simulated times under the CPU fault
+	// handler and GPU-driven paging respectively.
+	CPU time.Duration
+	GPU time.Duration
+	// Migrations is the page-migration count (identical for both models).
+	Migrations uint64
+}
+
+// Speedup returns CPU/GPU — >1.0 means GPU-driven paging wins.
+func (c *PagingCell) Speedup() float64 {
+	if c.GPU <= 0 {
+		return 0
+	}
+	return c.CPU.Seconds() / c.GPU.Seconds()
+}
+
+// RunPagingComparison measures every (graph, algo) cell under the static
+// UVM policy with both paging models. Each model gets a fresh system so
+// page residency never leaks between measurements.
+func RunPagingComparison(ds *Datasets, syms, algos []string) ([]PagingCell, error) {
+	cfg := ds.Config()
+	var cells []PagingCell
+	for _, sym := range syms {
+		g := ds.Get(sym)
+		sources := ds.Sources(sym)
+		for _, algo := range algos {
+			cell := PagingCell{Graph: sym, Algo: algo}
+			for _, gpuDriven := range []bool{false, true} {
+				mcfg := cfg
+				mcfg.GPUDrivenPaging = gpuDriven
+				sys := mcfg.System(emogi.V100PCIe3(cfg.Scale))
+				dg, err := sys.Load(g, emogi.WithTransportPolicy(emogi.StaticPolicy(emogi.UVM)))
+				if err != nil {
+					return nil, fmt.Errorf("bench: loading %s for paging: %w", sym, err)
+				}
+				var total time.Duration
+				var migrations uint64
+				for _, src := range sources {
+					res, err := sys.Do(context.Background(),
+						emogi.Request{Graph: dg, Algo: algo, Src: src, Cold: true})
+					if err != nil {
+						return nil, fmt.Errorf("bench: %s %s paging: %w", algo, sym, err)
+					}
+					total += res.Elapsed
+					migrations += res.Stats.UVMMigrations
+				}
+				mean := total / time.Duration(len(sources))
+				if gpuDriven {
+					cell.GPU = mean
+					if migrations != cell.Migrations {
+						return nil, fmt.Errorf("bench: paging models disagree on %s/%s migrations: %d vs %d",
+							sym, algo, cell.Migrations, migrations)
+					}
+				} else {
+					cell.CPU = mean
+					cell.Migrations = migrations
+				}
+			}
+			cells = append(cells, cell)
+		}
+	}
+	return cells, nil
+}
+
+// PagingComparison renders the CPU-fault-handler vs GPU-driven-paging
+// comparison: one row per (graph, algo) under static UVM.
+func PagingComparison(ds *Datasets, syms, algos []string) (*Table, error) {
+	cells, err := RunPagingComparison(ds, syms, algos)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title:  "UVM paging models: CPU fault handler vs GPU-driven paging (static UVM, cold, V100)",
+		Header: []string{"graph", "algo", "cpu-paging ms", "gpu-paging ms", "speedup", "migrations"},
+	}
+	for i := range cells {
+		c := &cells[i]
+		t.AddRow(c.Graph, c.Algo,
+			fnum(c.CPU.Seconds()*1e3),
+			fnum(c.GPU.Seconds()*1e3),
+			fnum(c.Speedup()),
+			fmt.Sprintf("%d", c.Migrations))
+	}
+	t.Notes = append(t.Notes,
+		"both models migrate exactly the same pages; only fault handling differs",
+		"speedup > 1.0 means GPU-driven paging beats the serialized CPU fault handler")
+	return t, nil
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"repro/internal/gpu"
 	"repro/internal/graph"
 )
 
@@ -62,6 +63,14 @@ func recordOf(name string, res *Result) goldenRecord {
 // specialty traversal on GK. Each run gets a fresh device so records are
 // independent of suite ordering.
 func goldenRuns(t *testing.T) []goldenRecord {
+	return goldenRunsWith(t, testDevice, multiDevices)
+}
+
+// goldenRunsWith runs the matrix on devices from the given factories, so the
+// same pinned records can assert equivalence of differently-configured but
+// supposedly identical machines (e.g. explicit two-tier stacks vs. the
+// classic config fields).
+func goldenRunsWith(t *testing.T, mkdev func() *gpu.Device, mkmulti func(int) []*gpu.Device) []goldenRecord {
 	t.Helper()
 	var recs []goldenRecord
 	for _, sym := range []string{"GK", "GU", "FS", "ML", "SK", "UK5"} {
@@ -82,7 +91,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			recs = append(recs, recordOf(sym+"/"+name, res))
 		}
 		run("bfs", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -90,7 +99,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFS(dev, dg, src, MergedAligned)
 		})
 		run("sssp", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -99,7 +108,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 		})
 		if !g.Directed {
 			run("cc", func() (*Result, error) {
-				dev := testDevice()
+				dev := mkdev()
 				dg, err := Upload(dev, g, ZeroCopy, 8)
 				if err != nil {
 					return nil, err
@@ -113,7 +122,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 		// Specialty paths, pinned on GK: every other round-loop entry point
 		// in the repository.
 		run("bfs-uvm", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, UVM, 8)
 			if err != nil {
 				return nil, err
@@ -121,7 +130,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFS(dev, dg, src, Merged)
 		})
 		run("bfs-naive", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -129,7 +138,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFS(dev, dg, src, Naive)
 		})
 		run("bfs-worker8", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -137,7 +146,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSWithWorker(dev, dg, src, 8, true)
 		})
 		run("bfs-worker16-unaligned", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -145,7 +154,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSWithWorker(dev, dg, src, 16, false)
 		})
 		run("bfs-balanced", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -153,7 +162,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSBalanced(dev, dg, src, 64)
 		})
 		run("bfs-compressed", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			cdg, err := UploadCompressed(dev, g)
 			if err != nil {
 				return nil, err
@@ -161,7 +170,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSCompressed(dev, cdg, src)
 		})
 		run("bfs-edgecentric", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			ec, err := UploadEdgeCentric(dev, g)
 			if err != nil {
 				return nil, err
@@ -169,7 +178,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSEdgeCentric(dev, ec, src)
 		})
 		run("bfs-pushpull", func() (*Result, error) {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				return nil, err
@@ -177,7 +186,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return BFSDirectionOptimized(dev, dg, src, DefaultPushPullConfig())
 		})
 		run("bfs-hybrid0.3", func() (*Result, error) {
-			h, err := NewHybridSystem(testDevice(), g, 8, DefaultHybridConfig(0.3))
+			h, err := NewHybridSystem(mkdev(), g, 8, DefaultHybridConfig(0.3))
 			if err != nil {
 				return nil, err
 			}
@@ -185,7 +194,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return h.BFS(src)
 		})
 		run("bfs-multigpu2", func() (*Result, error) {
-			ms, err := NewMultiSystem(multiDevices(2), g, 8)
+			ms, err := NewMultiSystem(mkmulti(2), g, 8)
 			if err != nil {
 				return nil, err
 			}
@@ -193,7 +202,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			return ms.BFS(src)
 		})
 		run("sssp-multigpu2", func() (*Result, error) {
-			ms, err := NewMultiSystem(multiDevices(2), g, 8)
+			ms, err := NewMultiSystem(mkmulti(2), g, 8)
 			if err != nil {
 				return nil, err
 			}
@@ -205,7 +214,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 		// per-lane convergence and the amortized traffic are pinned.
 		bsrcs := graph.PickSources(g, 4, 71)
 		for _, app := range []string{"bfs", "sssp", "sswp"} {
-			dev := testDevice()
+			dev := mkdev()
 			dg, err := Upload(dev, g, ZeroCopy, 8)
 			if err != nil {
 				t.Fatalf("GK/%s-batch4: %v", app, err)
@@ -229,7 +238,7 @@ func goldenRuns(t *testing.T) []goldenRecord {
 			}
 		}
 		run("cc-multigpu2", func() (*Result, error) {
-			ms, err := NewMultiSystem(multiDevices(2), g, 8)
+			ms, err := NewMultiSystem(mkmulti(2), g, 8)
 			if err != nil {
 				return nil, err
 			}

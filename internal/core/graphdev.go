@@ -68,6 +68,51 @@ func (t Transport) String() string {
 	}
 }
 
+// Placement selects which host-side tier(s) the edge (and weight) list is
+// homed on when the device has a CXL-class external tier. It is a no-op on
+// two-tier devices: everything lands in host DRAM exactly as before.
+type Placement int
+
+const (
+	// PlaceAuto fills host DRAM first and spills the tail segments to the
+	// CXL tier only when DRAM capacity runs out (the default).
+	PlaceAuto Placement = iota
+	// PlaceDRAM forces the whole edge list into host DRAM; allocation fails
+	// with ErrOutOfMemory if it does not fit.
+	PlaceDRAM
+	// PlaceCXL homes every edge segment on the CXL tier, leaving host DRAM
+	// free (e.g. for other graphs or the adaptive host cache).
+	PlaceCXL
+)
+
+// String returns the wire name for the placement ("auto", "dram", "cxl").
+func (p Placement) String() string {
+	switch p {
+	case PlaceAuto:
+		return "auto"
+	case PlaceDRAM:
+		return "dram"
+	case PlaceCXL:
+		return "cxl"
+	default:
+		return fmt.Sprintf("Placement(%d)", int(p))
+	}
+}
+
+// ParsePlacement maps a wire name back to a Placement.
+func ParsePlacement(s string) (Placement, error) {
+	switch s {
+	case "auto", "":
+		return PlaceAuto, nil
+	case "dram":
+		return PlaceDRAM, nil
+	case "cxl":
+		return PlaceCXL, nil
+	default:
+		return PlaceAuto, fmt.Errorf("core: unknown placement %q (want auto, dram, or cxl)", s)
+	}
+}
+
 // DeviceGraph is a CSR graph laid out across the simulated system per
 // §4.2: offsets (the vertex list) in GPU memory, edge destinations and
 // weights in host memory (pinned or managed).
@@ -127,8 +172,81 @@ func Upload(dev *gpu.Device, g *graph.CSR, transport Transport, edgeBytes int) (
 // policy. The edge and weight lists are allocated in the policy's base
 // space: pinned host memory unless the policy is statically UVM-bound.
 // Routed (adaptive) policies start from pinned memory and rebind segments
-// per round at run time.
+// per round at run time. Edges are homed per PlaceAuto: host DRAM with
+// CXL-tier spill only when DRAM is full.
 func UploadPolicy(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeBytes int) (*DeviceGraph, error) {
+	return UploadPolicyPlaced(dev, g, policy, edgeBytes, PlaceAuto)
+}
+
+// planHomes computes the per-segment tier homes for a host-side allocation
+// of the given size under a placement. A nil plan means a plain single-space
+// allocation (everything in host DRAM).
+func planHomes(arena *memsys.Arena, size int64, placement Placement) ([]memsys.Space, error) {
+	cxl := arena.CXLTier()
+	if cxl == nil {
+		if placement == PlaceCXL {
+			return nil, fmt.Errorf("core: placement %q requires a CXL tier, and the device has none", placement)
+		}
+		return nil, nil
+	}
+	nseg := int((size + memsys.SegmentBytes - 1) / memsys.SegmentBytes)
+	switch placement {
+	case PlaceDRAM:
+		return nil, nil
+	case PlaceCXL:
+		homes := make([]memsys.Space, nseg)
+		for i := range homes {
+			homes[i] = memsys.SpaceCXL
+		}
+		return homes, nil
+	}
+	// PlaceAuto: host DRAM first, spill the tail to CXL only under pressure.
+	hostFree := arena.HostFree()
+	if hostFree < 0 || size <= hostFree {
+		return nil, nil
+	}
+	homes := make([]memsys.Space, nseg)
+	var placed int64
+	for i := range homes {
+		segEnd := placed + memsys.SegmentBytes
+		if segEnd > size {
+			segEnd = size
+		}
+		if segEnd <= hostFree {
+			homes[i] = memsys.SpaceHostPinned
+		} else {
+			homes[i] = memsys.SpaceCXL
+		}
+		placed = segEnd
+	}
+	return homes, nil
+}
+
+// weightHomes derives the weight buffer's segment homes from the edge plan:
+// weights follow their edges' placement at segment granularity. Weight
+// segment j covers the edges whose 4-byte weights occupy that segment, i.e.
+// edge offset j*SegmentBytes/4*edgeBytes.
+func weightHomes(edgeHomes []memsys.Space, weightSize int64, edgeBytes int) []memsys.Space {
+	if edgeHomes == nil {
+		return nil
+	}
+	nseg := int((weightSize + memsys.SegmentBytes - 1) / memsys.SegmentBytes)
+	homes := make([]memsys.Space, nseg)
+	for j := range homes {
+		edgeOff := int64(j) * memsys.SegmentBytes / 4 * int64(edgeBytes)
+		edgeSeg := int(edgeOff / memsys.SegmentBytes)
+		if edgeSeg >= len(edgeHomes) {
+			edgeSeg = len(edgeHomes) - 1
+		}
+		homes[j] = edgeHomes[edgeSeg]
+	}
+	return homes
+}
+
+// UploadPolicyPlaced is UploadPolicy with explicit tier placement for the
+// edge and weight lists (see Placement). On devices without a CXL tier only
+// PlaceAuto and PlaceDRAM are valid, and both are the historical layout.
+func UploadPolicyPlaced(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeBytes int, placement Placement) (*DeviceGraph, error) {
 	if policy == nil {
 		policy = StaticPolicyFor(ZeroCopy)
 	}
@@ -152,8 +270,19 @@ func UploadPolicy(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeByt
 	if err != nil {
 		return nil, fmt.Errorf("core: allocating vertex list: %w", err)
 	}
-	edges, err := arena.Alloc(g.Name+".edges", space, e*int64(edgeBytes), memsys.WithElem(edgeBytes))
+	edgeSize := e * int64(edgeBytes)
+	edgeHomes, err := planHomes(arena, edgeSize, placement)
 	if err != nil {
+		arena.Free(offsets)
+		return nil, err
+	}
+	edgeOpts := []memsys.AllocOption{memsys.WithElem(edgeBytes)}
+	if edgeHomes != nil {
+		edgeOpts = append(edgeOpts, memsys.WithSegmentHomes(edgeHomes))
+	}
+	edges, err := arena.Alloc(g.Name+".edges", space, edgeSize, edgeOpts...)
+	if err != nil {
+		arena.Free(offsets)
 		return nil, fmt.Errorf("core: allocating edge list: %w", err)
 	}
 	dg := &DeviceGraph{
@@ -177,8 +306,14 @@ func UploadPolicy(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeByt
 		}
 	}
 	if g.Weights != nil {
-		weights, err := arena.Alloc(g.Name+".weights", space, e*4, memsys.WithElem(4))
+		wOpts := []memsys.AllocOption{memsys.WithElem(4)}
+		if wh := weightHomes(edgeHomes, e*4, edgeBytes); wh != nil {
+			wOpts = append(wOpts, memsys.WithSegmentHomes(wh))
+		}
+		weights, err := arena.Alloc(g.Name+".weights", space, e*4, wOpts...)
 		if err != nil {
+			arena.Free(offsets)
+			arena.Free(edges)
 			return nil, fmt.Errorf("core: allocating weight list: %w", err)
 		}
 		for i, w := range g.Weights {
@@ -189,6 +324,67 @@ func UploadPolicy(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, edgeByt
 	// Explicit GPU allocations changed: refresh the UVM caching capacity.
 	dev.ResetUVMResidency()
 	return dg, nil
+}
+
+// ApplyPlacement re-homes an already-uploaded graph's edge and weight
+// segments to match the requested placement, charging the data movement over
+// the CXL link in whichever direction it crosses. PlaceAuto is sticky: it
+// keeps whatever homes the graph already has. The move fails (leaving the
+// already-moved prefix in place) if the destination tier runs out of
+// capacity.
+func ApplyPlacement(dev *gpu.Device, dg *DeviceGraph, placement Placement) error {
+	if placement == PlaceAuto {
+		return nil
+	}
+	arena := dev.Arena()
+	if arena.CXLTier() == nil {
+		if placement == PlaceCXL {
+			return fmt.Errorf("core: placement %q requires a CXL tier, and the device has none", placement)
+		}
+		return nil // PlaceDRAM on a two-tier device is already the layout
+	}
+	target := memsys.SpaceHostPinned
+	if placement == PlaceCXL {
+		target = memsys.SpaceCXL
+	}
+	var toDRAM, toCXL int64
+	rehome := func(b *memsys.Buffer) error {
+		if b == nil {
+			return nil
+		}
+		for s := 0; s < b.Segments(); s++ {
+			cur := b.SegmentHome(s)
+			if cur == target {
+				continue
+			}
+			n := b.Size() - int64(s)*memsys.SegmentBytes
+			if n > memsys.SegmentBytes {
+				n = memsys.SegmentBytes
+			}
+			if err := arena.SetSegmentHome(b, s, target); err != nil {
+				return fmt.Errorf("core: re-homing %q segment %d: %w", b.Name, s, err)
+			}
+			if target == memsys.SpaceCXL {
+				toCXL += n
+			} else {
+				toDRAM += n
+			}
+		}
+		return nil
+	}
+	if err := rehome(dg.Edges); err != nil {
+		return err
+	}
+	if err := rehome(dg.Weights); err != nil {
+		return err
+	}
+	if toDRAM > 0 {
+		dev.PromoteFromCXL(toDRAM)
+	}
+	if toCXL > 0 {
+		dev.DemoteToCXL(toCXL)
+	}
+	return nil
 }
 
 // Free releases the device graph's buffers. It is idempotent: freeing an

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -29,6 +30,12 @@ const (
 	// ChoiceStaged serves the partition from an explicit batched copy in
 	// GPU memory, uploaded at the round boundary that chose it.
 	ChoiceStaged
+	// ChoiceHostCached serves a CXL-homed partition from a host-DRAM copy:
+	// a one-time bulk read over the CXL link promotes the segment into
+	// DRAM, after which it is read zero-copy at PCIe rates. Only
+	// meaningful on three-tier systems; policies never choose it for
+	// DRAM-homed partitions.
+	ChoiceHostCached
 
 	numChoices
 )
@@ -42,6 +49,8 @@ func (c Choice) String() string {
 		return "uvm"
 	case ChoiceStaged:
 		return "staged"
+	case ChoiceHostCached:
+		return "dram"
 	default:
 		return fmt.Sprintf("choice(%d)", uint8(c))
 	}
@@ -75,6 +84,11 @@ type PartitionStats struct {
 	// ActiveVertices counts frontier vertices whose neighbor list starts in
 	// this partition.
 	ActiveVertices int
+	// CXLHome reports that the partition's backing bytes live on the
+	// external CXL-class tier (a three-tier placement spilled it there).
+	// Its in-place read and migration costs then use the CXL constants of
+	// CostParams, and ChoiceHostCached becomes available.
+	CXLHome bool
 }
 
 // DensityClass buckets a partition's predicted density for metrics:
@@ -104,6 +118,10 @@ type PartitionState struct {
 	// resident (staying resident across rounds makes re-choosing staged
 	// free until ColdCaches evicts it).
 	Staged bool
+	// HostCached reports whether a CXL-homed partition's host-DRAM copy is
+	// resident (re-choosing ChoiceHostCached is then free; leaving the
+	// substrate drops the copy and re-entry pays the promotion again).
+	HostCached bool
 	// SpentSeconds is the estimated link time already paid reading this
 	// partition zero-copy since its current binding was adopted — the
 	// "rent paid so far" of the ski-rental rule. The engine accumulates it
@@ -159,6 +177,30 @@ type CostParams struct {
 	// SwitchMargin is the hysteresis margin: a new substrate must beat the
 	// current one's estimated cost by this factor to displace it.
 	SwitchMargin float64
+
+	// CXL-tier constants, the external-link analogues of the fields above.
+	// All zero on two-tier systems, where no partition is CXL-homed and
+	// they are never read.
+
+	// CXLBytesPerSec is the effective in-place read rate for cache-line
+	// requests over the CXL link.
+	CXLBytesPerSec float64
+	// CXLSecondsPerRequest is the CXL link's tag-occupancy cost per
+	// outstanding read. The microsecond RTT makes this the dominant
+	// in-place cost for sparse access.
+	CXLSecondsPerRequest float64
+	// CXLCritSecondsPerRequest is the per-warp latency critical-path cost
+	// of one CXL request.
+	CXLCritSecondsPerRequest float64
+	// CXLBulkBytesPerSec is the CXL link's bulk (DMA) rate, paid by
+	// staging copies and host-cache promotions out of the tier.
+	CXLBulkBytesPerSec float64
+	// CXLUVMBytesPerSec is the effective page-migration rate out of the
+	// CXL tier.
+	CXLUVMBytesPerSec float64
+	// HostCacheBudgetBytes caps the total bytes of CXL-homed partitions
+	// promoted into host DRAM copies. Negative means unlimited.
+	HostCacheBudgetBytes int64
 }
 
 // TransportPolicy decides, per partition per round, which substrate serves
@@ -251,23 +293,32 @@ func (adaptivePolicy) Static() (Transport, bool) { return ZeroCopy, false }
 // round's AccessedBytes through each substrate. uvmThrash reports that the
 // UVM-bound working set exceeds the page cache, so an incumbent's residency
 // cannot be trusted: it pays its chunk migration every round like a
-// newcomer.
-func adaptiveCosts(p PartitionStats, st PartitionState, costs CostParams, uvmThrash bool) (zc, staged, uvmc float64) {
-	// Zero-copy: a pipelined request stream finishes when the wire, the
+// newcomer. CXL-homed partitions price their in-place reads, staging
+// copies, and page migrations with the CXL-tier constants; cached is the
+// host-cache substrate's cost (promotion plus DRAM-rate reads), +Inf for
+// DRAM-homed partitions, which have nothing to promote.
+func adaptiveCosts(p PartitionStats, st PartitionState, costs CostParams, uvmThrash bool) (zc, staged, uvmc, cached float64) {
+	zcRate, tagSec, critSec := costs.ZCBytesPerSec, costs.ZCSecondsPerRequest, costs.CritSecondsPerRequest
+	bulkRate, uvmRate := costs.BulkBytesPerSec, costs.UVMBytesPerSec
+	if p.CXLHome {
+		zcRate, tagSec, critSec = costs.CXLBytesPerSec, costs.CXLSecondsPerRequest, costs.CXLCritSecondsPerRequest
+		bulkRate, uvmRate = costs.CXLBulkBytesPerSec, costs.CXLUVMBytesPerSec
+	}
+	// In-place reads: a pipelined request stream finishes when the wire, the
 	// tag window, and the busiest warp's latency chain all drain — max of
 	// the three occupancies. Uniform graphs are wire- or tag-bound; skewed
 	// graphs are bound by the hub warp's serialized round trips.
-	zc = float64(p.AccessedBytes) / costs.ZCBytesPerSec
-	if tag := float64(p.Requests) * costs.ZCSecondsPerRequest; tag > zc {
+	zc = float64(p.AccessedBytes) / zcRate
+	if tag := float64(p.Requests) * tagSec; tag > zc {
 		zc = tag
 	}
-	if crit := float64(p.MaxVertexRequests) * costs.CritSecondsPerRequest; crit > zc {
+	if crit := float64(p.MaxVertexRequests) * critSec; crit > zc {
 		zc = crit
 	}
 	if st.Staged {
 		staged = 0 // copy already resident: served from HBM
 	} else {
-		staged = float64(p.Bytes) / costs.BulkBytesPerSec
+		staged = float64(p.Bytes) / bulkRate
 	}
 	if st.Choice == ChoiceUVM && !uvmThrash {
 		uvmc = 0 // pages migrated when the partition was bound: served from HBM
@@ -276,9 +327,26 @@ func adaptiveCosts(p PartitionStats, st PartitionState, costs CostParams, uvmThr
 		if chunk < p.Bytes {
 			chunk = p.Bytes
 		}
-		uvmc = float64(chunk) / costs.UVMBytesPerSec
+		uvmc = float64(chunk) / uvmRate
 	}
-	return zc, staged, uvmc
+	if !p.CXLHome {
+		cached = math.Inf(1)
+	} else {
+		// Host cache: DRAM-rate zero-copy reads, plus — when the copy is
+		// not already resident — the one-time bulk promotion over the CXL
+		// link.
+		cached = float64(p.AccessedBytes) / costs.ZCBytesPerSec
+		if tag := float64(p.Requests) * costs.ZCSecondsPerRequest; tag > cached {
+			cached = tag
+		}
+		if crit := float64(p.MaxVertexRequests) * costs.CritSecondsPerRequest; crit > cached {
+			cached = crit
+		}
+		if !st.HostCached {
+			cached += float64(p.Bytes) / costs.CXLBulkBytesPerSec
+		}
+	}
+	return zc, staged, uvmc, cached
 }
 
 func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []PartitionState, costs CostParams, out []Choice) {
@@ -302,7 +370,7 @@ func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []Partitio
 		idx int
 		acc int64
 	}
-	var wantStaged []stager
+	var wantStaged, wantCached []stager
 	for i := range parts {
 		st := state[i]
 		out[i] = st.Choice
@@ -310,7 +378,8 @@ func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []Partitio
 			(st.Choice == ChoiceUVM && uvmThrash)
 		if parts[i].AccessedBytes == 0 {
 			// Cold partition: after the dwell, release non-zero-copy
-			// bindings so staged budget and UVM capacity go to live ones.
+			// bindings so staged budget, host-cache budget, and UVM
+			// capacity go to live ones.
 			if st.Choice != ChoiceZeroCopy && dwellOK {
 				out[i] = ChoiceZeroCopy
 			}
@@ -321,31 +390,39 @@ func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []Partitio
 				// the first evicted when the budget tightens.
 				wantStaged = append(wantStaged, stager{i, 0})
 			}
+			if out[i] == ChoiceHostCached {
+				wantCached = append(wantCached, stager{i, 0})
+			}
 			continue
 		}
-		zc, staged, uvmc := adaptiveCosts(parts[i], st, costs, uvmThrash)
+		zc, staged, uvmc, cached := adaptiveCosts(parts[i], st, costs, uvmThrash)
 		cur := zc
 		switch st.Choice {
 		case ChoiceStaged:
 			cur = staged
 		case ChoiceUVM:
 			cur = uvmc
+		case ChoiceHostCached:
+			cur = cached
 		}
 		// Ski-rental: a zero-copy incumbent is charged the rent it has
 		// already paid on top of this round's, so a one-time buy (staging
-		// copy, page migration) wins once the recurring reads it would end
-		// have accumulated past it — the cross-round reuse a single-round
-		// comparison cannot see.
+		// copy, page migration, host-cache promotion) wins once the
+		// recurring reads it would end have accumulated past it — the
+		// cross-round reuse a single-round comparison cannot see.
 		if st.Choice == ChoiceZeroCopy {
 			cur += st.SpentSeconds
 		}
 		best, bestCost := st.Choice, cur
 		// Fixed evaluation order keeps ties deterministic; a challenger must
-		// beat the incumbent by the margin, and only after the dwell.
+		// beat the incumbent by the margin, and only after the dwell. The
+		// host-cache candidate exists only for CXL-homed partitions (it is
+		// +Inf otherwise, so listing it unconditionally is safe and keeps
+		// the order fixed).
 		for _, cand := range [...]struct {
 			c    Choice
 			cost float64
-		}{{ChoiceZeroCopy, zc}, {ChoiceStaged, staged}, {ChoiceUVM, uvmc}} {
+		}{{ChoiceZeroCopy, zc}, {ChoiceStaged, staged}, {ChoiceUVM, uvmc}, {ChoiceHostCached, cached}} {
 			if cand.c == st.Choice {
 				continue
 			}
@@ -357,13 +434,16 @@ func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []Partitio
 		if best == ChoiceStaged {
 			wantStaged = append(wantStaged, stager{i, parts[i].AccessedBytes})
 		}
+		if best == ChoiceHostCached {
+			wantCached = append(wantCached, stager{i, parts[i].AccessedBytes})
+		}
 	}
-	// Phase 2: enforce the staged budget. Already-resident copies keep
-	// their slot first (stability); new stagers are admitted densest-first.
-	if costs.StagedBudgetBytes >= 0 {
-		sort.Slice(wantStaged, func(a, b int) bool {
-			sa, sb := wantStaged[a], wantStaged[b]
-			ra, rb := state[sa.idx].Staged, state[sb.idx].Staged
+	// budgetSort orders admission candidates: already-resident copies keep
+	// their slot first (stability); new admissions go densest-first.
+	budgetSort := func(want []stager, resident func(i int) bool) {
+		sort.Slice(want, func(a, b int) bool {
+			sa, sb := want[a], want[b]
+			ra, rb := resident(sa.idx), resident(sb.idx)
 			if ra != rb {
 				return ra
 			}
@@ -372,22 +452,52 @@ func (adaptivePolicy) Decide(round int, parts []PartitionStats, state []Partitio
 			}
 			return sa.idx < sb.idx
 		})
+	}
+	// Phase 2: enforce the staged budget.
+	if costs.StagedBudgetBytes >= 0 {
+		budgetSort(wantStaged, func(i int) bool { return state[i].Staged })
 		var used int64
 		for _, s := range wantStaged {
 			if used+parts[s.idx].Bytes <= costs.StagedBudgetBytes {
 				used += parts[s.idx].Bytes
 				continue
 			}
-			// Over budget: fall back to the cheaper of the other two,
-			// charging a zero-copy incumbent its accumulated rent (the same
-			// ski-rental comparison phase 1 applies).
-			zc, _, uvmc := adaptiveCosts(parts[s.idx], state[s.idx], costs, uvmThrash)
+			// Over budget: fall back to the cheaper of in-place reads and
+			// UVM, charging a zero-copy incumbent its accumulated rent (the
+			// same ski-rental comparison phase 1 applies).
+			zc, _, uvmc, _ := adaptiveCosts(parts[s.idx], state[s.idx], costs, uvmThrash)
 			if state[s.idx].Choice == ChoiceZeroCopy {
 				zc += state[s.idx].SpentSeconds
 			}
 			if uvmc*margin < zc {
 				out[s.idx] = ChoiceUVM
 			} else if state[s.idx].Choice == ChoiceStaged {
+				out[s.idx] = ChoiceZeroCopy
+			} else {
+				out[s.idx] = state[s.idx].Choice
+			}
+		}
+	}
+	// Phase 3: enforce the host-cache budget the same way; overflow falls
+	// back to reading the partition in place over the CXL link.
+	if costs.HostCacheBudgetBytes >= 0 {
+		budgetSort(wantCached, func(i int) bool { return state[i].HostCached })
+		var used int64
+		for _, s := range wantCached {
+			if out[s.idx] != ChoiceHostCached {
+				continue // phase 2 already rerouted it
+			}
+			if used+parts[s.idx].Bytes <= costs.HostCacheBudgetBytes {
+				used += parts[s.idx].Bytes
+				continue
+			}
+			zc, _, uvmc, _ := adaptiveCosts(parts[s.idx], state[s.idx], costs, uvmThrash)
+			if state[s.idx].Choice == ChoiceZeroCopy {
+				zc += state[s.idx].SpentSeconds
+			}
+			if uvmc*margin < zc {
+				out[s.idx] = ChoiceUVM
+			} else if state[s.idx].Choice == ChoiceHostCached {
 				out[s.idx] = ChoiceZeroCopy
 			} else {
 				out[s.idx] = state[s.idx].Choice

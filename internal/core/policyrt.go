@@ -1,8 +1,11 @@
 package core
 
 import (
+	"math"
+
 	"repro/internal/gpu"
 	"repro/internal/memsys"
+	"repro/internal/pcie"
 )
 
 // policyRuntime is the engine-side glue for routed transport policies: it
@@ -39,7 +42,8 @@ type policyRuntime struct {
 	maxLanes   int
 
 	segBytes int64
-	reuses   []int64 // per-partition expected sector reuses (scratch)
+	reuses   []int64        // per-partition expected sector reuses (scratch)
+	home     []memsys.Space // per-partition home tier (SpaceHostPinned or SpaceCXL)
 	parts    []PartitionStats
 	state    []PartitionState
 	choices  []Choice // live routing table (read by the router closure)
@@ -70,6 +74,7 @@ func newPolicyRuntime(dev *gpu.Device, dg *DeviceGraph, pol TransportPolicy, var
 	rt.choices = make([]Choice, n)
 	rt.next = make([]Choice, n)
 	rt.reuses = make([]int64, n)
+	rt.home = make([]memsys.Space, n)
 	cfg := dev.Config()
 	rt.thrashSens = cfg.ThrashSensitivity
 	rt.l2Bytes = cfg.L2Bytes
@@ -85,11 +90,17 @@ func newPolicyRuntime(dev *gpu.Device, dg *DeviceGraph, pol TransportPolicy, var
 			pb = size - off
 		}
 		rt.parts[i].Bytes = pb
+		rt.home[i] = memsys.SpaceHostPinned
+		if size > 0 {
+			rt.home[i] = dg.Edges.SegmentHome(i)
+		}
+		rt.parts[i].CXLHome = rt.home[i] == memsys.SpaceCXL
 		rt.state[i].Choice = base
 		rt.state[i].Since = -1
 		rt.choices[i] = base
 	}
 	rt.costs = rt.deriveCosts()
+	rt.seedDegreePrior()
 
 	// Replay determinism: every routed run starts cold — no UVM pages, no
 	// staged segments inherited from a previous run — so the decision
@@ -124,15 +135,86 @@ func (rt *policyRuntime) close() {
 	rt.dev.SetSerialLaunches(false)
 }
 
-// spaceAt is the router: one table lookup per coalesced request.
+// spaceAt is the router: one table lookup per coalesced request. A
+// zero-copy binding reads the partition in place through its home tier
+// (host DRAM, or CXL for spilled segments); ChoiceHostCached serves a
+// CXL-homed partition from its promoted host-DRAM copy.
 func (rt *policyRuntime) spaceAt(off int64) memsys.Space {
-	switch rt.choices[off/rt.segBytes] {
+	p := off / rt.segBytes
+	switch rt.choices[p] {
 	case ChoiceStaged:
 		return memsys.SpaceGPU
 	case ChoiceUVM:
 		return memsys.SpaceUVM
-	default:
+	case ChoiceHostCached:
 		return memsys.SpaceHostPinned
+	default:
+		return rt.home[p]
+	}
+}
+
+// seedDegreePrior pre-charges each partition's ski-rental balance with a
+// degree-distribution prior: on graphs whose average degree is high, the
+// frontier densifies almost immediately (a handful of BFS rounds reach most
+// vertices), so the recurring zero-copy rent the adaptive rule waits to
+// observe is a near-certainty at round 0. Seeding SpentSeconds with ~2
+// rounds of full-partition reads (scaled by how confidently degree predicts
+// immediate densification) lets the first decisions buy UVM or staging
+// directly instead of paying the zero-copy ramp HyTGraph-style hysteresis
+// otherwise imposes — the BENCH_8 SK-class residual. Static policies ignore
+// partition state, so the prior only shapes routed cost-model policies.
+func (rt *policyRuntime) seedDegreePrior() {
+	g := rt.dg.Graph
+	nv := g.NumVertices()
+	if nv <= 0 {
+		return
+	}
+	avgDeg := float64(g.NumEdges()) / float64(nv)
+	// 1 - exp(-deg/16): ~0 for road-network degrees (2-3), ~0.85+ for
+	// social/web graphs (30+), saturating for hub-dominated graphs.
+	confidence := 1 - math.Exp(-avgDeg/16)
+	if confidence <= 0 {
+		return
+	}
+	// The distribution's tail matters as much as its mean: a hub vertex's
+	// adjacency walk is served as one warp's serialized request chain, so a
+	// hub-dominated partition's real zero-copy rent is latency-bound, not
+	// wire-bound. Pre-compute each partition's worst single-vertex request
+	// chain from the CSR (the same per-line count beforeRound charges) so
+	// hub partitions are seeded with the rent they will actually pay.
+	ew := int64(rt.dg.EdgeBytes)
+	maxReqs := make([]int64, len(rt.state))
+	for v := 0; v < nv; v++ {
+		lo := g.Offsets[v] * ew
+		hi := g.Offsets[v+1] * ew
+		if lo == hi {
+			continue
+		}
+		for p := lo / rt.segBytes; p <= (hi-1)/rt.segBytes; p++ {
+			segLo := p * rt.segBytes
+			a, b := lo, hi
+			if a < segLo {
+				a = segLo
+			}
+			if end := segLo + rt.parts[p].Bytes; b > end {
+				b = end
+			}
+			la := a &^ (memsys.CacheLineBytes - 1)
+			if req := (b - la + memsys.CacheLineBytes - 1) / memsys.CacheLineBytes; req > maxReqs[p] {
+				maxReqs[p] = req
+			}
+		}
+	}
+	for p := range rt.state {
+		rate, critSec := rt.costs.ZCBytesPerSec, rt.costs.CritSecondsPerRequest
+		if rt.parts[p].CXLHome && rt.costs.CXLBytesPerSec > 0 {
+			rate, critSec = rt.costs.CXLBytesPerSec, rt.costs.CXLCritSecondsPerRequest
+		}
+		rent := float64(rt.parts[p].Bytes) / rate
+		if crit := float64(maxReqs[p]) * critSec; crit > rent {
+			rent = crit
+		}
+		rt.state[p].SpentSeconds = 2 * rent * confidence
 	}
 }
 
@@ -145,9 +227,11 @@ func (rt *policyRuntime) deriveCosts() CostParams {
 	if chunk < pageBytes {
 		chunk = pageBytes
 	}
-	// Effective UVM rate: page transfer at bulk rate plus the serialized
-	// fault-handler cost per page.
-	pageSeconds := cfg.Link.BulkSeconds(pageBytes) + uvmCfg.FaultCPUSeconds
+	// Effective UVM rate: page transfer at bulk rate plus — under the CPU
+	// fault handler — the serialized handler cost per page. GPU-driven
+	// paging pays link tag occupancy instead, so its rate is the larger of
+	// the wire and tag occupancies, mirroring the device's accounting.
+	pageSeconds := uvmPageSeconds(cfg.Link, pageBytes, uvmCfg.FaultCPUSeconds, uvmCfg.GPUDriven)
 	budget := rt.dev.Arena().GPUFree()
 	// The UVM page cache holds at most the GPU's free memory; binding more
 	// than that makes the driver's LRU evict between rounds, so residency
@@ -177,7 +261,7 @@ func (rt *policyRuntime) deriveCosts() CostParams {
 	if perWarp < 1 {
 		perWarp = 1
 	}
-	return CostParams{
+	cp := CostParams{
 		SegmentBytes:          rt.segBytes,
 		ZCBytesPerSec:         cfg.Link.EffectiveBandwidth(memsys.CacheLineBytes),
 		ZCSecondsPerRequest:   cfg.Link.TagSeconds(),
@@ -189,7 +273,39 @@ func (rt *policyRuntime) deriveCosts() CostParams {
 		UVMBudgetBytes:        uvmBudget,
 		HoldRounds:            2,
 		SwitchMargin:          1.25,
+		HostCacheBudgetBytes:  -1,
 	}
+	if cxlT := rt.dev.Arena().CXLTier(); cxlT != nil {
+		cp.CXLBytesPerSec = cxlT.Link.EffectiveBandwidth(memsys.CacheLineBytes)
+		cp.CXLSecondsPerRequest = cxlT.Link.TagSeconds()
+		cp.CXLCritSecondsPerRequest = cxlT.Link.RTT.Seconds() / float64(perWarp)
+		cp.CXLBulkBytesPerSec = cxlT.Link.MemcpyPeak()
+		cxlPageSeconds := uvmPageSeconds(cxlT.Link, pageBytes, uvmCfg.FaultCPUSeconds, uvmCfg.GPUDriven)
+		cp.CXLUVMBytesPerSec = float64(pageBytes) / cxlPageSeconds
+		// Host-cache promotions compete with pinned allocations for host
+		// DRAM; leave the same headroom fraction the staged budget does.
+		hostBudget := rt.dev.Arena().HostFree()
+		if hostBudget > 0 {
+			hostBudget -= hostBudget / 4
+		}
+		cp.HostCacheBudgetBytes = hostBudget
+	}
+	return cp
+}
+
+// uvmPageSeconds returns the effective per-page migration time over lnk:
+// bulk transfer plus the serialized CPU fault handler, or — GPU-driven —
+// the larger of the transfer's wire and tag occupancies (the device charges
+// one full-size request's tag per 128 bytes instead of the handler).
+func uvmPageSeconds(lnk pcie.LinkConfig, pageBytes int64, faultCPUSeconds float64, gpuDriven bool) float64 {
+	s := lnk.BulkSeconds(pageBytes)
+	if !gpuDriven {
+		return s + faultCPUSeconds
+	}
+	if tag := float64(pageBytes/128) * lnk.TagSeconds(); tag > s {
+		s = tag
+	}
+	return s
 }
 
 // beforeRound runs at one round boundary: snapshot density from the
@@ -311,16 +427,22 @@ func (rt *policyRuntime) beforeRound(round int, active func(v int) bool) {
 	rt.applyDecisions(round)
 
 	// Accrue this round's zero-copy rent on the partitions that will serve
-	// it zero-copy — the ski-rental balance the next decision sees.
+	// it zero-copy — the ski-rental balance the next decision sees. Rent is
+	// priced at the link the reads actually cross: the CXL constants for
+	// CXL-homed partitions.
 	for p := range rt.parts {
 		if rt.state[p].Choice != ChoiceZeroCopy || rt.parts[p].AccessedBytes == 0 {
 			continue
 		}
-		rent := float64(rt.parts[p].AccessedBytes) / rt.costs.ZCBytesPerSec
-		if tag := float64(rt.parts[p].Requests) * rt.costs.ZCSecondsPerRequest; tag > rent {
+		rate, tagSec, critSec := rt.costs.ZCBytesPerSec, rt.costs.ZCSecondsPerRequest, rt.costs.CritSecondsPerRequest
+		if rt.parts[p].CXLHome {
+			rate, tagSec, critSec = rt.costs.CXLBytesPerSec, rt.costs.CXLSecondsPerRequest, rt.costs.CXLCritSecondsPerRequest
+		}
+		rent := float64(rt.parts[p].AccessedBytes) / rate
+		if tag := float64(rt.parts[p].Requests) * tagSec; tag > rent {
 			rent = tag
 		}
-		if crit := float64(rt.parts[p].MaxVertexRequests) * rt.costs.CritSecondsPerRequest; crit > rent {
+		if crit := float64(rt.parts[p].MaxVertexRequests) * critSec; crit > rent {
 			rent = crit
 		}
 		rt.state[p].SpentSeconds += rent
@@ -338,7 +460,7 @@ func (rt *policyRuntime) beforeRound(round int, active func(v int) bool) {
 func (rt *policyRuntime) applyDecisions(round int) {
 	rt.moves = rt.moves[:0]
 	ew := int64(rt.dg.EdgeBytes)
-	var stageBytes int64
+	var stageBytes, stageCXLBytes, promoteBytes int64
 	for p := range rt.next {
 		newC, oldC := rt.next[p], rt.state[p].Choice
 		if newC == oldC {
@@ -355,9 +477,17 @@ func (rt *policyRuntime) applyDecisions(round int) {
 			}
 		}
 		if newC == ChoiceStaged && !rt.state[p].Staged {
-			stageBytes += rt.parts[p].Bytes
+			n := rt.parts[p].Bytes
 			if rt.dg.Weights != nil {
-				stageBytes += wbytes
+				n += wbytes
+			}
+			// The upload crosses the link of the tier the partition is
+			// homed on: PCIe for DRAM-homed segments, the CXL link for
+			// spilled ones.
+			if rt.parts[p].CXLHome {
+				stageCXLBytes += n
+			} else {
+				stageBytes += n
 			}
 			rt.dg.Edges.SetSegmentStaged(p, true)
 			rt.state[p].Staged = true
@@ -368,6 +498,21 @@ func (rt *policyRuntime) applyDecisions(round int) {
 			rt.dg.Edges.SetSegmentStaged(p, false)
 			rt.state[p].Staged = false
 		}
+		if newC == ChoiceHostCached && !rt.state[p].HostCached {
+			// Promote the partition (and its weight slice) out of the CXL
+			// tier into a host-DRAM copy; subsequent reads go zero-copy at
+			// PCIe rates through the router.
+			promoteBytes += rt.parts[p].Bytes
+			if rt.dg.Weights != nil {
+				promoteBytes += wbytes
+			}
+			rt.state[p].HostCached = true
+		}
+		if oldC == ChoiceHostCached && newC != ChoiceHostCached {
+			// Dropping the host copy is free (read-mostly duplicate of the
+			// CXL-resident data); re-entry pays the promotion again.
+			rt.state[p].HostCached = false
+		}
 		rt.state[p].Choice = newC
 		rt.state[p].Since = round
 		rt.state[p].SpentSeconds = 0
@@ -376,6 +521,12 @@ func (rt *policyRuntime) applyDecisions(round int) {
 	}
 	if stageBytes > 0 {
 		rt.dev.StageSegments(stageBytes)
+	}
+	if stageCXLBytes > 0 {
+		rt.dev.StageSegmentsCXL(stageCXLBytes)
+	}
+	if promoteBytes > 0 {
+		rt.dev.PromoteFromCXL(promoteBytes)
 	}
 }
 

@@ -1,0 +1,324 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+// tieredTestDevice is testDevice expressed through the tier API: an explicit
+// two-tier stack carrying the identical models. Every simulated number must
+// be bit-for-bit the classic device's.
+func tieredTestDevice() *gpu.Device {
+	return gpu.NewDevice(gpu.Config{
+		Name:  "test-v100",
+		Tiers: memsys.TwoTier(0, 0, memsys.HBM2V100(), memsys.DDR4Quad(), pcie.Gen3x16()),
+	})
+}
+
+func tieredMultiDevices(n int) []*gpu.Device {
+	devs := make([]*gpu.Device, n)
+	for i := range devs {
+		devs[i] = gpu.NewDevice(gpu.Config{
+			Name:  "mgpu",
+			Tiers: memsys.TwoTier(0, 0, memsys.HBM2V100(), memsys.DDR4Quad(), pcie.Gen3x16()),
+		})
+	}
+	return devs
+}
+
+// TestGoldenTierStackEquivalence runs the full pinned golden matrix on
+// devices configured through explicit two-tier TierStacks and demands every
+// record match results/golden-engine.json bit-for-bit: the tier refactor
+// must be invisible on the two-tier default path.
+func TestGoldenTierStackEquivalence(t *testing.T) {
+	t.Parallel()
+	data, err := os.ReadFile(filepath.FromSlash(goldenPath))
+	if err != nil {
+		t.Fatalf("reading golden file: %v", err)
+	}
+	var want []goldenRecord
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	byName := make(map[string]goldenRecord, len(want))
+	for _, r := range want {
+		byName[r.Name] = r
+	}
+	recs := goldenRunsWith(t, tieredTestDevice, tieredMultiDevices)
+	if len(recs) != len(want) {
+		t.Errorf("tiered run matrix has %d records, golden file has %d", len(recs), len(want))
+	}
+	for _, got := range recs {
+		exp, ok := byName[got.Name]
+		if !ok {
+			t.Errorf("%s: no golden record", got.Name)
+			continue
+		}
+		if got != exp {
+			t.Errorf("%s: explicit TierStack drifted from the classic two-tier device:\n got:  %s\n want: %s",
+				got.Name, mustJSON(got), mustJSON(exp))
+		}
+	}
+}
+
+// threeTierDevice builds a device whose host DRAM is capped small enough
+// that sizeable edge lists oversubscribe it, backed by a CXL tier that can
+// absorb the spill.
+func threeTierDevice(hostBytes, cxlBytes int64, gpuDriven bool) *gpu.Device {
+	two := memsys.TwoTier(0, hostBytes, memsys.HBM2V100(), memsys.DDR4Quad(), pcie.Gen3x16())
+	return gpu.NewDevice(gpu.Config{
+		Name:            "test-cxl",
+		Tiers:           memsys.ThreeTierCXL(two, cxlBytes),
+		GPUDrivenPaging: gpuDriven,
+	})
+}
+
+// TestOversubscriptionSpillsToCXL loads a graph whose edge list exceeds
+// host-DRAM capacity onto a three-tier device: the tail must spill to the
+// CXL tier, traversals must stay exact, and the CXL counters must show the
+// external tier actually served traffic.
+func TestOversubscriptionSpillsToCXL(t *testing.T) {
+	t.Parallel()
+	// Placement is per 64KB segment, so the edge lists must span many
+	// segments for a meaningful DRAM/CXL split — bigger than testGraphs().
+	graphs := []*graph.CSR{
+		graph.RMAT("gk-big", 8192, 24, 0.57, 0.19, 0.19, true, 1),
+		graph.Urand("gu-big", 8000, 30, 2),
+	}
+	for _, g := range graphs {
+		edgeBytes := g.NumEdges() * 8
+		hostCap := edgeBytes/2 + 4096 // roughly half the edge list fits
+		dev := threeTierDevice(hostCap, 4*edgeBytes, false)
+		dg, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+		if err != nil {
+			t.Fatalf("%s: upload onto oversubscribed host: %v", g.Name, err)
+		}
+		spilled := dg.Edges.HomedBytes(memsys.SpaceCXL)
+		if spilled == 0 {
+			t.Fatalf("%s: edge list (%d bytes) vs host cap %d: expected CXL spill, got none",
+				g.Name, edgeBytes, hostCap)
+		}
+		if dg.Edges.HomedBytes(memsys.SpaceHostPinned) == 0 {
+			t.Errorf("%s: PlaceAuto should fill DRAM before spilling", g.Name)
+		}
+		src := graph.PickSources(g, 1, 43)[0]
+		res, err := BFS(dev, dg, src, MergedAligned)
+		if err != nil {
+			t.Fatalf("%s: BFS over spilled edges: %v", g.Name, err)
+		}
+		if err := res.Validate(g); err != nil {
+			t.Errorf("%s: spilled traversal wrong: %v", g.Name, err)
+		}
+		if res.Stats.CXLRequests == 0 || res.Stats.CXLPayloadBytes == 0 {
+			t.Errorf("%s: traversal over CXL-homed segments recorded no CXL traffic (reqs=%d payload=%d)",
+				g.Name, res.Stats.CXLRequests, res.Stats.CXLPayloadBytes)
+		}
+		dg.Free(dev)
+		if got := dev.Arena().CXLUsed(); got != 0 {
+			t.Errorf("%s: CXL bytes leaked after Free: %d", g.Name, got)
+		}
+	}
+}
+
+// TestPlacementForcedCXL pins the whole edge list on the CXL tier and checks
+// the placement is total, exact, and strictly slower than host DRAM (the
+// external tier's link is narrower and its latency higher).
+func TestPlacementForcedCXL(t *testing.T) {
+	t.Parallel()
+	g := testGraphs()[0]
+	src := graph.PickSources(g, 1, 43)[0]
+
+	devD := threeTierDevice(0, 0, false) // uncapped
+	dgD, err := UploadPolicyPlaced(devD, g, StaticPolicyFor(ZeroCopy), 8, PlaceDRAM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resD, err := BFS(devD, dgD, src, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	devC := threeTierDevice(0, 0, false)
+	dgC, err := UploadPolicyPlaced(devC, g, StaticPolicyFor(ZeroCopy), 8, PlaceCXL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := dgC.Edges.HomedBytes(memsys.SpaceHostPinned); got != 0 {
+		t.Fatalf("PlaceCXL left %d bytes in DRAM", got)
+	}
+	resC, err := BFS(devC, dgC, src, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resC.Validate(g); err != nil {
+		t.Fatalf("CXL-placed traversal wrong: %v", err)
+	}
+	if resC.Stats.PCIeRequests != 0 {
+		t.Errorf("fully CXL-placed run still issued %d PCIe zero-copy requests", resC.Stats.PCIeRequests)
+	}
+	if resC.Elapsed <= resD.Elapsed {
+		t.Errorf("CXL run (%v) should be slower than DRAM run (%v)", resC.Elapsed, resD.Elapsed)
+	}
+	for i := range resC.Values {
+		if resC.Values[i] != resD.Values[i] {
+			t.Fatalf("values diverge at %d: CXL %d vs DRAM %d", i, resC.Values[i], resD.Values[i])
+		}
+	}
+}
+
+// TestApplyPlacementMoves re-homes a loaded graph between DRAM and CXL and
+// checks accounting and traversal exactness across the moves.
+func TestApplyPlacementMoves(t *testing.T) {
+	t.Parallel()
+	g := testGraphs()[1]
+	src := graph.PickSources(g, 1, 43)[0]
+	dev := threeTierDevice(0, 0, false)
+	dg, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyPlacement(dev, dg, PlaceCXL); err != nil {
+		t.Fatalf("ApplyPlacement(cxl): %v", err)
+	}
+	if got := dg.Edges.HomedBytes(memsys.SpaceHostPinned); got != 0 {
+		t.Fatalf("after PlaceCXL, %d edge bytes still DRAM-homed", got)
+	}
+	res, err := BFS(dev, dg, src, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Validate(g); err != nil {
+		t.Fatalf("post-move traversal wrong: %v", err)
+	}
+	if err := ApplyPlacement(dev, dg, PlaceDRAM); err != nil {
+		t.Fatalf("ApplyPlacement(dram): %v", err)
+	}
+	if got := dg.Edges.HomedBytes(memsys.SpaceCXL); got != 0 {
+		t.Fatalf("after PlaceDRAM, %d edge bytes still CXL-homed", got)
+	}
+	if got := dev.Arena().CXLUsed(); got != 0 {
+		t.Fatalf("CXL accounting nonzero after move back: %d", got)
+	}
+	res2, err := BFS(dev, dg, src, MergedAligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res2.Validate(g); err != nil {
+		t.Fatalf("round-trip traversal wrong: %v", err)
+	}
+
+	// On a two-tier device PlaceCXL must fail loudly, PlaceDRAM is a no-op.
+	dev2 := testDevice()
+	dg2, err := Upload(dev2, g, ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ApplyPlacement(dev2, dg2, PlaceCXL); err == nil {
+		t.Error("ApplyPlacement(cxl) on a two-tier device should fail")
+	}
+	if err := ApplyPlacement(dev2, dg2, PlaceDRAM); err != nil {
+		t.Errorf("ApplyPlacement(dram) on a two-tier device should be a no-op, got %v", err)
+	}
+}
+
+// pagingDevice builds a small-HBM device (so UVM must migrate and evict)
+// with the given worker count and paging model.
+func pagingDevice(workers int, gpuDriven bool) *gpu.Device {
+	return gpu.NewDevice(gpu.Config{
+		Name:            "test-paging",
+		MemBytes:        96 << 10,
+		HBM:             memsys.HBM2V100(),
+		HostDRAM:        memsys.DDR4Quad(),
+		Link:            pcie.Gen3x16(),
+		Workers:         workers,
+		GPUDrivenPaging: gpuDriven,
+	})
+}
+
+// TestPagingDeterminism checks both paging models against the engine's
+// determinism contract — serial, parallel, and batched execution produce
+// bit-for-bit identical migrations, counters, and elapsed time — and that
+// the models agree on everything but time.
+func TestPagingDeterminism(t *testing.T) {
+	t.Parallel()
+	g := testGraphs()[0]
+	srcs := graph.PickSources(g, 2, 43)
+
+	type outcome struct {
+		res *Result
+		err error
+	}
+	run := func(workers int, gpuDriven bool) outcome {
+		dev := pagingDevice(workers, gpuDriven)
+		dg, err := Upload(dev, g, UVM, 8)
+		if err != nil {
+			return outcome{err: err}
+		}
+		res, err := BFS(dev, dg, srcs[0], Merged)
+		return outcome{res: res, err: err}
+	}
+	for _, gpuDriven := range []bool{false, true} {
+		serial := run(1, gpuDriven)
+		parallel := run(8, gpuDriven)
+		if serial.err != nil || parallel.err != nil {
+			t.Fatalf("gpuDriven=%v: serial err %v, parallel err %v", gpuDriven, serial.err, parallel.err)
+		}
+		if serial.res.Elapsed != parallel.res.Elapsed ||
+			serial.res.Stats.UVMMigrations != parallel.res.Stats.UVMMigrations ||
+			serial.res.Stats.PCIePayloadBytes != parallel.res.Stats.PCIePayloadBytes {
+			t.Errorf("gpuDriven=%v: serial vs parallel drift: %v/%d/%d vs %v/%d/%d", gpuDriven,
+				serial.res.Elapsed, serial.res.Stats.UVMMigrations, serial.res.Stats.PCIePayloadBytes,
+				parallel.res.Elapsed, parallel.res.Stats.UVMMigrations, parallel.res.Stats.PCIePayloadBytes)
+		}
+		// Batched lanes must reproduce the individual runs' values exactly.
+		dev := pagingDevice(0, gpuDriven)
+		dg, err := Upload(dev, g, UVM, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		specs := []BatchSpec{{Src: srcs[0]}, {Src: srcs[1]}}
+		out, err := RunBatchAlgo(context.Background(), dev, dg, "bfs", specs, Merged)
+		if err != nil {
+			t.Fatalf("gpuDriven=%v: batch: %v", gpuDriven, err)
+		}
+		for i, item := range out.Results {
+			if item.Err != nil {
+				t.Fatalf("gpuDriven=%v lane %d: %v", gpuDriven, i, item.Err)
+			}
+			if err := item.Res.Validate(g); err != nil {
+				t.Errorf("gpuDriven=%v lane %d: %v", gpuDriven, i, err)
+			}
+		}
+		lane0 := out.Results[0].Res
+		for i := range lane0.Values {
+			if lane0.Values[i] != serial.res.Values[i] {
+				t.Fatalf("gpuDriven=%v: batched lane diverges from solo run at vertex %d", gpuDriven, i)
+			}
+		}
+	}
+
+	// The two models must agree on migrations and traffic: GPU-driven paging
+	// changes only the time accounting.
+	cpu := run(1, false)
+	gpuRes := run(1, true)
+	if cpu.res.Stats.UVMMigrations != gpuRes.res.Stats.UVMMigrations {
+		t.Errorf("paging models disagree on migrations: cpu %d vs gpu %d",
+			cpu.res.Stats.UVMMigrations, gpuRes.res.Stats.UVMMigrations)
+	}
+	if cpu.res.Stats.PCIePayloadBytes != gpuRes.res.Stats.PCIePayloadBytes {
+		t.Errorf("paging models disagree on wire payload: cpu %d vs gpu %d",
+			cpu.res.Stats.PCIePayloadBytes, gpuRes.res.Stats.PCIePayloadBytes)
+	}
+	if gpuRes.res.Elapsed >= cpu.res.Elapsed {
+		t.Errorf("GPU-driven paging should beat the serialized CPU fault handler on a migration-bound run: gpu %v vs cpu %v",
+			gpuRes.res.Elapsed, cpu.res.Elapsed)
+	}
+}

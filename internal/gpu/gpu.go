@@ -21,6 +21,7 @@
 package gpu
 
 import (
+	"fmt"
 	"sync"
 	"time"
 
@@ -35,6 +36,22 @@ const WarpSize = 32
 // Config describes one simulated GPU and its attachment to the host.
 type Config struct {
 	Name string
+
+	// Tiers, when non-empty, is the authoritative description of the
+	// device's memory hierarchy: capacities, interconnects, and DRAM
+	// models for HBM, host DRAM, and (optionally) a CXL-class external
+	// tier. NewDevice derives the classic per-field configuration below
+	// from it (and validates the stack). When empty, the classic fields
+	// are used directly and an equivalent two-tier stack is synthesized —
+	// both directions are bit-for-bit identical for two-tier systems.
+	Tiers memsys.TierStack
+
+	// GPUDrivenPaging selects GPUVM-style GPU-driven paging for UVM
+	// allocations: page fetches are posted by the GPU itself and charged
+	// as link tag occupancy instead of waiting on the serialized CPU
+	// fault handler. Migration counts are unchanged; only the time model
+	// differs. See uvm.Config.GPUDriven.
+	GPUDrivenPaging bool
 
 	// MemBytes is the GPU global memory capacity. Explicit allocations and
 	// migrated UVM pages share it.
@@ -120,6 +137,14 @@ type KernelStats struct {
 	// Host DRAM bytes actually served (includes 64B-burst rounding).
 	HostDRAMBytes uint64
 
+	// CXL-tier traffic: coalesced reads against CXL-homed segments that
+	// crossed the external tier's link individually, and the expander-side
+	// bytes served (burst rounding included; UVM migrations out of CXL
+	// count bytes here too). All zero on two-tier systems.
+	CXLRequests     uint64
+	CXLPayloadBytes uint64
+	CXLMemBytes     uint64
+
 	// UVM activity.
 	UVMMigrations uint64
 	UVMHits       uint64
@@ -136,6 +161,11 @@ type KernelStats struct {
 	// path. Aggregated by maximum, not sum.
 	MaxWarpHostReqs uint64
 
+	// MaxWarpCXLReqs is the CXL-tier analogue of MaxWarpHostReqs: the
+	// busiest warp's external-tier request count, whose critical path pays
+	// the CXL link's microsecond RTT. Aggregated by maximum.
+	MaxWarpCXLReqs uint64
+
 	// Fault-injection activity (zero unless a pcie.FaultHook is attached
 	// to the link). FaultedReads counts zero-copy requests whose
 	// completion was injected as failed: their wire traffic happened but
@@ -146,9 +176,13 @@ type KernelStats struct {
 	FaultedReads  uint64
 	LatencySpikes uint64
 
-	// Roofline terms, in seconds.
+	// Roofline terms, in seconds. The CXL pair accumulates occupancy of
+	// the external tier's link, which drains in parallel with the PCIe
+	// link (separate physical channels).
 	WireSeconds      float64
 	TagSeconds       float64
+	CXLWireSeconds   float64
+	CXLTagSeconds    float64
 	UVMSerialSeconds float64
 
 	Elapsed time.Duration
@@ -162,6 +196,9 @@ func (s *KernelStats) Add(o *KernelStats) {
 	s.PCIeRequests += o.PCIeRequests
 	s.PCIePayloadBytes += o.PCIePayloadBytes
 	s.HostDRAMBytes += o.HostDRAMBytes
+	s.CXLRequests += o.CXLRequests
+	s.CXLPayloadBytes += o.CXLPayloadBytes
+	s.CXLMemBytes += o.CXLMemBytes
 	s.UVMMigrations += o.UVMMigrations
 	s.UVMHits += o.UVMHits
 	s.ZCSectorReuses += o.ZCSectorReuses
@@ -170,10 +207,15 @@ func (s *KernelStats) Add(o *KernelStats) {
 	if o.MaxWarpHostReqs > s.MaxWarpHostReqs {
 		s.MaxWarpHostReqs = o.MaxWarpHostReqs
 	}
+	if o.MaxWarpCXLReqs > s.MaxWarpCXLReqs {
+		s.MaxWarpCXLReqs = o.MaxWarpCXLReqs
+	}
 	s.FaultedReads += o.FaultedReads
 	s.LatencySpikes += o.LatencySpikes
 	s.WireSeconds += o.WireSeconds
 	s.TagSeconds += o.TagSeconds
+	s.CXLWireSeconds += o.CXLWireSeconds
+	s.CXLTagSeconds += o.CXLTagSeconds
 	s.UVMSerialSeconds += o.UVMSerialSeconds
 	s.Elapsed += o.Elapsed
 }
@@ -189,16 +231,22 @@ func (s KernelStats) Sub(prev KernelStats) KernelStats {
 		PCIeRequests:     s.PCIeRequests - prev.PCIeRequests,
 		PCIePayloadBytes: s.PCIePayloadBytes - prev.PCIePayloadBytes,
 		HostDRAMBytes:    s.HostDRAMBytes - prev.HostDRAMBytes,
+		CXLRequests:      s.CXLRequests - prev.CXLRequests,
+		CXLPayloadBytes:  s.CXLPayloadBytes - prev.CXLPayloadBytes,
+		CXLMemBytes:      s.CXLMemBytes - prev.CXLMemBytes,
 		UVMMigrations:    s.UVMMigrations - prev.UVMMigrations,
 		UVMHits:          s.UVMHits - prev.UVMHits,
 		ZCSectorReuses:   s.ZCSectorReuses - prev.ZCSectorReuses,
 		ZCActiveLanes:    s.ZCActiveLanes - prev.ZCActiveLanes,
 		ZCRefetches:      s.ZCRefetches - prev.ZCRefetches,
 		MaxWarpHostReqs:  s.MaxWarpHostReqs, // max-aggregated; delta is the value itself
+		MaxWarpCXLReqs:   s.MaxWarpCXLReqs,
 		FaultedReads:     s.FaultedReads - prev.FaultedReads,
 		LatencySpikes:    s.LatencySpikes - prev.LatencySpikes,
 		WireSeconds:      s.WireSeconds - prev.WireSeconds,
 		TagSeconds:       s.TagSeconds - prev.TagSeconds,
+		CXLWireSeconds:   s.CXLWireSeconds - prev.CXLWireSeconds,
+		CXLTagSeconds:    s.CXLTagSeconds - prev.CXLTagSeconds,
 		UVMSerialSeconds: s.UVMSerialSeconds - prev.UVMSerialSeconds,
 		Elapsed:          s.Elapsed - prev.Elapsed,
 	}
@@ -237,7 +285,31 @@ type Device struct {
 }
 
 // NewDevice creates a device with a fresh memory arena and UVM manager.
+//
+// The memory hierarchy comes from cfg.Tiers when set (the stack is
+// validated, and MemBytes/HostMemBytes/HBM/HostDRAM/Link are derived from
+// it; a fault hook already installed on cfg.Link survives the derivation).
+// Otherwise the classic fields are used as-is and an equivalent two-tier
+// stack is synthesized, so Device.Tiers always describes the hierarchy.
 func NewDevice(cfg Config) *Device {
+	if len(cfg.Tiers) > 0 {
+		if err := cfg.Tiers.Validate(); err != nil {
+			panic("gpu: " + err.Error())
+		}
+		hbm, dram := cfg.Tiers.HBM(), cfg.Tiers.DRAM()
+		cfg.MemBytes = hbm.CapacityBytes
+		cfg.HostMemBytes = dram.CapacityBytes
+		cfg.HBM = hbm.Mem
+		cfg.HostDRAM = dram.Mem
+		faults := cfg.Link.Faults
+		cfg.Link = dram.Link
+		if cfg.Link.Faults == nil {
+			cfg.Link.Faults = faults
+		}
+	} else {
+		cfg.Tiers = memsys.TwoTier(cfg.MemBytes, cfg.HostMemBytes,
+			cfg.HBM, cfg.HostDRAM, cfg.Link)
+	}
 	if cfg.LaunchOverhead == 0 {
 		cfg.LaunchOverhead = 8 * time.Microsecond
 	}
@@ -259,11 +331,12 @@ func NewDevice(cfg Config) *Device {
 	if cfg.PerWarpOutstanding == 0 {
 		cfg.PerWarpOutstanding = 32
 	}
-	d := &Device{
-		cfg:   cfg,
-		arena: memsys.NewArena(cfg.MemBytes, cfg.HostMemBytes),
+	arena, err := memsys.NewTieredArena(cfg.Tiers)
+	if err != nil {
+		panic("gpu: " + err.Error()) // unreachable: the stack was validated or synthesized above
 	}
-	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
+	d := &Device{cfg: cfg, arena: arena}
+	d.uvmgr = uvm.NewManager(uvm.ConfigWithPaging(d.uvmCapacityPages(), cfg.GPUDrivenPaging))
 	return d
 }
 
@@ -282,6 +355,39 @@ func (d *Device) uvmCapacityPages() int {
 
 // Config returns the device configuration.
 func (d *Device) Config() Config { return d.cfg }
+
+// Tiers returns the device's memory-tier stack. Always populated: devices
+// configured through the classic fields get a synthesized two-tier stack.
+func (d *Device) Tiers() memsys.TierStack { return d.cfg.Tiers }
+
+// SetTiers replaces the device's tier stack at run time — the load-time
+// path behind emogi.WithTierStack. The HBM and DRAM tiers must match the
+// device's configured capacities (the simulated hardware does not change
+// size mid-flight); what may change is the external tier: attaching a CXL
+// tier enables SpaceCXL homes, detaching one is refused while any bytes are
+// still homed there.
+func (d *Device) SetTiers(ts memsys.TierStack) error {
+	if err := ts.Validate(); err != nil {
+		return err
+	}
+	hbm, dram := ts.HBM(), ts.DRAM()
+	if hbm.CapacityBytes != d.cfg.MemBytes {
+		return fmt.Errorf("gpu: tier stack HBM capacity %d does not match the device's %d",
+			hbm.CapacityBytes, d.cfg.MemBytes)
+	}
+	if dram.CapacityBytes != d.cfg.HostMemBytes {
+		return fmt.Errorf("gpu: tier stack DRAM capacity %d does not match the device's %d",
+			dram.CapacityBytes, d.cfg.HostMemBytes)
+	}
+	if ts.CXL() == nil {
+		if used := d.arena.CXLUsed(); used > 0 {
+			return fmt.Errorf("gpu: cannot detach the CXL tier with %d bytes still homed there", used)
+		}
+	}
+	d.cfg.Tiers = ts
+	d.arena.AttachCXLTier(ts.CXL())
+	return nil
+}
 
 // Exclusive runs fn while holding the device's run mutex. The simulated
 // device, like a real CUDA context, is a single-caller resource: its
@@ -331,7 +437,7 @@ func (d *Device) ResetStats() {
 // honest across policies (System.ColdCaches routes through this).
 func (d *Device) ResetUVMResidency() {
 	d.uvmgr.Reset()
-	d.uvmgr = uvm.NewManager(uvm.DefaultConfig(d.uvmCapacityPages()))
+	d.uvmgr = uvm.NewManager(uvm.ConfigWithPaging(d.uvmCapacityPages(), d.cfg.GPUDrivenPaging))
 	d.arena.ResetStaged()
 }
 
@@ -342,12 +448,13 @@ func (d *Device) SetSerialLaunches(on bool) { d.forceSerial = on }
 
 // finish folds the per-size zero-copy request counts into the link roofline
 // terms, converts the kernel's traffic into elapsed time, and advances the
-// clock. zc holds the count of 32/64/96/128-byte zero-copy requests; the
-// wire and tag seconds are derived here, after the shard merge, so the
-// float accumulation order — and therefore the simulated time — is
-// independent of how the launch was partitioned across workers. workers is
-// the worker count the launch used, reported to telemetry.
-func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64, workers int) {
+// clock. zc holds the count of 32/64/96/128-byte zero-copy requests and cxl
+// the same for requests served by the external CXL-class tier; the wire and
+// tag seconds are derived here, after the shard merge, so the float
+// accumulation order — and therefore the simulated time — is independent of
+// how the launch was partitioned across workers. workers is the worker
+// count the launch used, reported to telemetry.
+func (d *Device) finish(ks *KernelStats, zc, cxl *[zcSizeClasses]uint64, workers int) {
 	var zcReqs uint64
 	for i, n := range zc {
 		if n == 0 {
@@ -360,6 +467,28 @@ func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64, workers int)
 		ks.TagSeconds += float64(zcReqs) * d.cfg.Link.TagSeconds()
 	}
 	d.chargeThrash(ks)
+	// External-tier roofline: the CXL link is a separate physical channel,
+	// so its occupancy drains in parallel with PCIe and contributes its own
+	// stream, memory-service, and latency-critical-path terms. All exactly
+	// zero (not just negligible) on two-tier systems.
+	var cxlTime, cxlMemTime, cxlCrit float64
+	if cxlT := d.cfg.Tiers.CXL(); cxlT != nil {
+		var cxlReqs uint64
+		for i, n := range cxl {
+			if n == 0 {
+				continue
+			}
+			cxlReqs += n
+			ks.CXLWireSeconds += float64(n) * cxlT.Link.WireSeconds((i+1)*memsys.SectorBytes)
+		}
+		if cxlReqs > 0 {
+			ks.CXLTagSeconds += float64(cxlReqs) * cxlT.Link.TagSeconds()
+		}
+		cxlTime = pcie.StreamSeconds(ks.CXLWireSeconds, ks.CXLTagSeconds)
+		cxlMemTime = cxlT.Mem.ServiceSeconds(int64(ks.CXLMemBytes))
+		cxlCrit = float64(ks.MaxWarpCXLReqs) * cxlT.Link.RTT.Seconds() /
+			float64(d.cfg.PerWarpOutstanding)
+	}
 	pcieTime := pcie.StreamSeconds(ks.WireSeconds, ks.TagSeconds)
 	hbmTime := d.cfg.HBM.ServiceSeconds(int64(ks.HBMBytes))
 	dramTime := d.cfg.HostDRAM.ServiceSeconds(int64(ks.HostDRAMBytes))
@@ -369,7 +498,8 @@ func (d *Device) finish(ks *KernelStats, zc *[zcSizeClasses]uint64, workers int)
 	critTime := float64(ks.MaxWarpHostReqs) * d.cfg.Link.RTT.Seconds() /
 		float64(d.cfg.PerWarpOutstanding)
 	bottleneck := pcieTime
-	for _, t := range []float64{hbmTime, dramTime, compTime, ks.UVMSerialSeconds, critTime} {
+	for _, t := range []float64{hbmTime, dramTime, compTime, ks.UVMSerialSeconds, critTime,
+		cxlTime, cxlMemTime, cxlCrit} {
 		if t > bottleneck {
 			bottleneck = t
 		}
@@ -419,7 +549,7 @@ func (d *Device) chargeThrash(ks *KernelStats) {
 	ks.WireSeconds += float64(extra) * d.cfg.Link.WireSeconds(memsys.SectorBytes)
 	ks.TagSeconds += float64(extra) * d.cfg.Link.TagSeconds()
 	ks.HostDRAMBytes += extra * uint64(d.cfg.HostDRAM.ServedBytes(memsys.SectorBytes))
-	d.mon.RecordN(memsys.SectorBytes, d.cfg.Link.TLPOverheadBytes, extra)
+	d.mon.RecordClassN(memsys.SectorBytes, d.cfg.Link.TLPOverheadBytes, extra, pcie.ClassZeroCopy)
 }
 
 // CopyToDevice models an explicit host-to-device bulk transfer of n bytes
@@ -443,13 +573,51 @@ func (d *Device) StageSegments(n int64) time.Duration {
 	return d.bulk(n, true, pcie.ClassStaged)
 }
 
+// StageSegmentsCXL is StageSegments for segments homed on the external
+// CXL-class tier: the copy crosses the CXL link (its bulk rate, not
+// PCIe's) and is attributed to the CXL transfer class.
+func (d *Device) StageSegmentsCXL(n int64) time.Duration {
+	return d.bulkLink(d.cxlLink(), n, true, pcie.ClassCXL)
+}
+
+// PromoteFromCXL models re-homing n bytes from the CXL-class tier into host
+// DRAM (the adaptive policy's host-cache placement). The expander read over
+// the CXL link is the bottleneck; the host-DRAM write is absorbed.
+func (d *Device) PromoteFromCXL(n int64) time.Duration {
+	return d.bulkLink(d.cxlLink(), n, true, pcie.ClassCXL)
+}
+
+// DemoteToCXL models re-homing n bytes from host DRAM into the CXL-class
+// tier (explicit Request-level placement moves). The expander write over the
+// CXL link is the bottleneck, mirroring PromoteFromCXL.
+func (d *Device) DemoteToCXL(n int64) time.Duration {
+	return d.bulkLink(d.cxlLink(), n, true, pcie.ClassCXL)
+}
+
+// cxlLink returns the external tier's link; devices without a CXL tier must
+// not reach the CXL copy paths.
+func (d *Device) cxlLink() pcie.LinkConfig {
+	cxlT := d.cfg.Tiers.CXL()
+	if cxlT == nil {
+		panic("gpu: CXL transfer on a device with no CXL tier")
+	}
+	return cxlT.Link
+}
+
 func (d *Device) bulk(n int64, record bool, class pcie.TransferClass) time.Duration {
+	return d.bulkLink(d.cfg.Link, n, record, class)
+}
+
+// bulkLink is the bulk-transfer core parameterized by the link crossed:
+// the PCIe link for host DRAM traffic, the CXL link for external-tier
+// staging and promotion.
+func (d *Device) bulkLink(lnk pcie.LinkConfig, n int64, record bool, class pcie.TransferClass) time.Duration {
 	if n < 0 {
 		panic("gpu: negative copy size")
 	}
-	dt := d.cfg.CopyOverhead + time.Duration(d.cfg.Link.BulkSeconds(n)*float64(time.Second))
+	dt := d.cfg.CopyOverhead + time.Duration(lnk.BulkSeconds(n)*float64(time.Second))
 	if record && n > 0 {
-		d.mon.RecordBulkClass(n, d.cfg.Link.TLPOverheadBytes, class)
+		d.mon.RecordBulkClass(n, lnk.TLPOverheadBytes, class)
 	}
 	start := d.clock
 	d.clock += dt

@@ -52,9 +52,10 @@ func ShardRange(warps, workers, i int) (lo, hi int) {
 // fields merge commutatively (or in ascending shard order, for traces) at
 // the launch barrier.
 type launchShard struct {
-	ks       KernelStats
-	mon      pcie.Monitor
-	zcBySize [zcSizeClasses]uint64
+	ks        KernelStats
+	mon       pcie.Monitor
+	zcBySize  [zcSizeClasses]uint64
+	cxlBySize [zcSizeClasses]uint64
 }
 
 // workerCount resolves the effective worker count for a launch.
@@ -86,6 +87,7 @@ func runWarpRange(w *Warp, lo, hi int, body func(w *Warp)) {
 		w.resetMRU()
 		w.zcLanes = 0
 		w.hostReqs = 0
+		w.cxlReqs = 0
 		w.faultSeq = 0
 		body(w)
 		w.ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
@@ -112,10 +114,10 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 	if workers == 1 {
 		// Serial fast path: accumulate straight into the launch stats and
 		// the device monitor, exactly like the historical engine.
-		var zc [zcSizeClasses]uint64
-		w := Warp{dev: d, ks: ks, mon: &d.mon, zcBySize: &zc}
+		var zc, cxl [zcSizeClasses]uint64
+		w := Warp{dev: d, ks: ks, mon: &d.mon, zcBySize: &zc, cxlBySize: &cxl}
 		runWarpRange(&w, 0, warps, body)
-		d.finish(ks, &zc, 1)
+		d.finish(ks, &zc, &cxl, 1)
 		return ks
 	}
 
@@ -133,7 +135,7 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := Warp{dev: d, ks: &sh.ks, mon: &sh.mon, zcBySize: &sh.zcBySize}
+			w := Warp{dev: d, ks: &sh.ks, mon: &sh.mon, zcBySize: &sh.zcBySize, cxlBySize: &sh.cxlBySize}
 			runWarpRange(&w, lo, hi, body)
 		}()
 	}
@@ -142,15 +144,18 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 	// Merge in ascending shard order. Since shards are contiguous warp
 	// ranges, concatenating their monitor traces reproduces the serial
 	// arrival order; every counter merge is a sum or a max.
-	var zc [zcSizeClasses]uint64
+	var zc, cxl [zcSizeClasses]uint64
 	for i := range shards {
 		sh := &shards[i]
 		ks.Add(&sh.ks)
 		for j, n := range sh.zcBySize {
 			zc[j] += n
 		}
+		for j, n := range sh.cxlBySize {
+			cxl[j] += n
+		}
 		d.mon.Merge(&sh.mon)
 	}
-	d.finish(ks, &zc, workers)
+	d.finish(ks, &zc, &cxl, workers)
 	return ks
 }

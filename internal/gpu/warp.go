@@ -68,6 +68,11 @@ type Warp struct {
 	// float arithmetic independent of the warp partitioning.
 	zcBySize *[zcSizeClasses]uint64
 
+	// cxlBySize is the same per-size-class count for requests served by
+	// the external CXL-class tier, merged and converted with the CXL
+	// link's constants at the launch barrier.
+	cxlBySize *[zcSizeClasses]uint64
+
 	// mru is the per-lane most-recently-touched 32B sector, modeling the L1
 	// behaviour behind §3.3's "each thread generates a new 32-byte request
 	// every time it crosses a 32-byte address boundary": repeated loads
@@ -82,8 +87,11 @@ type Warp struct {
 	zcLanes uint32
 
 	// hostReqs counts host-memory requests issued by the current (virtual)
-	// warp, feeding the latency-bound critical-path term.
+	// warp, feeding the latency-bound critical-path term. cxlReqs is the
+	// external-tier analogue, kept separate because the two links have
+	// very different round-trip times.
 	hostReqs uint64
+	cxlReqs  uint64
 
 	// faultSeq numbers this warp's zero-copy requests within the current
 	// launch, giving the fault injector a coordinate — (run epoch, warp ID,
@@ -112,13 +120,18 @@ func (w *Warp) resetMRU() {
 // synchronization point.
 func (w *Warp) InvalidateMRU() { w.resetMRU() }
 
-// flushCriticalPath folds the current virtual warp's host request count
-// into the kernel's critical-path maximum and starts a new virtual warp.
+// flushCriticalPath folds the current virtual warp's host and CXL request
+// counts into the kernel's critical-path maxima and starts a new virtual
+// warp.
 func (w *Warp) flushCriticalPath() {
 	if w.hostReqs > w.ks.MaxWarpHostReqs {
 		w.ks.MaxWarpHostReqs = w.hostReqs
 	}
 	w.hostReqs = 0
+	if w.cxlReqs > w.ks.MaxWarpCXLReqs {
+		w.ks.MaxWarpCXLReqs = w.cxlReqs
+	}
+	w.cxlReqs = 0
 }
 
 // SplitWorker declares a virtual warp boundary: the work that follows is
@@ -245,21 +258,64 @@ func (w *Warp) dispatch(buf *memsys.Buffer, addr uint64, size int) {
 		if migrated > 0 {
 			bytes := d.uvmgr.MigrationWireBytes(migrated)
 			ks.UVMMigrations += uint64(migrated)
-			ks.PCIePayloadBytes += uint64(bytes)
-			ks.WireSeconds += d.cfg.Link.BulkSeconds(bytes)
-			// The single-threaded UVM driver serializes fault handling
-			// with the page transfer (§2.2): the pipeline term is handler
-			// cost plus transfer time per page, which is what keeps UVM at
-			// ~9.1 GB/s even though the wire could do 12.3 (Figure 4) and
-			// what prevents UVM from scaling to PCIe 4.0 (Figure 12).
-			ks.UVMSerialSeconds += d.uvmgr.FaultCPUTime(migrated).Seconds() +
-				d.cfg.Link.BulkSeconds(bytes)
-			ks.HostDRAMBytes += uint64(bytes)
-			w.mon.RecordBulkClass(bytes, d.cfg.Link.TLPOverheadBytes, pcie.ClassUVM)
+			// Pages migrate over the link of the tier the segment is homed
+			// on: host DRAM behind PCIe, or the CXL expander behind its own
+			// link. UVM launches always run serially (see workerCount), so
+			// accumulating these floats here is partition-independent.
+			lnk := d.cfg.Link
+			fromCXL := buf.HomeAt(off) == memsys.SpaceCXL
+			if fromCXL {
+				lnk = d.cfg.Tiers.CXL().Link
+				ks.CXLPayloadBytes += uint64(bytes)
+				ks.CXLWireSeconds += lnk.BulkSeconds(bytes)
+				ks.CXLMemBytes += uint64(bytes)
+				w.mon.RecordBulkClass(bytes, lnk.TLPOverheadBytes, pcie.ClassCXL)
+			} else {
+				ks.PCIePayloadBytes += uint64(bytes)
+				ks.WireSeconds += lnk.BulkSeconds(bytes)
+				ks.HostDRAMBytes += uint64(bytes)
+				w.mon.RecordBulkClass(bytes, lnk.TLPOverheadBytes, pcie.ClassUVM)
+			}
+			if d.uvmgr.Config().GPUDriven {
+				// GPU-driven paging (GPUVM): the device posts the page
+				// reads itself, so they cost link tag occupancy — one
+				// full-size request per 128 bytes — instead of waiting on
+				// the CPU handler. UVM throughput then scales with the
+				// interconnect.
+				tagOcc := float64(migrated) * float64(pb/128) * lnk.TagSeconds()
+				if fromCXL {
+					ks.CXLTagSeconds += tagOcc
+				} else {
+					ks.TagSeconds += tagOcc
+				}
+			} else {
+				// The single-threaded UVM driver serializes fault handling
+				// with the page transfer (§2.2): the pipeline term is
+				// handler cost plus transfer time per page, which is what
+				// keeps UVM at ~9.1 GB/s even though the wire could do 12.3
+				// (Figure 4) and what prevents UVM from scaling to PCIe 4.0
+				// (Figure 12).
+				ks.UVMSerialSeconds += d.uvmgr.FaultCPUTime(migrated).Seconds() +
+					lnk.BulkSeconds(bytes)
+			}
 		}
 		ks.UVMHits += uint64(pagesTouched - migrated)
 		// After migration the access is served from GPU memory.
 		ks.HBMBytes += uint64(size)
+
+	case memsys.SpaceCXL:
+		// Coalesced read served directly by the external CXL-class tier:
+		// same shape as the zero-copy case, but crossing the CXL link and
+		// the expander's DRAM. CXL sector reuse is not fed into the L2
+		// thrash model (a deliberate simplification: CXL-homed segments
+		// are the cold tail, whose reuse is rare by construction).
+		cxlT := d.cfg.Tiers.CXL()
+		w.cxlReqs++
+		ks.CXLRequests++
+		ks.CXLPayloadBytes += uint64(size)
+		w.cxlBySize[size/memsys.SectorBytes-1]++
+		ks.CXLMemBytes += uint64(cxlT.Mem.ServedBytes(size))
+		w.mon.RecordClassN(size, cxlT.Link.TLPOverheadBytes, 1, pcie.ClassCXL)
 
 	default:
 		panic(fmt.Sprintf("gpu: access to buffer %q in unknown space %d", buf.Name, buf.Space))

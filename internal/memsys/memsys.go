@@ -26,6 +26,12 @@ const (
 	// SpaceUVM is managed memory: accesses fault 4KB pages into GPU memory
 	// on demand, after which they are served from HBM.
 	SpaceUVM
+	// SpaceCXL is external CXL-class memory: byte-addressable like pinned
+	// host memory, but reached over the (higher-latency) CXL tier link.
+	// Buffers are rarely allocated wholly in it; segments of DRAM-based
+	// buffers are homed there when the working set spills past host DRAM
+	// (see Buffer.SetSegmentHome and the tier stack in tier.go).
+	SpaceCXL
 )
 
 // String returns a short human-readable name for the space.
@@ -37,6 +43,8 @@ func (s Space) String() string {
 		return "zerocopy"
 	case SpaceUVM:
 		return "uvm"
+	case SpaceCXL:
+		return "cxl"
 	default:
 		return fmt.Sprintf("space(%d)", uint8(s))
 	}
@@ -89,15 +97,78 @@ type Buffer struct {
 	// staged copy resident in GPU memory (the batched-copy substrate). Nil
 	// until the first SetSegmentStaged call.
 	segState []bool
+
+	// segHome, when non-nil, records each SegmentBytes-sized segment's home
+	// tier space — where the segment's backing bytes physically live. Nil
+	// (the default) means every segment is homed in Space. Placement across
+	// a tier stack (DRAM-first with spill to CXL) sets entries to SpaceCXL;
+	// accounting moves with them through Arena.SetSegmentHome.
+	segHome []Space
 }
 
 // SpaceAt returns the space that serves a GPU access at byte offset off.
-// With no router installed it is the buffer's static Space.
+// Precedence: an installed router (SpaceFn) decides first; otherwise a
+// UVM-managed buffer is always served through the UVM space (its segment
+// homes describe where pages migrate *from*, not how accesses are served);
+// otherwise the segment's home space; otherwise the buffer's static Space.
 func (b *Buffer) SpaceAt(off int64) Space {
 	if b.SpaceFn != nil {
 		return b.SpaceFn(off)
 	}
+	if b.Space == SpaceUVM {
+		return SpaceUVM
+	}
+	if b.segHome != nil {
+		return b.segHome[off/SegmentBytes]
+	}
 	return b.Space
+}
+
+// HomeAt returns the home tier space of the segment containing byte offset
+// off: where its backing bytes physically live, independent of any router
+// or UVM management layered on top.
+func (b *Buffer) HomeAt(off int64) Space {
+	if b.segHome != nil {
+		return b.segHome[off/SegmentBytes]
+	}
+	if b.Space == SpaceUVM {
+		return SpaceHostPinned // UVM backing lives in host DRAM by default
+	}
+	return b.Space
+}
+
+// SegmentHome returns segment i's home space (see HomeAt).
+func (b *Buffer) SegmentHome(i int) Space {
+	return b.HomeAt(int64(i) * SegmentBytes)
+}
+
+// HomedBytes returns how many of the buffer's bytes are homed in the given
+// space.
+func (b *Buffer) HomedBytes(s Space) int64 {
+	var n int64
+	for i := 0; i < b.Segments(); i++ {
+		if b.SegmentHome(i) == s {
+			n += b.segmentBytes(i)
+		}
+	}
+	return n
+}
+
+// segmentBytes returns segment i's length (SegmentBytes except the tail).
+func (b *Buffer) segmentBytes(i int) int64 {
+	return segLen(b.Size(), i)
+}
+
+// segLen returns segment i's length for a buffer of the given total size.
+func segLen(size int64, i int) int64 {
+	n := size - int64(i)*SegmentBytes
+	if n > SegmentBytes {
+		n = SegmentBytes
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
 }
 
 // Segments returns the number of SegmentBytes-sized segments the buffer
@@ -195,10 +266,16 @@ type Arena struct {
 
 	GPUCapacity  int64 // HBM bytes available for explicit SpaceGPU buffers
 	HostCapacity int64 // host DRAM bytes for pinned + UVM backing
+	CXLCapacity  int64 // external CXL-tier bytes (0 = no tier unless attached)
 
 	gpuUsed  int64
 	hostUsed int64
+	cxlUsed  int64
 	uvmLive  int
+
+	// cxlTier, when non-nil, is the attached external tier descriptor: its
+	// link and memory models price every access to SpaceCXL-homed data.
+	cxlTier *Tier
 
 	// allocFault, when non-nil, is consulted before every allocation; a
 	// non-nil return fails the allocation with that error. Used by the
@@ -207,8 +284,12 @@ type Arena struct {
 	allocFault func(space Space, size int64) error
 }
 
-// NewArena creates an arena with the given capacities in bytes. A zero
-// capacity means unlimited (useful in unit tests).
+// NewArena creates a two-tier arena with the given capacities in bytes. A
+// zero capacity means unlimited (useful in unit tests).
+//
+// Deprecated: use NewTieredArena, which takes the capacities from a
+// validated TierStack and also attaches an external tier's cost model when
+// the stack has one. NewTieredArena on a two-tier stack is equivalent.
 func NewArena(gpuCapacity, hostCapacity int64) *Arena {
 	return &Arena{
 		// Start away from address zero and keep the base 4KB-aligned,
@@ -226,6 +307,7 @@ type allocConfig struct {
 	align      uint64
 	baseOffset uint64
 	elem       int
+	homes      []Space
 }
 
 // WithAlign sets the base alignment in bytes (default 4096). Must be a
@@ -244,6 +326,15 @@ func WithBaseOffset(off uint64) AllocOption {
 // WithElem records the element width metadata (4 or 8 bytes).
 func WithElem(elem int) AllocOption {
 	return func(c *allocConfig) { c.elem = elem }
+}
+
+// WithSegmentHomes places each SegmentBytes-sized segment of the buffer on
+// its own tier at allocation time (SpaceHostPinned or SpaceCXL per entry).
+// len(homes) must equal the buffer's segment count and the buffer's Space
+// must be SpaceHostPinned or SpaceUVM; capacity is charged per segment, so a
+// buffer larger than host DRAM can spill its tail to a CXL-class tier.
+func WithSegmentHomes(homes []Space) AllocOption {
+	return func(c *allocConfig) { c.homes = homes }
 }
 
 // SetAllocFaultHook installs (or, with nil, removes) a hook consulted
@@ -268,6 +359,46 @@ func (e *ErrOutOfMemory) Error() string {
 		e.Space, e.Requested, e.Used, e.Capacity)
 }
 
+// charge accounts size bytes against the capacity backing space, failing
+// with ErrOutOfMemory when it would overflow.
+func (a *Arena) charge(space Space, size int64) error {
+	switch space {
+	case SpaceGPU:
+		if a.GPUCapacity > 0 && a.gpuUsed+size > a.GPUCapacity {
+			return &ErrOutOfMemory{Space: space, Requested: size, Used: a.gpuUsed, Capacity: a.GPUCapacity}
+		}
+		a.gpuUsed += size
+	case SpaceHostPinned, SpaceUVM:
+		if a.HostCapacity > 0 && a.hostUsed+size > a.HostCapacity {
+			return &ErrOutOfMemory{Space: space, Requested: size, Used: a.hostUsed, Capacity: a.HostCapacity}
+		}
+		a.hostUsed += size
+	case SpaceCXL:
+		if a.cxlTier == nil {
+			return fmt.Errorf("memsys: no CXL tier attached to this arena")
+		}
+		if a.CXLCapacity > 0 && a.cxlUsed+size > a.CXLCapacity {
+			return &ErrOutOfMemory{Space: space, Requested: size, Used: a.cxlUsed, Capacity: a.CXLCapacity}
+		}
+		a.cxlUsed += size
+	default:
+		return fmt.Errorf("memsys: unknown space %d", space)
+	}
+	return nil
+}
+
+// uncharge releases size bytes from the capacity backing space.
+func (a *Arena) uncharge(space Space, size int64) {
+	switch space {
+	case SpaceGPU:
+		a.gpuUsed -= size
+	case SpaceHostPinned, SpaceUVM:
+		a.hostUsed -= size
+	case SpaceCXL:
+		a.cxlUsed -= size
+	}
+}
+
 // Alloc creates a buffer of the given size in the given space.
 func (a *Arena) Alloc(name string, space Space, size int64, opts ...AllocOption) (*Buffer, error) {
 	if size < 0 {
@@ -285,29 +416,46 @@ func (a *Arena) Alloc(name string, space Space, size int64, opts ...AllocOption)
 			return nil, err
 		}
 	}
-	switch space {
-	case SpaceGPU:
-		if a.GPUCapacity > 0 && a.gpuUsed+size > a.GPUCapacity {
-			return nil, &ErrOutOfMemory{Space: space, Requested: size, Used: a.gpuUsed, Capacity: a.GPUCapacity}
+	var segHome []Space
+	if cfg.homes != nil {
+		nseg := int((size + SegmentBytes - 1) / SegmentBytes)
+		if space != SpaceHostPinned && space != SpaceUVM {
+			return nil, fmt.Errorf("memsys: WithSegmentHomes requires a %s or %s buffer, got %s", SpaceHostPinned, SpaceUVM, space)
 		}
-		a.gpuUsed += size
-	case SpaceHostPinned, SpaceUVM:
-		if a.HostCapacity > 0 && a.hostUsed+size > a.HostCapacity {
-			return nil, &ErrOutOfMemory{Space: space, Requested: size, Used: a.hostUsed, Capacity: a.HostCapacity}
+		if len(cfg.homes) != nseg {
+			return nil, fmt.Errorf("memsys: WithSegmentHomes got %d homes for %d segments", len(cfg.homes), nseg)
 		}
-		a.hostUsed += size
-	default:
-		return nil, fmt.Errorf("memsys: unknown space %d", space)
+		// Charge each segment to its own tier, rolling back the partial
+		// charges if any tier runs out.
+		for i, home := range cfg.homes {
+			if home != SpaceHostPinned && home != SpaceCXL {
+				err := fmt.Errorf("memsys: segment home must be %s or %s, got %s", SpaceHostPinned, SpaceCXL, home)
+				for j := 0; j < i; j++ {
+					a.uncharge(cfg.homes[j], segLen(size, j))
+				}
+				return nil, err
+			}
+			if err := a.charge(home, segLen(size, i)); err != nil {
+				for j := 0; j < i; j++ {
+					a.uncharge(cfg.homes[j], segLen(size, j))
+				}
+				return nil, err
+			}
+		}
+		segHome = append([]Space(nil), cfg.homes...)
+	} else if err := a.charge(space, size); err != nil {
+		return nil, err
 	}
 
 	base := (a.nextVA + cfg.align - 1) &^ (cfg.align - 1)
 	base += cfg.baseOffset
 	b := &Buffer{
-		Name:  name,
-		Space: space,
-		Base:  base,
-		Data:  alignedBytes(size),
-		Elem:  cfg.elem,
+		Name:    name,
+		Space:   space,
+		Base:    base,
+		Data:    alignedBytes(size),
+		Elem:    cfg.elem,
+		segHome: segHome,
 	}
 	if space == SpaceUVM {
 		b.pageState = make([]bool, b.Pages())
@@ -335,11 +483,15 @@ func (a *Arena) Free(b *Buffer) {
 	for i, x := range a.buffers {
 		if x == b {
 			a.buffers = append(a.buffers[:i], a.buffers[i+1:]...)
-			switch b.Space {
-			case SpaceGPU:
-				a.gpuUsed -= b.Size()
-			case SpaceHostPinned, SpaceUVM:
-				a.hostUsed -= b.Size()
+			if b.segHome != nil {
+				// Segment homes may have diverged from the base space
+				// (spill placement, request-level re-homing): release each
+				// segment against the capacity it is currently charged to.
+				for s := 0; s < b.Segments(); s++ {
+					a.uncharge(b.SegmentHome(s), b.segmentBytes(s))
+				}
+			} else {
+				a.uncharge(b.Space, b.Size())
 			}
 			if b.Space == SpaceUVM {
 				a.uvmLive--
@@ -350,12 +502,64 @@ func (a *Arena) Free(b *Buffer) {
 	panic("memsys: Free of buffer not owned by arena")
 }
 
+// AttachCXLTier attaches an external CXL-class tier to the arena: SpaceCXL
+// homes become allocatable against its capacity, and its link/memory models
+// price accesses to data homed there. Attaching nil detaches the tier.
+func (a *Arena) AttachCXLTier(t *Tier) {
+	a.cxlTier = t
+	if t != nil {
+		a.CXLCapacity = t.CapacityBytes
+	} else {
+		a.CXLCapacity = 0
+	}
+}
+
+// CXLTier returns the attached external tier descriptor, or nil.
+func (a *Arena) CXLTier() *Tier { return a.cxlTier }
+
+// SetSegmentHome re-homes segment seg of b to the given tier space, moving
+// its capacity accounting: the segment's bytes are released from the old
+// home's pool and charged to the new one (failing with ErrOutOfMemory when
+// the destination is full, leaving accounting unchanged). The buffer's
+// backing bytes do not move — homes describe where data physically lives in
+// the simulated hierarchy; the transfer cost of moving it is charged by the
+// caller (gpu.Device bulk copies).
+func (a *Arena) SetSegmentHome(b *Buffer, seg int, home Space) error {
+	if seg < 0 || seg >= b.Segments() {
+		return fmt.Errorf("memsys: segment %d out of range for buffer %q (%d segments)",
+			seg, b.Name, b.Segments())
+	}
+	if home != SpaceHostPinned && home != SpaceCXL {
+		return fmt.Errorf("memsys: segment home must be a host-side tier space, got %s", home)
+	}
+	old := b.SegmentHome(seg)
+	if old == home {
+		return nil
+	}
+	n := b.segmentBytes(seg)
+	if err := a.charge(home, n); err != nil {
+		return err
+	}
+	a.uncharge(old, n)
+	if b.segHome == nil {
+		b.segHome = make([]Space, b.Segments())
+		for i := range b.segHome {
+			b.segHome[i] = b.HomeAt(int64(i) * SegmentBytes)
+		}
+	}
+	b.segHome[seg] = home
+	return nil
+}
+
 // GPUUsed returns the bytes currently allocated in GPU space.
 func (a *Arena) GPUUsed() int64 { return a.gpuUsed }
 
 // HostUsed returns the bytes currently allocated in host space
 // (pinned + UVM backing).
 func (a *Arena) HostUsed() int64 { return a.hostUsed }
+
+// CXLUsed returns the bytes currently homed in the external CXL tier.
+func (a *Arena) CXLUsed() int64 { return a.cxlUsed }
 
 // GPUFree returns the remaining explicit-allocation HBM capacity, or -1 if
 // the arena is uncapped.
@@ -364,6 +568,27 @@ func (a *Arena) GPUFree() int64 {
 		return -1
 	}
 	return a.GPUCapacity - a.gpuUsed
+}
+
+// HostFree returns the remaining host-DRAM capacity, or -1 if the arena is
+// uncapped.
+func (a *Arena) HostFree() int64 {
+	if a.HostCapacity <= 0 {
+		return -1
+	}
+	return a.HostCapacity - a.hostUsed
+}
+
+// CXLFree returns the remaining external-tier capacity: -1 when the
+// attached tier is uncapped, 0 when no tier is attached.
+func (a *Arena) CXLFree() int64 {
+	if a.cxlTier == nil {
+		return 0
+	}
+	if a.CXLCapacity <= 0 {
+		return -1
+	}
+	return a.CXLCapacity - a.cxlUsed
 }
 
 // Buffers returns the live buffers in allocation order. The returned slice

@@ -26,6 +26,9 @@ const (
 	Gen3 Gen = 3
 	// Gen4 is PCIe 4.0 x16: 16 GT/s per lane.
 	Gen4 Gen = 4
+	// GenCXL marks a CXL-class link (CXL.mem over a PCIe 5.0 PHY). It is
+	// not selectable through Link; use CXLLink.
+	GenCXL Gen = 5
 )
 
 // LinkConfig describes one x16 link.
@@ -106,6 +109,26 @@ func Gen4x16() LinkConfig {
 		Efficiency:       0.93,
 		MaxTags:          512, // 10-bit tags; effective value scaled like Gen3's
 		RTT:              1450 * time.Nanosecond,
+	}
+}
+
+// CXLLink returns the external-memory tier's interconnect: a CXL-class
+// memory expander behind a switch (the pooled configuration the CXL
+// graph-processing literature targets). The wire is an x8 PCIe 5.0 PHY
+// derated for the CXL.mem flit protocol; bulk transfers reach roughly the
+// Gen3 x16 ceiling, so the tier's distinguishing cost is latency: a
+// microsecond-class round trip that makes small random reads tag-bound and
+// hub-vertex walks latency-bound, rewarding exactly the latency-tolerance
+// EMOGI's coalesced streaming already has.
+func CXLLink() LinkConfig {
+	return LinkConfig{
+		Name:             "CXL 2.0 x8 (switched)",
+		Gen:              GenCXL,
+		RawBytesPerSec:   16.0e9, // 32 GT/s * 8 lanes * flit efficiency share
+		TLPOverheadBytes: 24,     // 64B flit slot overhead, amortized
+		Efficiency:       0.90,
+		MaxTags:          256, // CXL.mem outstanding-read credit budget
+		RTT:              2500 * time.Nanosecond,
 	}
 }
 

@@ -25,6 +25,10 @@ const (
 	ClassStaged
 	// ClassBulk is ordinary explicit copies (result downloads, uploads).
 	ClassBulk
+	// ClassCXL is traffic crossing the external CXL-class tier's link:
+	// coalesced reads against CXL-homed segments and page/segment
+	// migrations in or out of the tier.
+	ClassCXL
 
 	numTransferClasses
 )
@@ -40,6 +44,8 @@ func (c TransferClass) String() string {
 		return "staged"
 	case ClassBulk:
 		return "bulk"
+	case ClassCXL:
+		return "cxl"
 	default:
 		return fmt.Sprintf("class(%d)", uint8(c))
 	}
@@ -48,7 +54,7 @@ func (c TransferClass) String() string {
 // TransferClasses returns all classes in a fixed order, for pre-registering
 // metric label values.
 func TransferClasses() []TransferClass {
-	return []TransferClass{ClassZeroCopy, ClassUVM, ClassStaged, ClassBulk}
+	return []TransferClass{ClassZeroCopy, ClassUVM, ClassStaged, ClassBulk, ClassCXL}
 }
 
 // Monitor observes the request stream crossing the link, playing the role
@@ -82,20 +88,29 @@ type Monitor struct {
 // Record notes one request of the given payload size with the given wire
 // overhead bytes.
 func (m *Monitor) Record(payloadBytes, overheadBytes int) {
-	m.RecordN(payloadBytes, overheadBytes, 1)
+	m.RecordClassN(payloadBytes, overheadBytes, 1, ClassZeroCopy)
 }
 
 // RecordN notes n identical requests of the given payload size, attributed
 // to the zero-copy transfer class.
+//
+// Deprecated: use RecordClassN with an explicit TransferClass; tiered
+// traffic (ClassCXL) cannot be expressed through this wrapper.
 func (m *Monitor) RecordN(payloadBytes, overheadBytes int, n uint64) {
+	m.RecordClassN(payloadBytes, overheadBytes, n, ClassZeroCopy)
+}
+
+// RecordClassN is RecordN with an explicit transfer class: ClassCXL for
+// coalesced reads served by the external tier's link.
+func (m *Monitor) RecordClassN(payloadBytes, overheadBytes int, n uint64, class TransferClass) {
 	if n == 0 {
 		return
 	}
 	m.sizeHist.AddN(int64(payloadBytes), n)
 	m.wireBytes += n * uint64(payloadBytes+overheadBytes)
 	m.intervalBytes += n * uint64(payloadBytes)
-	m.classReqs[ClassZeroCopy] += n
-	m.classBytes[ClassZeroCopy] += n * uint64(payloadBytes)
+	m.classReqs[class] += n
+	m.classBytes[class] += n * uint64(payloadBytes)
 	m.traceAddN(payloadBytes, false, n)
 }
 

@@ -251,10 +251,10 @@ func TestMonitorMergeTraceDropped(t *testing.T) {
 	var a, b Monitor
 	a.EnableTrace(4)
 	b.EnableTrace(4)
-	a.RecordN(32, 24, 3)  // 3 kept in a
-	b.RecordN(64, 24, 6)  // 4 kept, 2 dropped in b
-	dst.Merge(&a)         // 3 kept
-	dst.Merge(&b)         // 1 kept, 3 truncated at merge + 2 from b
+	a.RecordN(32, 24, 3) // 3 kept in a
+	b.RecordN(64, 24, 6) // 4 kept, 2 dropped in b
+	dst.Merge(&a)        // 3 kept
+	dst.Merge(&b)        // 1 kept, 3 truncated at merge + 2 from b
 	if got := len(dst.Trace()); got != 4 {
 		t.Fatalf("merged trace length = %d, want 4", got)
 	}
@@ -279,5 +279,42 @@ func TestMonitorTraceOffByDefault(t *testing.T) {
 	}
 	if m.Trace() != nil {
 		t.Errorf("tracing must be opt-in")
+	}
+}
+
+// TestRecordNDelegation pins the deprecated-style wrapper: RecordN is
+// exactly RecordClassN with ClassZeroCopy.
+func TestRecordNDelegation(t *testing.T) {
+	var a, b Monitor
+	a.RecordN(128, 24, 3)
+	b.RecordClassN(128, 24, 3, ClassZeroCopy)
+	if a.WireBytes() != b.WireBytes() {
+		t.Errorf("wire bytes differ: %d vs %d", a.WireBytes(), b.WireBytes())
+	}
+	if a.ClassRequests(ClassZeroCopy) != b.ClassRequests(ClassZeroCopy) || a.ClassRequests(ClassZeroCopy) != 3 {
+		t.Errorf("zero-copy class requests differ: %d vs %d",
+			a.ClassRequests(ClassZeroCopy), b.ClassRequests(ClassZeroCopy))
+	}
+}
+
+// TestClassCXLRegistered checks the CXL transfer class is part of the
+// monitor's class taxonomy.
+func TestClassCXLRegistered(t *testing.T) {
+	if ClassCXL.String() != "cxl" {
+		t.Errorf("ClassCXL label = %q", ClassCXL)
+	}
+	found := false
+	for _, c := range TransferClasses() {
+		if c == ClassCXL {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("TransferClasses() missing ClassCXL")
+	}
+	var m Monitor
+	m.RecordClassN(64, 24, 2, ClassCXL)
+	if m.ClassRequests(ClassCXL) != 2 {
+		t.Errorf("CXL class requests = %d", m.ClassRequests(ClassCXL))
 	}
 }

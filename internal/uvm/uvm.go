@@ -44,17 +44,40 @@ type Config struct {
 	// streams are unaffected (every prefetched page gets used). Values
 	// <= 1 disable prefetching.
 	BlockPages int
+
+	// GPUDriven selects GPUVM-style GPU-driven paging: the GPU itself
+	// issues page fetches over the interconnect (RDMA-style reads posted
+	// from the fault handler running on-device), so no page ever waits on
+	// the serialized CPU fault handler. Migration *counts* are identical
+	// to CPU-driven mode — which pages move, and when, depends only on
+	// the access stream and the LRU state — but the device's time
+	// accounting drops the FaultCPUSeconds term and instead charges tag
+	// occupancy for the page reads, letting UVM throughput scale with the
+	// interconnect exactly as the GPUVM paper observes.
+	GPUDriven bool
 }
 
-// DefaultConfig returns the calibrated driver model: 4KB pages migrated in
-// 64KB prefetch blocks.
-func DefaultConfig(capacityPages int) Config {
+// ConfigWithPaging returns the calibrated driver model — 4KB pages migrated
+// in 64KB prefetch blocks — with the given paging mode: gpuDriven false is
+// the classic serialized CPU fault handler, true the GPUVM-style GPU-driven
+// path.
+func ConfigWithPaging(capacityPages int, gpuDriven bool) Config {
 	return Config{
 		PageBytes:       memsys.PageBytes,
 		CapacityPages:   capacityPages,
 		FaultCPUSeconds: 117e-9,
 		BlockPages:      32,
+		GPUDriven:       gpuDriven,
 	}
+}
+
+// DefaultConfig returns the calibrated driver model: 4KB pages migrated in
+// 64KB prefetch blocks, CPU-driven fault handling.
+//
+// Deprecated: use ConfigWithPaging, which makes the paging mode explicit.
+// DefaultConfig(c) is exactly ConfigWithPaging(c, false).
+func DefaultConfig(capacityPages int) Config {
+	return ConfigWithPaging(capacityPages, false)
 }
 
 // Stats aggregates UVM activity. Times are accounted by the GPU device's

@@ -317,3 +317,22 @@ func TestBlockPrefetchStreamingNoWaste(t *testing.T) {
 		t.Errorf("streaming migrated %d pages, want %d", total, pages)
 	}
 }
+
+// TestDefaultConfigDelegation pins the deprecated wrapper: DefaultConfig(c)
+// is exactly ConfigWithPaging(c, false).
+func TestDefaultConfigDelegation(t *testing.T) {
+	for _, c := range []int{-1, 0, 7, 4096} {
+		if got, want := DefaultConfig(c), ConfigWithPaging(c, false); got != want {
+			t.Errorf("DefaultConfig(%d) = %+v, want %+v", c, got, want)
+		}
+	}
+	g := ConfigWithPaging(16, true)
+	if !g.GPUDriven {
+		t.Error("ConfigWithPaging(_, true) should select GPU-driven paging")
+	}
+	c := ConfigWithPaging(16, false)
+	g.GPUDriven = false
+	if g != c {
+		t.Error("paging selector must be the only difference between the models")
+	}
+}

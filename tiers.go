@@ -1,0 +1,176 @@
+package emogi
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+// Re-exported memory-tier types so user code only imports this package.
+type (
+	// Tier is one level of the simulated memory hierarchy: a capacity plus
+	// the interconnect and device-side cost models accesses to it pay.
+	Tier = memsys.Tier
+	// TierStack is an ordered hierarchy: HBM, host DRAM, optionally a
+	// CXL-class external tier.
+	TierStack = memsys.TierStack
+	// TierKind identifies a tier's position in the hierarchy.
+	TierKind = memsys.TierKind
+	// Placement selects which host-side tier(s) a graph's edge list is
+	// homed on (see WithPlacement and Request.Placement).
+	Placement = core.Placement
+)
+
+// Tier kinds.
+const (
+	TierHBM  = memsys.TierHBM
+	TierDRAM = memsys.TierDRAM
+	TierCXL  = memsys.TierCXL
+)
+
+// Placements.
+const (
+	PlaceAuto = core.PlaceAuto
+	PlaceDRAM = core.PlaceDRAM
+	PlaceCXL  = core.PlaceCXL
+)
+
+// TwoTier returns the canonical two-tier stack (GPU HBM over host DRAM
+// behind one PCIe link), equivalent to the classic configuration fields.
+func TwoTier(gpuBytes, hostBytes int64, hbm, dram memsys.DRAMModel, link pcie.LinkConfig) TierStack {
+	return memsys.TwoTier(gpuBytes, hostBytes, hbm, dram, link)
+}
+
+// ThreeTierCXL extends a two-tier base with a CXL-class external tier of
+// the given capacity, using the calibrated CXL link and expander models.
+func ThreeTierCXL(base TierStack, cxlBytes int64) TierStack {
+	return memsys.ThreeTierCXL(base, cxlBytes)
+}
+
+// ParsePlacement maps a wire name ("auto", "dram", "cxl") to a Placement.
+func ParsePlacement(s string) (Placement, error) { return core.ParsePlacement(s) }
+
+// TierStack returns the machine's memory hierarchy as a tier stack: the
+// explicit SystemConfig.Tiers when set, otherwise the canonical two-tier
+// stack derived from the classic GPU fields. Consumers that need the
+// CPU-GPU interconnect model should read it from here
+// (cfg.TierStack().DRAM().Link) rather than from GPU.Link directly.
+func (cfg SystemConfig) TierStack() TierStack {
+	if cfg.Tiers != nil {
+		return cfg.Tiers
+	}
+	return memsys.TwoTier(cfg.GPU.MemBytes, cfg.GPU.HostMemBytes,
+		cfg.GPU.HBM, cfg.GPU.HostDRAM, cfg.GPU.Link)
+}
+
+// TierStackEntry is one selectable tier stack in the catalog — what
+// GET /v1/tiers serves and what the binaries' -tiers flags accept.
+type TierStackEntry struct {
+	// Name is the canonical catalog name.
+	Name string `json:"name"`
+	// Aliases are accepted spellings that resolve to this entry.
+	Aliases []string `json:"aliases,omitempty"`
+	// Tiers is the number of levels in the stack.
+	Tiers int `json:"tiers"`
+	// Description is a one-line human-readable summary.
+	Description string `json:"description"`
+}
+
+// tierCatalog is the named tier-stack registry, in catalog order. The CXL
+// tier's capacity is 4x host DRAM — enough to home graphs that oversubscribe
+// DRAM by the ratios the oversubscription suite exercises.
+var tierCatalog = []TierStackEntry{
+	{
+		Name:        "2tier",
+		Aliases:     []string{"two-tier", "pcie", "default"},
+		Tiers:       2,
+		Description: "GPU HBM + host DRAM over PCIe (the classic EMOGI machine)",
+	},
+	{
+		Name:        "3tier-cxl",
+		Aliases:     []string{"3tier", "cxl", "three-tier"},
+		Tiers:       3,
+		Description: "GPU HBM + host DRAM + CXL-class external memory (capacity 4x host DRAM) behind a CXL 2.0 x8 link",
+	},
+}
+
+// TierStacks returns the selectable tier-stack catalog in registry order.
+func TierStacks() []TierStackEntry {
+	out := make([]TierStackEntry, len(tierCatalog))
+	copy(out, tierCatalog)
+	return out
+}
+
+// TierStackNames returns every accepted tier-stack spelling (canonical
+// names and aliases), sorted — error-message material.
+func TierStackNames() []string {
+	var names []string
+	for _, e := range tierCatalog {
+		names = append(names, e.Name)
+		names = append(names, e.Aliases...)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// TierStackByName resolves a tier-stack catalog entry by canonical name or
+// alias (case-insensitive; empty means "2tier"). Unknown names return an
+// error listing every accepted spelling.
+func TierStackByName(name string) (TierStackEntry, error) {
+	e, err := resolveTierStack(name)
+	if err != nil {
+		return TierStackEntry{}, err
+	}
+	return *e, nil
+}
+
+// resolveTierStack maps a name or alias to its catalog entry.
+func resolveTierStack(name string) (*TierStackEntry, error) {
+	s := strings.ToLower(strings.TrimSpace(name))
+	if s == "" {
+		s = "2tier"
+	}
+	for i := range tierCatalog {
+		e := &tierCatalog[i]
+		if e.Name == s {
+			return e, nil
+		}
+		for _, a := range e.Aliases {
+			if a == s {
+				return e, nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("emogi: unknown tier stack %q (valid: %s)",
+		name, strings.Join(TierStackNames(), ", "))
+}
+
+// ApplyTierStack applies a named catalog tier stack to a system
+// configuration: "2tier" (and its aliases) leaves the classic two-tier
+// machine untouched; "3tier-cxl" attaches a CXL-class external tier with
+// capacity 4x the configured host DRAM. Unknown names list the valid
+// spellings.
+func ApplyTierStack(cfg SystemConfig, name string) (SystemConfig, error) {
+	e, err := resolveTierStack(name)
+	if err != nil {
+		return cfg, err
+	}
+	switch e.Name {
+	case "2tier":
+		return cfg, nil
+	case "3tier-cxl":
+		base := cfg.Tiers
+		if base == nil {
+			base = memsys.TwoTier(cfg.GPU.MemBytes, cfg.GPU.HostMemBytes,
+				cfg.GPU.HBM, cfg.GPU.HostDRAM, cfg.GPU.Link)
+		}
+		cfg.Tiers = memsys.ThreeTierCXL(base, 4*cfg.GPU.HostMemBytes)
+		return cfg, nil
+	default:
+		return cfg, fmt.Errorf("emogi: tier stack %q has no builder", e.Name)
+	}
+}

@@ -1,0 +1,203 @@
+package emogi
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestTierCatalogAndAliases(t *testing.T) {
+	stacks := TierStacks()
+	if len(stacks) != 2 || stacks[0].Name != "2tier" || stacks[1].Name != "3tier-cxl" {
+		t.Fatalf("catalog = %+v", stacks)
+	}
+	for name, want := range map[string]string{
+		"2tier": "2tier", "two-tier": "2tier", "pcie": "2tier", "default": "2tier", "": "2tier",
+		"3tier-cxl": "3tier-cxl", "3tier": "3tier-cxl", "cxl": "3tier-cxl",
+		"three-tier": "3tier-cxl", "CXL": "3tier-cxl", " 3TIER ": "3tier-cxl",
+	} {
+		e, err := TierStackByName(name)
+		if err != nil {
+			t.Errorf("TierStackByName(%q): %v", name, err)
+			continue
+		}
+		if e.Name != want {
+			t.Errorf("TierStackByName(%q) = %s, want %s", name, e.Name, want)
+		}
+	}
+	_, err := TierStackByName("nvlink")
+	if err == nil {
+		t.Fatal("unknown tier stack should error")
+	}
+	for _, frag := range []string{"2tier", "3tier-cxl", "cxl", "pcie"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("error should list %q: %v", frag, err)
+		}
+	}
+}
+
+func TestSystemConfigTierStackDerivation(t *testing.T) {
+	for _, mk := range []func(float64) SystemConfig{V100PCIe3, TitanXpPCIe3, A100PCIe3, A100PCIe4} {
+		cfg := mk(0.05)
+		ts := cfg.TierStack()
+		if err := ts.Validate(); err != nil {
+			t.Errorf("%s: derived stack invalid: %v", cfg.Name, err)
+		}
+		dram := ts.DRAM()
+		if dram.Link.Name != cfg.GPU.Link.Name || dram.Link.RawBytesPerSec != cfg.GPU.Link.RawBytesPerSec {
+			t.Errorf("%s: derived DRAM link %q does not match GPU.Link %q", cfg.Name, dram.Link.Name, cfg.GPU.Link.Name)
+		}
+		if ts.HBM().CapacityBytes != cfg.GPU.MemBytes || dram.CapacityBytes != cfg.GPU.HostMemBytes {
+			t.Errorf("%s: derived capacities do not match the classic fields", cfg.Name)
+		}
+		if ts.HasCXL() {
+			t.Errorf("%s: platform constructors are two-tier", cfg.Name)
+		}
+	}
+}
+
+func TestApplyTierStackThreeTier(t *testing.T) {
+	base := V100PCIe3(0.05)
+	cfg, err := ApplyTierStack(base, "3tier-cxl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := cfg.TierStack()
+	if !ts.HasCXL() {
+		t.Fatal("3tier-cxl config has no CXL tier")
+	}
+	if got, want := ts.CXL().CapacityBytes, 4*base.GPU.HostMemBytes; got != want {
+		t.Errorf("CXL capacity = %d, want 4x host DRAM = %d", got, want)
+	}
+	two, err := ApplyTierStack(base, "2tier")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Tiers != nil {
+		t.Error("2tier should keep the classic (nil Tiers) configuration")
+	}
+	if _, err := ApplyTierStack(base, "bogus"); err == nil {
+		t.Error("unknown stack name should error")
+	}
+}
+
+// TestThreeTierTraversalEndToEnd drives the public API through a 3-tier
+// system: CXL placement must produce CXL traffic and exact results, and the
+// two-tier system must reject CXL placement with a clear error.
+func TestThreeTierTraversalEndToEnd(t *testing.T) {
+	cfg, err := ApplyTierStack(V100PCIe3(0.02), "3tier-cxl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(cfg)
+	g, err := BuildDataset("GK", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg, err := sys.Load(g, WithPlacement(PlaceCXL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PickSources(g, 1, 71)[0]
+	res, err := sys.Do(context.Background(), Request{Graph: dg, Algo: "bfs", Src: src, Variant: MergedAligned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, res); err != nil {
+		t.Fatalf("CXL-placed traversal wrong: %v", err)
+	}
+	if res.Stats.CXLRequests == 0 || res.Stats.CXLPayloadBytes == 0 {
+		t.Errorf("CXL-placed run recorded no CXL traffic: reqs=%d payload=%d",
+			res.Stats.CXLRequests, res.Stats.CXLPayloadBytes)
+	}
+
+	// Request-level placement moves the graph back to DRAM; the following
+	// run must be CXL-quiet.
+	res2, err := sys.Do(context.Background(), Request{
+		Graph: dg, Algo: "bfs", Src: src, Variant: MergedAligned, Placement: PlaceDRAM})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, res2); err != nil {
+		t.Fatalf("re-homed traversal wrong: %v", err)
+	}
+	if res2.Stats.CXLRequests != 0 {
+		t.Errorf("DRAM-re-homed run still issued %d CXL requests", res2.Stats.CXLRequests)
+	}
+
+	// Two-tier systems reject CXL placement at load.
+	sys2 := NewSystem(V100PCIe3(0.02))
+	if _, err := sys2.Load(g, WithPlacement(PlaceCXL)); err == nil {
+		t.Error("PlaceCXL on a two-tier system should fail at Load")
+	}
+}
+
+// TestWithTierStackAtLoad attaches the CXL tier through the Load option on
+// a system built two-tier.
+func TestWithTierStackAtLoad(t *testing.T) {
+	cfg := V100PCIe3(0.02)
+	sys := NewSystem(cfg)
+	g, err := BuildDataset("GU", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := ThreeTierCXL(cfg.TierStack(), 4*cfg.GPU.HostMemBytes)
+	dg, err := sys.Load(g, WithTierStack(ts), WithPlacement(PlaceCXL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PickSources(g, 1, 71)[0]
+	res, err := sys.Do(context.Background(), Request{Graph: dg, Algo: "bfs", Src: src, Variant: MergedAligned})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(g, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.CXLRequests == 0 {
+		t.Error("load-time-attached CXL tier served no traffic")
+	}
+
+	// A stack whose DRAM capacity disagrees with the machine is rejected.
+	bad := ThreeTierCXL(TwoTier(cfg.GPU.MemBytes, cfg.GPU.HostMemBytes+1,
+		cfg.GPU.HBM, cfg.GPU.HostDRAM, cfg.GPU.Link), 1<<30)
+	if _, err := sys.Load(g, WithTierStack(bad)); err == nil {
+		t.Error("mismatched tier stack should fail at Load")
+	}
+}
+
+// TestGPUDrivenPagingSystem checks the system-level paging selector: same
+// migrations, faster UVM-bound runs.
+func TestGPUDrivenPagingSystem(t *testing.T) {
+	g, err := BuildDataset("GK", 0.02, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := PickSources(g, 1, 71)[0]
+	run := func(gpuDriven bool) *Result {
+		cfg := V100PCIe3(0.02)
+		cfg.GPUDrivenPaging = gpuDriven
+		sys := NewSystem(cfg)
+		dg, err := sys.Load(g, WithTransportPolicy(StaticPolicy(UVM)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := sys.Do(context.Background(), Request{Graph: dg, Algo: "bfs", Src: src, Variant: Merged})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(g, res); err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	cpu, gpu := run(false), run(true)
+	if cpu.Stats.UVMMigrations != gpu.Stats.UVMMigrations {
+		t.Errorf("paging models disagree on migrations: %d vs %d",
+			cpu.Stats.UVMMigrations, gpu.Stats.UVMMigrations)
+	}
+	if gpu.Elapsed >= cpu.Elapsed {
+		t.Errorf("GPU-driven paging should beat the CPU fault handler on a UVM run: %v vs %v",
+			gpu.Elapsed, cpu.Elapsed)
+	}
+}

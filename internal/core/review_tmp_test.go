@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// Temporary review check: weighted graph spilling under PlaceAuto.
+func TestReviewWeightedSpill(t *testing.T) {
+	g := graph.RMAT("wspill", 8192, 24, 0.57, 0.19, 0.19, true, 1)
+	g.InitWeights(7, 1, 64)
+	edgeBytes := g.NumEdges() * 8
+	hostCap := edgeBytes/2 + 4096
+	dev := threeTierDevice(hostCap, 4*edgeBytes, false)
+	_, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+	if err != nil {
+		t.Fatalf("weighted spill upload failed: %v", err)
+	}
+}
+
+// Temporary review check: weighted graph where edges fit DRAM exactly but
+// weights push past it, with a CXL tier available.
+func TestReviewWeightsJustOverflow(t *testing.T) {
+	g := graph.RMAT("woverflow", 8192, 24, 0.57, 0.19, 0.19, true, 1)
+	g.InitWeights(7, 1, 64)
+	edgeBytes := g.NumEdges() * 8
+	hostCap := edgeBytes + 4096 // edges fit, edges+weights do not
+	dev := threeTierDevice(hostCap, 4*edgeBytes, false)
+	_, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+	if err != nil {
+		t.Fatalf("weights-overflow upload failed: %v", err)
+	}
+}

@@ -36,7 +36,9 @@ func main() {
 		sources   = flag.Int("sources", 3, "sources averaged per measurement (paper uses 64)")
 		quick     = flag.Bool("quick", false, "use the reduced quick configuration")
 		workers   = flag.Int("workers", 0, "host goroutines per kernel launch (0 = GOMAXPROCS, 1 = serial; results are identical)")
-		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,transport,fig3..fig12,ablation-*")
+		only      = flag.String("only", "", "comma-separated subset: table1,table2,table3,transport,reorder,fig3..fig12,ablation-*")
+		reorder   = flag.Int("reorder-window", 32,
+			"window size in 32B sectors for the -only reorder comparison (off-vs-on legs)")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations")
 		outDir    = flag.String("o", "", "also write each table to <dir>/<id>.txt")
 		csv       = flag.Bool("csv", false, "with -o, also write <dir>/<id>.csv")
@@ -212,6 +214,11 @@ func main() {
 		log.Printf("running UVM paging-model comparison (cpu fault handler vs gpu-driven)...")
 		t, err := bench.PagingComparison(ds, bench.AllSyms(), []string{"bfs", "sssp"})
 		emit("paging", t, err)
+	}
+	if selected("reorder") {
+		log.Printf("running reorder-window comparison (off vs %d sectors)...", *reorder)
+		t, err := bench.ReorderComparison(ds, bench.AllSyms(), []string{"bfs", "sssp"}, *reorder)
+		emit("reorder", t, err)
 	}
 
 	type ablation struct {

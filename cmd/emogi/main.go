@@ -47,6 +47,8 @@ func main() {
 			"edge-list tier placement: auto (DRAM with CXL spill), dram, or cxl")
 		validate = flag.Bool("validate", true, "validate results against CPU references")
 		kernels  = flag.Bool("kernels", false, "print the per-kernel (per-level) breakdown of the last run")
+		reorder  = flag.Int("reorder-window", 0,
+			"IARU-style reorder window in 32B sectors (0 disables; >0 buffers off-device accesses and re-groups them by 128B line before dispatch)")
 		compare  = flag.Bool("compare", false, "run the UVM baseline alongside and print the speedup")
 		gpus     = flag.Int("gpus", 1, "simulated GPU count (>1 uses the multi-GPU engine; BFS/SSSP/CC)")
 	)
@@ -92,7 +94,7 @@ func main() {
 			if appID != emogi.BFS {
 				log.Fatalf("variant %q only supports -app bfs", ext)
 			}
-			runExtension(g, ext, *platform, *scale, *sources, *seed, *validate)
+			runExtension(g, ext, *platform, *scale, *sources, *seed, *reorder, *validate)
 			return
 		}
 		if *gpus > 1 {
@@ -100,6 +102,9 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			// runMultiGPU builds devices from cfg.GPU directly, so apply the
+			// override here rather than through NewSystem.
+			cfg.GPU.ReorderWindow = *reorder
 			runMultiGPU(g, appID, cfg, *gpus, *sources, *seed, *elemBytes, *validate)
 			return
 		}
@@ -133,6 +138,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.ReorderWindow = *reorder
 
 	sys := emogi.NewSystem(cfg)
 	dg, err := sys.Load(g, emogi.WithTransportPolicy(pol), emogi.WithElemBytes(*elemBytes),
@@ -262,11 +268,12 @@ func printKernelLog(dev *gpu.Device) {
 }
 
 // runExtension measures the balanced or compressed BFS extension.
-func runExtension(g *emogi.Graph, ext, platform string, scale float64, sources int, seed int64, validate bool) {
+func runExtension(g *emogi.Graph, ext, platform string, scale float64, sources int, seed int64, reorder int, validate bool) {
 	cfg, err := parsePlatform(platform, scale)
 	if err != nil {
 		log.Fatal(err)
 	}
+	cfg.GPU.ReorderWindow = reorder
 	srcs := emogi.PickSources(g, sources, seed)
 	if srcs == nil {
 		log.Fatal("graph has no vertices with outgoing edges")

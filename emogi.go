@@ -172,6 +172,15 @@ type SystemConfig struct {
 	// identical for every worker count; only host wall-clock time changes.
 	Workers int
 
+	// ReorderWindow, when non-zero, overrides GPU.ReorderWindow: the
+	// IARU-style reorder stage's per-warp window, in 32-byte sectors.
+	// Off-device accesses buffer in the window and are re-grouped by
+	// 128-byte line before dispatch, merging requests that different
+	// virtual-warp slices aimed at the same line. 0 (the default) disables
+	// the stage and is bit-identical to the historical engine; results are
+	// identical either way, only request shape and simulated time change.
+	ReorderWindow int
+
 	// Telemetry, when non-nil, observes every kernel launch, traversal
 	// round, and bulk copy on the system's device. Nil (the default) keeps
 	// the hook points disabled at zero cost.
@@ -277,6 +286,9 @@ type System struct {
 func NewSystem(cfg SystemConfig) *System {
 	if cfg.Workers != 0 {
 		cfg.GPU.Workers = cfg.Workers
+	}
+	if cfg.ReorderWindow != 0 {
+		cfg.GPU.ReorderWindow = cfg.ReorderWindow
 	}
 	if cfg.Tiers != nil {
 		cfg.GPU.Tiers = cfg.Tiers

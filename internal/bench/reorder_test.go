@@ -1,0 +1,40 @@
+package bench
+
+import "testing"
+
+// TestReorderComparison pins the tentpole claim at the probe scale: with
+// the reorder window on, every Table-2 cell's mean zero-copy request size
+// goes UP and no cell's simulated runtime regresses beyond 2% noise; the
+// eliminated requests are fully attributed to the merge counter.
+func TestReorderComparison(t *testing.T) {
+	t.Parallel()
+	ds := NewDatasets(Config{Scale: 0.05, Seed: 42, Sources: 1})
+	cells, err := RunReorderComparison(ds, []string{"GK", "GU"}, []string{"bfs", "sssp"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(cells))
+	}
+	for i := range cells {
+		c := &cells[i]
+		t.Logf("%s %-5s reqs %d->%d merged %d mean %.1f->%.1fB time %v->%v",
+			c.Graph, c.Algo, c.OffRequests, c.OnRequests, c.Merged,
+			c.MeanOff(), c.MeanOn(), c.OffElapsed, c.OnElapsed)
+		if c.OffRequests == 0 || c.OnRequests == 0 {
+			t.Fatalf("%s/%s: no zero-copy requests measured", c.Graph, c.Algo)
+		}
+		if c.OffRequests-c.OnRequests != c.Merged {
+			t.Errorf("%s/%s: request delta %d not attributed to merges %d",
+				c.Graph, c.Algo, c.OffRequests-c.OnRequests, c.Merged)
+		}
+		if c.MeanOn() <= c.MeanOff() {
+			t.Errorf("%s/%s: mean request size did not grow: %.2f -> %.2f",
+				c.Graph, c.Algo, c.MeanOff(), c.MeanOn())
+		}
+		if float64(c.OnElapsed) > float64(c.OffElapsed)*1.02 {
+			t.Errorf("%s/%s: reorder window regressed runtime beyond 2%%: %v -> %v",
+				c.Graph, c.Algo, c.OffElapsed, c.OnElapsed)
+		}
+	}
+}

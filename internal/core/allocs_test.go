@@ -1,0 +1,155 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/gpu"
+	"repro/internal/graph"
+	"repro/internal/memsys"
+	"repro/internal/pcie"
+)
+
+// This file pins the engine's zero-alloc round contract: once a run's
+// first round has warmed the per-worker scratch and the device's
+// capacity-preserving stat buffers, a steady-state round performs NO heap
+// allocation — not in the round loop, not in the kernel bodies, not in
+// the visitors, not in the coalescer or its reorder stage.
+//
+// The contract is asserted with a delta method built on
+// testing.AllocsPerRun (the testing-package form of AllocsPerOp): two
+// full runs on the same warmed device differ only in their round count,
+// so their total allocation counts are equal exactly when the per-round
+// allocation count is zero. This is robust against per-run constants
+// (Result assembly, runState, prebuilt visitors) that a naive per-op
+// threshold would have to guess at.
+//
+// The contract covers the serial engine (Workers=1): parallel launches
+// spawn worker goroutines per launch by design, which Go runtime
+// machinery charges allocations for outside the engine's control.
+
+// allocDevice returns a single-worker device, optionally with the
+// coalescer's reorder stage enabled, so the contract covers both paths.
+func allocDevice(reorderWindow int) *gpu.Device {
+	return gpu.NewDevice(gpu.Config{
+		Name:          "alloc-test",
+		HBM:           memsys.HBM2V100(),
+		HostDRAM:      memsys.DDR4Quad(),
+		Link:          pcie.Gen3x16(),
+		Workers:       1,
+		ReorderWindow: reorderWindow,
+	})
+}
+
+// depthSources returns two sources whose BFS depths differ, so runs from
+// them take different round counts.
+func depthSources(t *testing.T, g *graph.CSR) (int, int) {
+	t.Helper()
+	depth := func(src int) uint32 {
+		d := uint32(0)
+		for _, l := range graph.RefBFS(g, src) {
+			if l != graph.InfDist && l > d {
+				d = l
+			}
+		}
+		return d
+	}
+	cands := graph.PickSources(g, 16, 29)
+	for _, s := range cands[1:] {
+		if depth(s) != depth(cands[0]) {
+			return cands[0], s
+		}
+	}
+	t.Fatal("no source pair with differing BFS depth; pick a different graph seed")
+	return 0, 0
+}
+
+// measureRunAllocs returns the average total allocations of run(src),
+// after warming both sources so capacity growth is excluded.
+func measureRunAllocs(run func(src int), srcA, srcB int) (float64, float64) {
+	run(srcA)
+	run(srcB)
+	a := testing.AllocsPerRun(5, func() { run(srcA) })
+	b := testing.AllocsPerRun(5, func() { run(srcB) })
+	return a, b
+}
+
+func assertEqualAllocs(t *testing.T, name string, a, b float64, itersA, itersB int) {
+	t.Helper()
+	if itersA == itersB {
+		t.Fatalf("%s: both runs took %d rounds; the delta method needs differing round counts", name, itersA)
+	}
+	if a != b {
+		t.Errorf("%s: steady-state rounds allocate: %d-round run averaged %.1f allocs, %d-round run %.1f — the per-round delta must be zero",
+			name, itersA, a, itersB, b)
+	}
+}
+
+// TestSteadyStateRoundAllocsEngine covers the single-source engine:
+// FrontierMatch (BFS) and FrontierActive (SSSP) disciplines, with the
+// reorder stage off and on.
+func TestSteadyStateRoundAllocsEngine(t *testing.T) {
+	g := graph.Urand("alloc-u", 800, 8, 3)
+	g.InitWeights(7, 8, 72)
+	for _, rw := range []int{0, 16} {
+		dev := allocDevice(rw)
+		dg, err := Upload(dev, g, ZeroCopy, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcA, srcB := depthSources(t, g)
+		for _, tc := range []struct {
+			name string
+			algo func(src int) (*Result, error)
+		}{
+			{"bfs", func(src int) (*Result, error) { return BFS(dev, dg, src, MergedAligned) }},
+			{"sssp", func(src int) (*Result, error) { return SSSP(dev, dg, src, MergedAligned) }},
+		} {
+			iters := map[int]int{}
+			run := func(src int) {
+				dev.ResetStats()
+				res, err := tc.algo(src)
+				if err != nil {
+					t.Fatalf("reorder=%d/%s: %v", rw, tc.name, err)
+				}
+				iters[src] = res.Iterations
+			}
+			a, b := measureRunAllocs(run, srcA, srcB)
+			assertEqualAllocs(t, tc.name, a, b, iters[srcA], iters[srcB])
+		}
+	}
+}
+
+// TestSteadyStateRoundAllocsBatch covers the batched lane loop: the
+// match (BFS) and active (SSSP) batched kernels with K=4 lanes.
+func TestSteadyStateRoundAllocsBatch(t *testing.T) {
+	g := graph.Urand("alloc-b", 800, 8, 3)
+	g.InitWeights(7, 8, 72)
+	for _, rw := range []int{0, 16} {
+		dev := allocDevice(rw)
+		dg, err := Upload(dev, g, ZeroCopy, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srcA, srcB := depthSources(t, g)
+		for _, app := range []string{"bfs", "sssp"} {
+			iters := map[int]int{}
+			run := func(src int) {
+				dev.ResetStats()
+				specs := []BatchSpec{{Src: src}, {Src: src}, {Src: src}, {Src: src}}
+				out, err := RunBatchAlgo(context.Background(), dev, dg, app, specs, MergedAligned)
+				if err != nil {
+					t.Fatalf("reorder=%d/%s-batch: %v", rw, app, err)
+				}
+				for _, item := range out.Results {
+					if item.Err != nil {
+						t.Fatalf("reorder=%d/%s-batch lane: %v", rw, app, item.Err)
+					}
+					iters[src] = item.Res.Iterations
+				}
+			}
+			a, b := measureRunAllocs(run, srcA, srcB)
+			assertEqualAllocs(t, app+"-batch", a, b, iters[srcA], iters[srcB])
+		}
+	}
+}

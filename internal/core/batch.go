@@ -103,6 +103,19 @@ type batchRun struct {
 	prt   *policyRuntime // non-nil only for routed transport-policy runs
 
 	scans, saved uint64
+
+	// Prebuilt per-run machinery for the zero-alloc round contract
+	// (allocs_test.go): the launch bodies and the shared visitor are
+	// constructed once at run setup and read the mutable fields below;
+	// liveList and liveSnap are reused round to round.
+	matchBody, activeBody func(w *gpu.Warp)
+	batchVisit            visitFn
+	liveList              []int
+	liveSnap              []uint64 // copy of live the active body reads, stable per launch
+	matchLevel            uint32
+	pushVal               uint32
+	pred                  func(v int) bool
+	predLevel             uint32
 }
 
 func (br *batchRun) faultCount() uint64 { return br.dev.Total().FaultedReads }
@@ -111,16 +124,17 @@ func (br *batchRun) isLive(q int) bool { return br.live[q>>6]&(1<<(uint(q)&63)) 
 func (br *batchRun) clearLive(q int)   { br.live[q>>6] &^= 1 << (uint(q) & 63) }
 func (br *batchRun) setLive(q int)     { br.live[q>>6] |= 1 << (uint(q) & 63) }
 
-// liveLanes returns the live lane numbers ascending. The slice is fresh
-// each round: kernel closures capture it while the mask words mutate
-// across rounds.
+// liveLanes rebuilds br.liveList (ascending live lane numbers) and returns
+// it. The backing array is reused across rounds: the launch bodies read it
+// through br, and a launch always completes before the next rebuild.
 func (br *batchRun) liveLanes() []int {
-	out := make([]int, 0, br.k)
+	out := br.liveList[:0]
 	for q := 0; q < br.k; q++ {
 		if br.isLive(q) {
 			out = append(out, q)
 		}
 	}
+	br.liveList = out
 	return out
 }
 
@@ -147,7 +161,8 @@ func (br *batchRun) round(level uint32) bool {
 	}
 	br.accountScans(liveList, level)
 	if br.prt != nil {
-		br.prt.beforeRound(int(level), func(v int) bool { return br.anyActive(liveList, v, level) })
+		br.predLevel = level
+		br.prt.beforeRound(int(level), br.pred)
 	}
 
 	// Clear the live lanes' convergence flags (a host-to-device write,
@@ -162,9 +177,9 @@ func (br *batchRun) round(level uint32) bool {
 		// active lanes read source values from here while atomics land in
 		// the live array, same discipline as the single-source engine.
 		dev.CopyOnDevice(br.snap, br.values)
-		br.launchActive(liveList)
+		br.launchActive()
 	} else {
-		br.launchMatch(liveList, level)
+		br.launchMatch(level)
 	}
 
 	// Read the flags back; a live lane with a clear flag reached its
@@ -273,19 +288,23 @@ func gatherGroup(w *gpu.Warp, buf *memsys.Buffer, base int64, lanes []int, out [
 	}
 }
 
-// visit builds the batched edge visitor for one vertex's active lanes:
-// for each traversed edge chunk and each active query lane q, it relaxes
-// the destinations' lane-q entries and folds the per-lane success
-// predicate into lane q's convergence flag and (under FrontierActive)
-// the destinations' lane-q frontier bits. Both stores are issued for the
-// full edge mask with zero contributions for non-improving lanes — the
-// same traffic-depends-on-mask-alone discipline as Monoid.visitor, so
-// results and counters are independent of worker count.
-func (br *batchRun) visit(act []int, push []uint32) visitFn {
+// buildVisit builds the batched edge visitor, shared by every warp of
+// every round: for each traversed edge chunk and each active query lane q
+// (read from the worker's scratch, where the launch body staged the
+// vertex's active-lane list and push values), it relaxes the
+// destinations' lane-q entries and folds the per-lane success predicate
+// into lane q's convergence flag and (under FrontierActive) the
+// destinations' lane-q frontier bits. Both stores are issued for the full
+// edge mask with zero contributions for non-improving lanes — the same
+// traffic-depends-on-mask-alone discipline as Monoid.visitor, so results
+// and counters are independent of worker count.
+func (br *batchRun) buildVisit() visitFn {
 	m := br.prog.Relax
 	k := int64(br.k)
 	lw := int64(br.lwords)
 	return func(w *gpu.Warp, mask gpu.Mask, dst *[gpu.WarpSize]uint32, wgt, _ *[gpu.WarpSize]uint32) {
+		s := scratchOf(w)
+		act, push := s.act, s.push
 		for i, q := range act {
 			var idx [gpu.WarpSize]int64
 			var val [gpu.WarpSize]uint32
@@ -329,44 +348,13 @@ func (br *batchRun) visit(act []int, push []uint32) visitFn {
 	}
 }
 
-// launchMatch runs one batched match-by-level round (BFS): a warp per
-// vertex gathers the vertex's live-lane value group, keeps the lanes
-// sitting exactly at the current level, and walks the neighbor list once
-// for all of them. Batched scanning is inherently warp-per-vertex, so
-// the requested variant selects only the 128B alignment shift; see
-// DESIGN.md §13 for the design argument.
-func (br *batchRun) launchMatch(liveList []int, level uint32) {
-	dg := br.dg
-	k := int64(br.k)
-	prog := br.prog
-	pushVal := prog.push(level)
-	aligned := br.aligned
-	br.dev.Launch(br.roundName, br.n, func(w *gpu.Warp) {
-		v := int64(w.ID())
-		group := make([]uint32, len(liveList))
-		gatherGroup(w, br.values, v*k, liveList, group)
-		act := make([]int, 0, len(liveList))
-		for i, q := range liveList {
-			if group[i] == level {
-				act = append(act, q)
-			}
-		}
-		if len(act) == 0 {
-			return
-		}
-		push := make([]uint32, len(act))
-		for i := range push {
-			push[i] = pushVal
-		}
-		walkMerged(w, dg, v, 0, aligned, false, br.visit(act, push))
-	})
-}
-
-// launchActive runs one batched explicit-frontier round (SSSP, SSWP): a
-// warp per vertex reads the vertex's frontier words, masks them to the
-// live lanes, gathers the surviving lanes' snapshot values, drops lanes
-// still at the identity, and walks the neighbor list once for the rest.
-func (br *batchRun) launchActive(liveList []int) {
+// buildBodies constructs the two launch bodies once per run. Both stage
+// each vertex's active-lane list and push values in the worker's scratch
+// (sized to the batch width by batchScratch) before walking the neighbor
+// list with the shared visitor — no per-warp makes, no per-round
+// closures. Per-round inputs (liveList, matchLevel/pushVal, the cur/next
+// swap, the liveSnap copy) are fields the bodies read through br.
+func (br *batchRun) buildBodies() {
 	dg := br.dg
 	k := int64(br.k)
 	lw := int64(br.lwords)
@@ -374,12 +362,46 @@ func (br *batchRun) launchActive(liveList []int) {
 	ident := prog.Relax.Identity
 	needW := prog.Weighted
 	aligned := br.aligned
-	live := append([]uint64(nil), br.live...) // stable for this launch
-	br.dev.Launch(br.roundName, br.n, func(w *gpu.Warp) {
+	br.batchVisit = br.buildVisit()
+
+	// Batched match-by-level (BFS): a warp per vertex gathers the vertex's
+	// live-lane value group, keeps the lanes sitting exactly at the current
+	// level, and walks the neighbor list once for all of them. Batched
+	// scanning is inherently warp-per-vertex, so the requested variant
+	// selects only the 128B alignment shift; see DESIGN.md §13.
+	br.matchBody = func(w *gpu.Warp) {
 		v := int64(w.ID())
-		act := make([]int, 0, len(liveList))
+		s := br.batchScratch(w)
+		liveList := br.liveList
+		group := s.groupBuf[:len(liveList)]
+		gatherGroup(w, br.values, v*k, liveList, group)
+		act := s.actBuf[:0]
+		for i, q := range liveList {
+			if group[i] == br.matchLevel {
+				act = append(act, q)
+			}
+		}
+		if len(act) == 0 {
+			return
+		}
+		push := s.pushBuf[:len(act)]
+		for i := range push {
+			push[i] = br.pushVal
+		}
+		s.act, s.push = act, push
+		walkMerged(w, dg, v, 0, aligned, false, br.batchVisit)
+	}
+
+	// Batched explicit-frontier (SSSP, SSWP): a warp per vertex reads the
+	// vertex's frontier words, masks them to the live lanes, gathers the
+	// surviving lanes' snapshot values, drops lanes still at the identity,
+	// and walks the neighbor list once for the rest.
+	br.activeBody = func(w *gpu.Warp) {
+		v := int64(w.ID())
+		s := br.batchScratch(w)
+		act := s.actBuf[:0]
 		for wd := int64(0); wd < lw; wd++ {
-			bm := w.ScalarU64(br.cur, v*lw+wd) & live[wd]
+			bm := w.ScalarU64(br.cur, v*lw+wd) & br.liveSnap[wd]
 			for bm != 0 {
 				act = append(act, int(wd)<<6+bits.TrailingZeros64(bm))
 				bm &= bm - 1
@@ -388,7 +410,7 @@ func (br *batchRun) launchActive(liveList []int) {
 		if len(act) == 0 {
 			return
 		}
-		group := make([]uint32, len(act))
+		group := s.groupBuf[:len(act)]
 		gatherGroup(w, br.snap, v*k, act, group)
 		work := act[:0]
 		push := group[:0]
@@ -401,8 +423,25 @@ func (br *batchRun) launchActive(liveList []int) {
 		if len(work) == 0 {
 			return
 		}
-		walkMerged(w, dg, v, 0, aligned, needW, br.visit(work, push))
-	})
+		s.act, s.push = work, push
+		walkMerged(w, dg, v, 0, aligned, needW, br.batchVisit)
+	}
+}
+
+// launchMatch runs one batched match-by-level round (the body reads the
+// live-lane list through br.liveList).
+func (br *batchRun) launchMatch(level uint32) {
+	br.matchLevel = level
+	br.pushVal = br.prog.push(level)
+	br.dev.Launch(br.roundName, br.n, br.matchBody)
+}
+
+// launchActive runs one batched explicit-frontier round. liveSnap keeps
+// the launch's view of the live mask stable while lanes retire between
+// rounds.
+func (br *batchRun) launchActive() {
+	br.liveSnap = append(br.liveSnap[:0], br.live...)
+	br.dev.Launch(br.roundName, br.n, br.activeBody)
 }
 
 // runBatchProgram executes a Program for K sources in one batched engine
@@ -480,6 +519,14 @@ func runBatchProgram(ctx context.Context, dev *gpu.Device, dg *DeviceGraph, prog
 			return nil, err
 		}
 	}
+
+	// Prebuild the round machinery (launch bodies, shared visitor, density
+	// predicate) and size the reused round scratch once, so steady-state
+	// rounds allocate nothing.
+	br.liveList = make([]int, 0, k)
+	br.liveSnap = make([]uint64, 0, lwords)
+	br.buildBodies()
+	br.pred = func(v int) bool { return br.anyActive(br.liveList, v, br.predLevel) }
 
 	// Per-lane admission: an out-of-range source fails its lane exactly
 	// as runProgram fails a single request; the lane never goes live.

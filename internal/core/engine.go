@@ -234,17 +234,30 @@ type engineConfig struct {
 }
 
 // stdMatchKernel launches the standard match-by-level kernel discipline.
+// The matchKernel (and its launch body) is built once on the first round
+// and reused, so steady-state rounds only assign its per-round fields —
+// part of the zero-alloc round contract (allocs_test.go).
 func stdMatchKernel(dg *DeviceGraph, variant Variant, name string, prog *Program) kernelFunc {
+	var k *matchKernel
 	return func(r *engineRound) {
-		launchMatchKernel(r.dev, dg, variant, name, r.values, r.level, prog.push(r.level), r.visit)
+		if k == nil {
+			k = newMatchKernel(r.dev, dg, variant, name)
+		}
+		k.state, k.match, k.pushVal, k.visit = r.values, r.level, prog.push(r.level), r.visit
+		k.launch()
 	}
 }
 
 // stdActiveKernel launches the standard explicit-active-set kernel
-// discipline.
+// discipline, holding its activeKernel across rounds like stdMatchKernel.
 func stdActiveKernel(dg *DeviceGraph, variant Variant, name string, prog *Program) kernelFunc {
+	var k *activeKernel
 	return func(r *engineRound) {
-		launchActiveKernel(r.dev, dg, variant, name, r.state, r.cur, prog.Weighted, prog.Relax.Identity, r.visit)
+		if k == nil {
+			k = newActiveKernel(r.dev, dg, variant, name, prog.Weighted, prog.Relax.Identity)
+		}
+		k.state, k.active, k.visit = r.state, r.cur, r.visit
+		k.launch()
 	}
 }
 
@@ -294,7 +307,12 @@ func runRounds(ctx context.Context, app string, t topology) (int, error) {
 	}
 }
 
-// singleRun is the standard one-device topology.
+// singleRun is the standard one-device topology. Everything a round needs
+// is prebuilt at run setup — the engineRound is an embedded value, the
+// monoid visitors are constructed once (two under FrontierActive, one per
+// identity of the double-buffered next-frontier bitmap), and the
+// transport-policy density predicate reads its level from a field — so a
+// steady-state round performs no heap allocation (allocs_test.go).
 type singleRun struct {
 	rs                      *runState
 	prog                    *Program
@@ -302,6 +320,16 @@ type singleRun struct {
 	n                       int
 	prt                     *policyRuntime // non-nil only for routed transport-policy runs
 	values, snap, cur, next *memsys.Buffer
+
+	r          engineRound // reused per round
+	visitMatch visitFn     // FrontierMatch visitor (no next-frontier bitmap)
+	// FrontierActive visitors, keyed by which buffer is `next` this round.
+	activeBuf   [2]*memsys.Buffer
+	activeVisit [2]visitFn
+	// Prebuilt density predicate for routed transport-policy runs; reads
+	// predLevel so beforeRound needs no per-round closure.
+	pred      func(v int) bool
+	predLevel uint32
 }
 
 func (e *singleRun) faultCount() uint64 { return e.rs.dev.Total().FaultedReads }
@@ -321,10 +349,12 @@ func (e *singleRun) round(level uint32) bool {
 	dev := e.rs.dev
 	roundStart := dev.Clock()
 	if e.prt != nil {
-		e.prt.beforeRound(int(level), func(v int) bool { return e.frontierActive(v, level) })
+		e.predLevel = level
+		e.prt.beforeRound(int(level), e.pred)
 	}
 	e.rs.clearFlag()
-	r := &engineRound{
+	r := &e.r
+	*r = engineRound{
 		dev:    dev,
 		n:      e.n,
 		level:  level,
@@ -339,9 +369,13 @@ func (e *singleRun) round(level uint32) bool {
 		// reads independent of warp execution order.
 		dev.CopyOnDevice(e.snap, e.values)
 		r.state = e.snap
-		r.visit = e.prog.Relax.visitor(e.values, e.next, e.rs.flag)
+		if e.next == e.activeBuf[0] {
+			r.visit = e.activeVisit[0]
+		} else {
+			r.visit = e.activeVisit[1]
+		}
 	} else {
-		r.visit = e.prog.Relax.visitor(e.values, nil, e.rs.flag)
+		r.visit = e.visitMatch
 	}
 	e.cfg.kernel(r)
 	more := e.rs.readFlag()
@@ -407,7 +441,15 @@ func runProgram(ctx context.Context, dev *gpu.Device, n int, prog *Program, src 
 			rs.abort()
 			return nil, err
 		}
+		// The two frontier bitmaps alternate as `next` across rounds;
+		// prebuild one visitor per identity so rounds just select one.
+		e.activeBuf[0], e.activeBuf[1] = e.cur, e.next
+		e.activeVisit[0] = prog.Relax.visitor(values, e.cur, rs.flag)
+		e.activeVisit[1] = prog.Relax.visitor(values, e.next, rs.flag)
+	} else {
+		e.visitMatch = prog.Relax.visitor(values, nil, rs.flag)
 	}
+	e.pred = func(v int) bool { return e.frontierActive(v, e.predLevel) }
 	// Initialize per-vertex state (and the seed frontier) host-side, then
 	// model the initial upload.
 	for v := 0; v < n; v++ {

@@ -243,6 +243,35 @@ func weightHomes(edgeHomes []memsys.Space, weightSize int64, edgeBytes int) []me
 	return homes
 }
 
+// capHomesToHostFree rechecks a DRAM-destined segment plan against the host
+// DRAM actually left (earlier allocations — the edge list — have consumed
+// capacity since the plan was derived): DRAM-bound segments that no longer
+// fit flip to CXL, earliest-fits-first, mirroring planHomes' fill-then-spill
+// order. Homes already aimed at CXL are untouched.
+func capHomesToHostFree(arena *memsys.Arena, homes []memsys.Space, size int64) []memsys.Space {
+	hostFree := arena.HostFree()
+	if hostFree < 0 {
+		return homes // unlimited host DRAM
+	}
+	var dramBytes int64
+	for j := range homes {
+		if homes[j] != memsys.SpaceHostPinned {
+			continue
+		}
+		segStart := int64(j) * memsys.SegmentBytes
+		segEnd := segStart + memsys.SegmentBytes
+		if segEnd > size {
+			segEnd = size
+		}
+		if dramBytes+(segEnd-segStart) > hostFree {
+			homes[j] = memsys.SpaceCXL
+			continue
+		}
+		dramBytes += segEnd - segStart
+	}
+	return homes
+}
+
 // UploadPolicyPlaced is UploadPolicy with explicit tier placement for the
 // edge and weight lists (see Placement). On devices without a CXL tier only
 // PlaceAuto and PlaceDRAM are valid, and both are the historical layout.
@@ -306,11 +335,29 @@ func UploadPolicyPlaced(dev *gpu.Device, g *graph.CSR, policy TransportPolicy, e
 		}
 	}
 	if g.Weights != nil {
+		// The weight plan runs after the edge allocation, so it sees the
+		// host DRAM the edges actually consumed: segments the edge-derived
+		// plan aims at DRAM spill to CXL once DRAM is exhausted, and a
+		// weight list with no edge-derived plan (edges fully in DRAM) gets
+		// its own capacity-aware plan instead of a guaranteed-OOM DRAM
+		// allocation.
+		wSize := e * 4
+		wh := weightHomes(edgeHomes, wSize, edgeBytes)
+		if wh == nil {
+			wh, err = planHomes(arena, wSize, placement)
+			if err != nil {
+				arena.Free(offsets)
+				arena.Free(edges)
+				return nil, err
+			}
+		} else {
+			wh = capHomesToHostFree(arena, wh, wSize)
+		}
 		wOpts := []memsys.AllocOption{memsys.WithElem(4)}
-		if wh := weightHomes(edgeHomes, e*4, edgeBytes); wh != nil {
+		if wh != nil {
 			wOpts = append(wOpts, memsys.WithSegmentHomes(wh))
 		}
-		weights, err := arena.Alloc(g.Name+".weights", space, e*4, wOpts...)
+		weights, err := arena.Alloc(g.Name+".weights", space, wSize, wOpts...)
 		if err != nil {
 			arena.Free(offsets)
 			arena.Free(edges)

@@ -17,6 +17,14 @@ import (
 // Each discipline comes in the three access variants of §5.1.2: Naive
 // (thread per vertex, Listing 1), Merged (warp per vertex, §4.3.1), and
 // MergedAligned (warp per vertex shifted to the 128B boundary, §4.3.2).
+//
+// Both disciplines are materialized as small kernel objects whose launch
+// body is built ONCE and reused for every round: the body reads the
+// object's mutable per-round fields (level, visitor, buffers) instead of
+// capturing per-round values, so a steady-state round allocates no
+// closures (the zero-alloc round contract, see allocs_test.go). Warp-size
+// arrays the body hands to the visitor route through the per-worker
+// scratch for the same reason (see scratch.go).
 
 // Parallel-determinism contract: kernels launched here run their warps on
 // several workers at once (gpu.Config.Workers). A match kernel's activity
@@ -27,61 +35,28 @@ import (
 // launch does not mutate (a snapshot of the relax target, see SSSP/CC) so
 // those reads are stable too.
 
-// launchMatchKernel runs one BFS-style iteration.
-func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
-	state *memsys.Buffer, match, pushVal uint32, visit visitFn) {
+// matchKernel is the reusable match-by-level launch: per-round fields are
+// assigned, then launch() runs the prebuilt body.
+type matchKernel struct {
+	dev   *gpu.Device
+	name  string
+	warps int
+	body  func(w *gpu.Warp)
 
-	n := dg.NumVertices()
-	switch variant {
-	case Naive:
-		warps := (n + gpu.WarpSize - 1) / gpu.WarpSize
-		dev.Launch(name, warps, func(w *gpu.Warp) {
-			vbase := int64(w.ID()) * gpu.WarpSize
-			var idx [gpu.WarpSize]int64
-			lanes := gpu.MaskNone
-			for l := 0; l < gpu.WarpSize; l++ {
-				if v := vbase + int64(l); v < int64(n) {
-					idx[l] = v
-					lanes = lanes.Set(l)
-				}
-			}
-			states := w.GatherU32(state, &idx, lanes)
-			active := gpu.MaskNone
-			var srcVals [gpu.WarpSize]uint32
-			for l := 0; l < gpu.WarpSize; l++ {
-				if lanes.Has(l) && states[l] == match {
-					active = active.Set(l)
-					srcVals[l] = pushVal
-				}
-			}
-			walkStrided(w, dg, vbase, active, &srcVals, false, visit)
-		})
-	case Merged, MergedAligned:
-		aligned := variant == MergedAligned
-		dev.Launch(name, n, func(w *gpu.Warp) {
-			v := int64(w.ID())
-			if w.ScalarU32(state, v) != match {
-				return
-			}
-			walkMerged(w, dg, v, pushVal, aligned, false, visit)
-		})
-	}
+	// Per-round inputs, written before each launch and read by body.
+	state   *memsys.Buffer
+	match   uint32
+	pushVal uint32
+	visit   visitFn
 }
 
-// launchActiveKernel runs one SSSP/CC-style iteration over the explicit
-// active set. needW selects whether edge weights are gathered. state is
-// the buffer active vertices read their source value from; per the
-// contract above it must not be written during the launch. ident is the
-// program's unreached value (the relax monoid's identity): vertices still
-// holding it have nothing to push and are skipped.
-func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
-	state, active *memsys.Buffer, needW bool, ident uint32, visit visitFn) {
-
+func newMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string) *matchKernel {
+	k := &matchKernel{dev: dev, name: name}
 	n := dg.NumVertices()
 	switch variant {
 	case Naive:
-		warps := (n + gpu.WarpSize - 1) / gpu.WarpSize
-		dev.Launch(name, warps, func(w *gpu.Warp) {
+		k.warps = (n + gpu.WarpSize - 1) / gpu.WarpSize
+		k.body = func(w *gpu.Warp) {
 			vbase := int64(w.ID()) * gpu.WarpSize
 			var idx [gpu.WarpSize]int64
 			lanes := gpu.MaskNone
@@ -91,7 +66,69 @@ func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name 
 					lanes = lanes.Set(l)
 				}
 			}
-			acts := w.GatherU32(active, &idx, lanes)
+			states := w.GatherU32(k.state, &idx, lanes)
+			active := gpu.MaskNone
+			s := scratchOf(w)
+			for l := 0; l < gpu.WarpSize; l++ {
+				s.src[l] = 0
+				if lanes.Has(l) && states[l] == k.match {
+					active = active.Set(l)
+					s.src[l] = k.pushVal
+				}
+			}
+			walkStrided(w, dg, vbase, active, &s.src, false, k.visit)
+		}
+	case Merged, MergedAligned:
+		aligned := variant == MergedAligned
+		k.warps = n
+		k.body = func(w *gpu.Warp) {
+			v := int64(w.ID())
+			if w.ScalarU32(k.state, v) != k.match {
+				return
+			}
+			walkMerged(w, dg, v, k.pushVal, aligned, false, k.visit)
+		}
+	}
+	return k
+}
+
+func (k *matchKernel) launch() { k.dev.Launch(k.name, k.warps, k.body) }
+
+// activeKernel is the reusable explicit-active-set launch. needW selects
+// whether edge weights are gathered; ident is the program's unreached
+// value (the relax monoid's identity): vertices still holding it have
+// nothing to push and are skipped. state is the buffer active vertices
+// read their source value from; per the contract above it must not be
+// written during the launch.
+type activeKernel struct {
+	dev   *gpu.Device
+	name  string
+	warps int
+	body  func(w *gpu.Warp)
+
+	// Per-round inputs, written before each launch and read by body.
+	state  *memsys.Buffer
+	active *memsys.Buffer
+	visit  visitFn
+}
+
+func newActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string, needW bool, ident uint32) *activeKernel {
+	k := &activeKernel{dev: dev, name: name}
+	n := dg.NumVertices()
+	switch variant {
+	case Naive:
+		k.warps = (n + gpu.WarpSize - 1) / gpu.WarpSize
+		k.body = func(w *gpu.Warp) {
+			vbase := int64(w.ID()) * gpu.WarpSize
+			var idx [gpu.WarpSize]int64
+			lanes := gpu.MaskNone
+			for l := 0; l < gpu.WarpSize; l++ {
+				if v := vbase + int64(l); v < int64(n) {
+					idx[l] = v
+					lanes = lanes.Set(l)
+				}
+			}
+			acts := w.GatherU32(k.active, &idx, lanes)
 			actMask := gpu.MaskNone
 			for l := 0; l < gpu.WarpSize; l++ {
 				if lanes.Has(l) && acts[l] != 0 {
@@ -101,27 +138,54 @@ func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name 
 			if actMask == gpu.MaskNone {
 				return
 			}
-			srcVals := w.GatherU32(state, &idx, actMask)
+			s := scratchOf(w)
+			s.src = w.GatherU32(k.state, &idx, actMask)
 			work := gpu.MaskNone
 			for l := 0; l < gpu.WarpSize; l++ {
-				if actMask.Has(l) && srcVals[l] != ident {
+				if actMask.Has(l) && s.src[l] != ident {
 					work = work.Set(l)
 				}
 			}
-			walkStrided(w, dg, vbase, work, &srcVals, needW, visit)
-		})
+			walkStrided(w, dg, vbase, work, &s.src, needW, k.visit)
+		}
 	case Merged, MergedAligned:
 		aligned := variant == MergedAligned
-		dev.Launch(name, n, func(w *gpu.Warp) {
+		k.warps = n
+		k.body = func(w *gpu.Warp) {
 			v := int64(w.ID())
-			if w.ScalarU32(active, v) == 0 {
+			if w.ScalarU32(k.active, v) == 0 {
 				return
 			}
-			sv := w.ScalarU32(state, v)
+			sv := w.ScalarU32(k.state, v)
 			if sv == ident {
 				return
 			}
-			walkMerged(w, dg, v, sv, aligned, needW, visit)
-		})
+			walkMerged(w, dg, v, sv, aligned, needW, k.visit)
+		}
 	}
+	return k
+}
+
+func (k *activeKernel) launch() { k.dev.Launch(k.name, k.warps, k.body) }
+
+// launchMatchKernel runs one BFS-style iteration through a throwaway
+// matchKernel. Specialty callers (direction-optimized push rounds) that
+// mix disciplines round to round use it; the engine's standard round loop
+// holds a matchKernel instead so steady-state rounds stay allocation-free.
+func launchMatchKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
+	state *memsys.Buffer, match, pushVal uint32, visit visitFn) {
+
+	k := newMatchKernel(dev, dg, variant, name)
+	k.state, k.match, k.pushVal, k.visit = state, match, pushVal, visit
+	k.launch()
+}
+
+// launchActiveKernel runs one SSSP/CC-style iteration through a throwaway
+// activeKernel; see launchMatchKernel for when to prefer a held kernel.
+func launchActiveKernel(dev *gpu.Device, dg *DeviceGraph, variant Variant, name string,
+	state, active *memsys.Buffer, needW bool, ident uint32, visit visitFn) {
+
+	k := newActiveKernel(dev, dg, variant, name, needW, ident)
+	k.state, k.active, k.visit = state, active, visit
+	k.launch()
 }

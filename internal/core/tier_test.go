@@ -322,3 +322,105 @@ func TestPagingDeterminism(t *testing.T) {
 			gpuRes.res.Elapsed, cpu.res.Elapsed)
 	}
 }
+
+// TestWeightedSpillHomes loads a weighted graph whose edge list alone
+// oversubscribes host DRAM (promoted from the PR 9 review scratch test,
+// which only checked that the upload did not error). The edge list must
+// split across DRAM and CXL, and the weight list — planned after the edges
+// have consumed DRAM — must land entirely on the CXL tier rather than OOM
+// against a full DRAM. Traversal over the split layout must stay exact and
+// actually exercise both links.
+func TestWeightedSpillHomes(t *testing.T) {
+	t.Parallel()
+	g := graph.RMAT("wspill", 8192, 24, 0.57, 0.19, 0.19, true, 1)
+	g.InitWeights(7, 1, 64)
+	edgeBytes := g.NumEdges() * 8
+	hostCap := edgeBytes/2 + 4096 // roughly half the edge list fits
+	dev := threeTierDevice(hostCap, 4*edgeBytes, false)
+	dg, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+	if err != nil {
+		t.Fatalf("weighted spill upload failed: %v", err)
+	}
+	edgeDRAM := dg.Edges.HomedBytes(memsys.SpaceHostPinned)
+	edgeCXL := dg.Edges.HomedBytes(memsys.SpaceCXL)
+	if edgeDRAM == 0 || edgeCXL == 0 {
+		t.Fatalf("edge list should split across DRAM and CXL, got DRAM=%d CXL=%d", edgeDRAM, edgeCXL)
+	}
+	if edgeDRAM+edgeCXL != edgeBytes {
+		t.Errorf("edge homes do not cover the list: DRAM %d + CXL %d != %d", edgeDRAM, edgeCXL, edgeBytes)
+	}
+	wBytes := g.NumEdges() * 4
+	wDRAM := dg.Weights.HomedBytes(memsys.SpaceHostPinned)
+	wCXL := dg.Weights.HomedBytes(memsys.SpaceCXL)
+	if wDRAM+wCXL != wBytes {
+		t.Errorf("weight homes do not cover the list: DRAM %d + CXL %d != %d", wDRAM, wCXL, wBytes)
+	}
+	// DRAM was filled by the edge prefix; the capacity-aware weight plan
+	// must have pushed every weight segment that no longer fits out to CXL.
+	if free := dev.Arena().HostFree(); free < 0 || wDRAM > edgeBytes/2 {
+		t.Errorf("weight list overcommitted DRAM: %d weight bytes in DRAM, %d free", wDRAM, free)
+	}
+	src := graph.PickSources(g, 1, 43)[0]
+	res, err := SSSP(dev, dg, src, MergedAligned)
+	if err != nil {
+		t.Fatalf("SSSP over split weighted layout: %v", err)
+	}
+	if err := res.Validate(g); err != nil {
+		t.Errorf("split-layout SSSP wrong: %v", err)
+	}
+	if res.Stats.CXLRequests == 0 {
+		t.Error("traversal over CXL-homed segments recorded no CXL requests")
+	}
+	dg.Free(dev)
+	if got := dev.Arena().CXLUsed(); got != 0 {
+		t.Errorf("CXL bytes leaked after Free: %d", got)
+	}
+}
+
+// TestWeightsJustOverflowHomes is the boundary case: the edge list fits host
+// DRAM exactly, so only the weight list overflows (promoted from the PR 9
+// review scratch test). The edges must stay entirely DRAM-homed and the
+// weights must spill their tail to CXL — the upload used to OOM here because
+// the weight list inherited the edges' "everything fits" plan.
+func TestWeightsJustOverflowHomes(t *testing.T) {
+	t.Parallel()
+	g := graph.RMAT("woverflow", 8192, 24, 0.57, 0.19, 0.19, true, 1)
+	g.InitWeights(7, 1, 64)
+	edgeBytes := g.NumEdges() * 8
+	hostCap := edgeBytes + 4096 // edges fit, edges+weights do not
+	dev := threeTierDevice(hostCap, 4*edgeBytes, false)
+	dg, err := UploadPolicyPlaced(dev, g, StaticPolicyFor(ZeroCopy), 8, PlaceAuto)
+	if err != nil {
+		t.Fatalf("weights-overflow upload failed: %v", err)
+	}
+	if got := dg.Edges.HomedBytes(memsys.SpaceCXL); got != 0 {
+		t.Errorf("edge list fits DRAM but %d bytes landed on CXL", got)
+	}
+	if got := dg.Edges.HomedBytes(memsys.SpaceHostPinned); got != edgeBytes {
+		t.Errorf("edge list should be fully DRAM-homed: %d of %d bytes", got, edgeBytes)
+	}
+	wBytes := g.NumEdges() * 4
+	wDRAM := dg.Weights.HomedBytes(memsys.SpaceHostPinned)
+	wCXL := dg.Weights.HomedBytes(memsys.SpaceCXL)
+	if wCXL == 0 {
+		t.Fatalf("weight list should spill to CXL (DRAM=%d CXL=%d)", wDRAM, wCXL)
+	}
+	if wDRAM+wCXL != wBytes {
+		t.Errorf("weight homes do not cover the list: DRAM %d + CXL %d != %d", wDRAM, wCXL, wBytes)
+	}
+	src := graph.PickSources(g, 1, 43)[0]
+	res, err := SSSP(dev, dg, src, MergedAligned)
+	if err != nil {
+		t.Fatalf("SSSP over spilled weights: %v", err)
+	}
+	if err := res.Validate(g); err != nil {
+		t.Errorf("spilled-weights SSSP wrong: %v", err)
+	}
+	if res.Stats.CXLRequests == 0 {
+		t.Error("traversal over CXL-homed weights recorded no CXL requests")
+	}
+	dg.Free(dev)
+	if got := dev.Arena().CXLUsed(); got != 0 {
+		t.Errorf("CXL bytes leaked after Free: %d", got)
+	}
+}

@@ -41,11 +41,16 @@ func walkMerged(w *gpu.Warp, dg *DeviceGraph, v int64, srcVal uint32, aligned, n
 	if aligned {
 		first &^= dg.ElemsPerCacheLine() - 1
 	}
-	var srcArr [gpu.WarpSize]uint32
-	for l := range srcArr {
-		srcArr[l] = srcVal
+	// The arrays the visitor sees live in the worker's scratch, not on this
+	// frame: visit is an indirect call, so frame-local arrays passed to it
+	// would escape and every chunk would allocate (see scratch.go).
+	s := scratchOf(w)
+	for l := range s.src {
+		s.src[l] = srcVal
 	}
-	var wgt [gpu.WarpSize]uint32
+	if !needW {
+		s.wgt = [gpu.WarpSize]uint32{}
+	}
 	for i := first; i < int64(end); i += gpu.WarpSize {
 		var idx [gpu.WarpSize]int64
 		mask := gpu.MaskNone
@@ -62,11 +67,11 @@ func walkMerged(w *gpu.Warp, dg *DeviceGraph, v int64, srcVal uint32, aligned, n
 		if mask == gpu.MaskNone {
 			continue
 		}
-		dst := gatherEdges(w, dg, &idx, mask)
+		s.dst = gatherEdges(w, dg, &idx, mask)
 		if needW {
-			wgt = w.GatherU32(dg.Weights, &idx, mask)
+			s.wgt = w.GatherU32(dg.Weights, &idx, mask)
 		}
-		visit(w, mask, &dst, &wgt, &srcArr)
+		visit(w, mask, &s.dst, &s.wgt, &s.src)
 	}
 }
 
@@ -96,7 +101,13 @@ func walkStrided(w *gpu.Warp, dg *DeviceGraph, vbase int64, active gpu.Mask, src
 			}
 		}
 	}
-	var wgt [gpu.WarpSize]uint32
+	// Same scratch discipline as walkMerged: the visitor-visible arrays
+	// must not live on this frame. Callers pass srcVals pointing into the
+	// same scratch (or other launch-lived storage), never a frame-local.
+	s := scratchOf(w)
+	if !needW {
+		s.wgt = [gpu.WarpSize]uint32{}
+	}
 	for j := int64(0); j < maxDeg; j++ {
 		var idx [gpu.WarpSize]int64
 		mask := gpu.MaskNone
@@ -110,10 +121,10 @@ func walkStrided(w *gpu.Warp, dg *DeviceGraph, vbase int64, active gpu.Mask, src
 		if mask == gpu.MaskNone {
 			break
 		}
-		dst := gatherEdges(w, dg, &idx, mask)
+		s.dst = gatherEdges(w, dg, &idx, mask)
 		if needW {
-			wgt = w.GatherU32(dg.Weights, &idx, mask)
+			s.wgt = w.GatherU32(dg.Weights, &idx, mask)
 		}
-		visit(w, mask, &dst, &wgt, srcVals)
+		visit(w, mask, &s.dst, &s.wgt, srcVals)
 	}
 }

@@ -117,6 +117,15 @@ type Config struct {
 	// Naive-vs-UVM ratio (paper: 0.73x on average; see the thrash
 	// sensitivity ablation for the sweep this value came from).
 	ThrashSensitivity float64
+
+	// ReorderWindow enables the IARU-style reorder stage (reorder.go): the
+	// number of off-device 32B sectors a warp buffers before a
+	// line-regrouped flush. 0 (the default) disables the stage and is
+	// bit-identical to the pre-reorder engine; positive values are clamped
+	// up to one full 128B line (4 sectors). Larger windows see more
+	// cross-slice locality and merge more requests, at the cost of modeled
+	// reorder-unit capacity (DESIGN.md §17).
+	ReorderWindow int
 }
 
 // KernelStats aggregates one kernel launch's activity and its simulated
@@ -176,6 +185,16 @@ type KernelStats struct {
 	FaultedReads  uint64
 	LatencySpikes uint64
 
+	// Reorder-stage activity (zero unless Config.ReorderWindow > 0).
+	// ReorderMerged counts off-device requests the window eliminated:
+	// pre-reorder coalesced runs buffered minus line-regrouped requests
+	// dispatched. ReorderFlushes counts window drains and
+	// ReorderWindowSectors sums the window occupancy at each drain, so
+	// ReorderWindowSectors/ReorderFlushes is the mean occupancy.
+	ReorderMerged        uint64
+	ReorderFlushes       uint64
+	ReorderWindowSectors uint64
+
 	// Roofline terms, in seconds. The CXL pair accumulates occupancy of
 	// the external tier's link, which drains in parallel with the PCIe
 	// link (separate physical channels).
@@ -212,6 +231,9 @@ func (s *KernelStats) Add(o *KernelStats) {
 	}
 	s.FaultedReads += o.FaultedReads
 	s.LatencySpikes += o.LatencySpikes
+	s.ReorderMerged += o.ReorderMerged
+	s.ReorderFlushes += o.ReorderFlushes
+	s.ReorderWindowSectors += o.ReorderWindowSectors
 	s.WireSeconds += o.WireSeconds
 	s.TagSeconds += o.TagSeconds
 	s.CXLWireSeconds += o.CXLWireSeconds
@@ -224,31 +246,34 @@ func (s *KernelStats) Add(o *KernelStats) {
 // isolate one run's activity.
 func (s KernelStats) Sub(prev KernelStats) KernelStats {
 	return KernelStats{
-		Name:             s.Name,
-		Warps:            s.Warps - prev.Warps,
-		WarpInstrs:       s.WarpInstrs - prev.WarpInstrs,
-		HBMBytes:         s.HBMBytes - prev.HBMBytes,
-		PCIeRequests:     s.PCIeRequests - prev.PCIeRequests,
-		PCIePayloadBytes: s.PCIePayloadBytes - prev.PCIePayloadBytes,
-		HostDRAMBytes:    s.HostDRAMBytes - prev.HostDRAMBytes,
-		CXLRequests:      s.CXLRequests - prev.CXLRequests,
-		CXLPayloadBytes:  s.CXLPayloadBytes - prev.CXLPayloadBytes,
-		CXLMemBytes:      s.CXLMemBytes - prev.CXLMemBytes,
-		UVMMigrations:    s.UVMMigrations - prev.UVMMigrations,
-		UVMHits:          s.UVMHits - prev.UVMHits,
-		ZCSectorReuses:   s.ZCSectorReuses - prev.ZCSectorReuses,
-		ZCActiveLanes:    s.ZCActiveLanes - prev.ZCActiveLanes,
-		ZCRefetches:      s.ZCRefetches - prev.ZCRefetches,
-		MaxWarpHostReqs:  s.MaxWarpHostReqs, // max-aggregated; delta is the value itself
-		MaxWarpCXLReqs:   s.MaxWarpCXLReqs,
-		FaultedReads:     s.FaultedReads - prev.FaultedReads,
-		LatencySpikes:    s.LatencySpikes - prev.LatencySpikes,
-		WireSeconds:      s.WireSeconds - prev.WireSeconds,
-		TagSeconds:       s.TagSeconds - prev.TagSeconds,
-		CXLWireSeconds:   s.CXLWireSeconds - prev.CXLWireSeconds,
-		CXLTagSeconds:    s.CXLTagSeconds - prev.CXLTagSeconds,
-		UVMSerialSeconds: s.UVMSerialSeconds - prev.UVMSerialSeconds,
-		Elapsed:          s.Elapsed - prev.Elapsed,
+		Name:                 s.Name,
+		Warps:                s.Warps - prev.Warps,
+		WarpInstrs:           s.WarpInstrs - prev.WarpInstrs,
+		HBMBytes:             s.HBMBytes - prev.HBMBytes,
+		PCIeRequests:         s.PCIeRequests - prev.PCIeRequests,
+		PCIePayloadBytes:     s.PCIePayloadBytes - prev.PCIePayloadBytes,
+		HostDRAMBytes:        s.HostDRAMBytes - prev.HostDRAMBytes,
+		CXLRequests:          s.CXLRequests - prev.CXLRequests,
+		CXLPayloadBytes:      s.CXLPayloadBytes - prev.CXLPayloadBytes,
+		CXLMemBytes:          s.CXLMemBytes - prev.CXLMemBytes,
+		UVMMigrations:        s.UVMMigrations - prev.UVMMigrations,
+		UVMHits:              s.UVMHits - prev.UVMHits,
+		ZCSectorReuses:       s.ZCSectorReuses - prev.ZCSectorReuses,
+		ZCActiveLanes:        s.ZCActiveLanes - prev.ZCActiveLanes,
+		ZCRefetches:          s.ZCRefetches - prev.ZCRefetches,
+		MaxWarpHostReqs:      s.MaxWarpHostReqs, // max-aggregated; delta is the value itself
+		MaxWarpCXLReqs:       s.MaxWarpCXLReqs,
+		FaultedReads:         s.FaultedReads - prev.FaultedReads,
+		LatencySpikes:        s.LatencySpikes - prev.LatencySpikes,
+		ReorderMerged:        s.ReorderMerged - prev.ReorderMerged,
+		ReorderFlushes:       s.ReorderFlushes - prev.ReorderFlushes,
+		ReorderWindowSectors: s.ReorderWindowSectors - prev.ReorderWindowSectors,
+		WireSeconds:          s.WireSeconds - prev.WireSeconds,
+		TagSeconds:           s.TagSeconds - prev.TagSeconds,
+		CXLWireSeconds:       s.CXLWireSeconds - prev.CXLWireSeconds,
+		CXLTagSeconds:        s.CXLTagSeconds - prev.CXLTagSeconds,
+		UVMSerialSeconds:     s.UVMSerialSeconds - prev.UVMSerialSeconds,
+		Elapsed:              s.Elapsed - prev.Elapsed,
 	}
 }
 
@@ -282,6 +307,19 @@ type Device struct {
 	// may bind segments to UVM mid-run, and the UVM manager's LRU
 	// bookkeeping is order-dependent, so such launches must not be sharded.
 	forceSerial bool
+
+	// Reused launch scratch (launch.go): the persistent serial-path warp
+	// with its size-class counters, the parallel shard pool, and a chunked
+	// KernelStats slab, so steady-state launches allocate nothing. Chunks
+	// are never moved or shrunk; ResetStats just rewinds ksUsed, which
+	// invalidates KernelStats pointers handed out before the reset.
+	serialWarp Warp
+	serialZC   [zcSizeClasses]uint64
+	serialCXL  [zcSizeClasses]uint64
+	shardPool  []*launchShard
+	ksChunks   [][]KernelStats
+	ksUsed     int
+	lc         launchConfig
 }
 
 // NewDevice creates a device with a fresh memory arena and UVM manager.
@@ -422,10 +460,14 @@ func (d *Device) Total() KernelStats { return d.total }
 
 // ResetStats clears the clock, kernel log, monitor, and UVM statistics,
 // but keeps allocations and UVM residency. Use ResetUVMResidency for a cold
-// run.
+// run. Capacity is retained — the kernel log and the stats slab behind it
+// are rewound, not freed — so steady-state reset+run cycles allocate
+// nothing; KernelStats pointers obtained from Kernels before the reset are
+// invalidated (their backing slots will be reused).
 func (d *Device) ResetStats() {
 	d.clock = 0
-	d.kernels = nil
+	d.kernels = d.kernels[:0]
+	d.ksUsed = 0
 	d.total = KernelStats{}
 	d.mon.Reset()
 }

@@ -48,14 +48,48 @@ func ShardRange(warps, workers, i int) (lo, hi int) {
 }
 
 // launchShard is one worker's private accumulation state: a stats shard, a
-// private traffic monitor, and the per-size zero-copy request counts. All
-// fields merge commutatively (or in ascending shard order, for traces) at
-// the launch barrier.
+// private traffic monitor, the per-size zero-copy request counts, and the
+// worker's persistent warp. All counting fields merge commutatively (or in
+// ascending shard order, for traces) at the launch barrier. Shards live in
+// the device's pool and are reused across launches, so a worker index keeps
+// its warp — and the warp's kernel-private Local scratch — for the lifetime
+// of the device.
 type launchShard struct {
 	ks        KernelStats
 	mon       pcie.Monitor
 	zcBySize  [zcSizeClasses]uint64
 	cxlBySize [zcSizeClasses]uint64
+	w         Warp
+}
+
+// ksChunkSize is the KernelStats slab chunk: big enough that multi-round
+// traversals stop growing the slab quickly, small enough not to matter on
+// tiny devices.
+const ksChunkSize = 64
+
+// newLaunchStats hands out a zeroed *KernelStats from the device's chunked
+// slab. Chunks are never moved, so the pointer stays valid until ResetStats
+// rewinds the slab.
+func (d *Device) newLaunchStats(name string, warps int) *KernelStats {
+	ci, cj := d.ksUsed/ksChunkSize, d.ksUsed%ksChunkSize
+	if ci == len(d.ksChunks) {
+		d.ksChunks = append(d.ksChunks, make([]KernelStats, ksChunkSize))
+	}
+	d.ksUsed++
+	ks := &d.ksChunks[ci][cj]
+	*ks = KernelStats{Name: name, Warps: warps}
+	return ks
+}
+
+// reorderCap resolves the effective reorder-window bound: 0 when the stage
+// is off, otherwise at least one full 128B line so any single coalesced run
+// fits an empty window.
+func (d *Device) reorderCap() int {
+	c := d.cfg.ReorderWindow
+	if c > 0 && c < minReorderWindow {
+		c = minReorderWindow
+	}
+	return c
 }
 
 // workerCount resolves the effective worker count for a launch.
@@ -80,7 +114,12 @@ func (d *Device) workerCount(warps int, lc *launchConfig) int {
 	return n
 }
 
-// runWarpRange executes warp IDs [lo, hi) on w in ascending order.
+// runWarpRange executes warp IDs [lo, hi) on w in ascending order. The
+// reorder window drains at each warp's end — before the critical-path fold,
+// since flushed requests still belong to the warp that buffered them — so
+// no request ever crosses a warp boundary and sharded launches stay
+// bit-identical to serial ones. w.Local is deliberately not reset: it is
+// the kernel's per-worker scratch.
 func runWarpRange(w *Warp, lo, hi int, body func(w *Warp)) {
 	for id := lo; id < hi; id++ {
 		w.id = id
@@ -90,6 +129,7 @@ func runWarpRange(w *Warp, lo, hi int, body func(w *Warp)) {
 		w.cxlReqs = 0
 		w.faultSeq = 0
 		body(w)
+		w.flushReorder()
 		w.ks.ZCActiveLanes += uint64(Mask(w.zcLanes).Count())
 		w.flushCriticalPath()
 	}
@@ -104,39 +144,65 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 	if warps < 0 {
 		panic(fmt.Sprintf("gpu: Launch %q with negative warp count %d", name, warps))
 	}
-	var lc launchConfig
+	// The option scratch lives on the device, not this frame: &lc of a local
+	// would escape through the indirect option calls and heap-allocate on
+	// every launch, breaking the zero-alloc round contract. Launches on one
+	// device are never concurrent, so the field is safe to reuse.
+	d.lc = launchConfig{}
+	lc := &d.lc
 	for _, o := range opts {
-		o(&lc)
+		o(lc)
 	}
-	workers := d.workerCount(warps, &lc)
+	workers := d.workerCount(warps, lc)
+	rcap := d.reorderCap()
 
-	ks := &KernelStats{Name: name, Warps: warps}
+	ks := d.newLaunchStats(name, warps)
 	if workers == 1 {
 		// Serial fast path: accumulate straight into the launch stats and
-		// the device monitor, exactly like the historical engine.
-		var zc, cxl [zcSizeClasses]uint64
-		w := Warp{dev: d, ks: ks, mon: &d.mon, zcBySize: &zc, cxlBySize: &cxl}
-		runWarpRange(&w, 0, warps, body)
-		d.finish(ks, &zc, &cxl, 1)
+		// the device monitor through the device's persistent warp, exactly
+		// like the historical engine but with zero per-launch allocations.
+		d.serialZC = [zcSizeClasses]uint64{}
+		d.serialCXL = [zcSizeClasses]uint64{}
+		w := &d.serialWarp
+		w.dev = d
+		w.ks = ks
+		w.mon = &d.mon
+		w.zcBySize = &d.serialZC
+		w.cxlBySize = &d.serialCXL
+		w.reorderCap = rcap
+		runWarpRange(w, 0, warps, body)
+		d.finish(ks, &d.serialZC, &d.serialCXL, 1)
 		return ks
 	}
 
-	shards := make([]launchShard, workers)
+	for len(d.shardPool) < workers {
+		d.shardPool = append(d.shardPool, &launchShard{})
+	}
+	shards := d.shardPool[:workers]
 	traceLimit := d.mon.TraceLimit()
 	var wg sync.WaitGroup
-	for i := range shards {
-		sh := &shards[i]
-		if traceLimit > 0 {
+	for i, sh := range shards {
+		sh.ks = KernelStats{}
+		sh.zcBySize = [zcSizeClasses]uint64{}
+		sh.cxlBySize = [zcSizeClasses]uint64{}
+		sh.mon.Reset()
+		if traceLimit != sh.mon.TraceLimit() {
 			// Give each shard the full budget; the ordered merge below
 			// truncates at the device monitor's remaining capacity.
 			sh.mon.EnableTrace(traceLimit)
 		}
 		lo, hi := ShardRange(warps, workers, i)
+		w := &sh.w
+		w.dev = d
+		w.ks = &sh.ks
+		w.mon = &sh.mon
+		w.zcBySize = &sh.zcBySize
+		w.cxlBySize = &sh.cxlBySize
+		w.reorderCap = rcap
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			w := Warp{dev: d, ks: &sh.ks, mon: &sh.mon, zcBySize: &sh.zcBySize, cxlBySize: &sh.cxlBySize}
-			runWarpRange(&w, lo, hi, body)
+			runWarpRange(w, lo, hi, body)
 		}()
 	}
 	wg.Wait()
@@ -145,8 +211,7 @@ func (d *Device) Launch(name string, warps int, body func(w *Warp), opts ...Laun
 	// ranges, concatenating their monitor traces reproduces the serial
 	// arrival order; every counter merge is a sum or a max.
 	var zc, cxl [zcSizeClasses]uint64
-	for i := range shards {
-		sh := &shards[i]
+	for _, sh := range shards {
 		ks.Add(&sh.ks)
 		for j, n := range sh.zcBySize {
 			zc[j] += n

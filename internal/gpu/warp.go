@@ -99,6 +99,21 @@ type Warp struct {
 	// launch was sharded across host workers. Reset per warp by
 	// runWarpRange; unused when no FaultHook is attached.
 	faultSeq uint64
+
+	// reorder is the IARU-style reorder window (see reorder.go): buffered
+	// off-device sectors awaiting a line-regrouped flush. reorderCap > 0
+	// enables the stage; reorderBase counts the coalesced runs buffered
+	// since the last flush (the pre-reorder request baseline). The slice's
+	// capacity persists across warps and launches.
+	reorder     []reorderEntry
+	reorderCap  int
+	reorderBase uint64
+
+	// Local is kernel-private per-worker scratch. The launch machinery
+	// never touches it: it persists across warps, launches, and runs, so
+	// kernels can reuse allocation-free state (e.g. the traversal engine's
+	// walk buffers) for the lifetime of the executing worker.
+	Local any
 }
 
 // ID returns the warp's global index within the launch grid.
@@ -204,13 +219,25 @@ func (w *Warp) access(buf *memsys.Buffer, off *[WarpSize]int64, mask Mask, write
 		}
 	}
 	s = s[:m]
-	// Emit one request per contiguous sector run within a 128B line.
+	// Emit one request per contiguous sector run within a 128B line. With
+	// the reorder stage enabled, off-device runs are buffered in the window
+	// instead (reorder.go) and dispatched line-regrouped at flush time;
+	// on-device and UVM runs always dispatch immediately (UVM page state is
+	// dispatch-order-dependent).
 	runStart := 0
 	for i := 1; i <= m; i++ {
 		if i < m && s[i] == s[i-1]+1 && s[i]>>2 == s[runStart]>>2 {
 			continue
 		}
 		first := s[runStart]
+		if w.reorderCap > 0 {
+			sp := buf.SpaceAt(int64(first<<5 - buf.Base))
+			if sp == memsys.SpaceHostPinned || sp == memsys.SpaceCXL {
+				w.reorderPush(buf, s, runStart, i)
+				runStart = i
+				continue
+			}
+		}
 		size := (i - runStart) * memsys.SectorBytes
 		w.dispatch(buf, first<<5, size)
 		runStart = i

@@ -11,6 +11,8 @@ package memsys
 import (
 	"encoding/binary"
 	"fmt"
+
+	"repro/internal/pcie"
 )
 
 // Space identifies where a buffer physically lives and therefore which
@@ -291,13 +293,17 @@ type Arena struct {
 // validated TierStack and also attaches an external tier's cost model when
 // the stack has one. NewTieredArena on a two-tier stack is equivalent.
 func NewArena(gpuCapacity, hostCapacity int64) *Arena {
-	return &Arena{
-		// Start away from address zero and keep the base 4KB-aligned,
-		// like a real allocator would.
-		nextVA:       1 << 20,
-		GPUCapacity:  gpuCapacity,
-		HostCapacity: hostCapacity,
+	// Delegate through the tiered constructor with placeholder models: the
+	// arena only consumes the stack's capacities, so the shim stays
+	// infallible (the synthesized stack always validates) and zero
+	// capacities keep meaning "unlimited".
+	a, err := NewTieredArena(TwoTier(gpuCapacity, hostCapacity,
+		DRAMModel{Name: "hbm"}, DRAMModel{Name: "dram"},
+		pcie.LinkConfig{RawBytesPerSec: 1}))
+	if err != nil {
+		panic("memsys: " + err.Error()) // unreachable: the synthesized stack is well-formed
 	}
+	return a
 }
 
 // AllocOption adjusts allocation placement.

@@ -173,11 +173,19 @@ func CXLExpander() DRAMModel {
 // NewTieredArena creates an arena whose capacities come from a tier stack:
 // HBM capacity for GPU allocations, DRAM capacity for pinned/UVM backing,
 // and — when the stack has one — the CXL tier attached for SpaceCXL homes.
+// This is the arena's primary constructor; the deprecated NewArena shim
+// delegates here through a synthesized two-tier stack.
 func NewTieredArena(ts TierStack) (*Arena, error) {
 	if err := ts.Validate(); err != nil {
 		return nil, err
 	}
-	a := NewArena(ts.HBM().CapacityBytes, ts.DRAM().CapacityBytes)
+	a := &Arena{
+		// Start away from address zero and keep the base 4KB-aligned,
+		// like a real allocator would.
+		nextVA:       1 << 20,
+		GPUCapacity:  ts.HBM().CapacityBytes,
+		HostCapacity: ts.DRAM().CapacityBytes,
+	}
 	if cxl := ts.CXL(); cxl != nil {
 		a.AttachCXLTier(cxl)
 	}

@@ -191,7 +191,7 @@ func (m *Monitor) AverageBandwidth() float64 { return m.series.TimeWeightedMean(
 func (m *Monitor) Reset() {
 	m.sizeHist.Reset()
 	m.wireBytes = 0
-	m.series = stats.TimeSeries{}
+	m.series.Reset()
 	m.intervalBytes = 0
 	m.intervalStart = 0
 	m.classReqs = [numTransferClasses]uint64{}

@@ -86,9 +86,11 @@ func (h *Histogram) Merge(other *Histogram) {
 	}
 }
 
-// Reset discards all observations.
+// Reset discards all observations. The bucket map is retained (cleared, not
+// dropped), so reset+record cycles over a stable key set — the traffic
+// monitor's per-run lifecycle — do not allocate.
 func (h *Histogram) Reset() {
-	h.counts = nil
+	clear(h.counts)
 	h.total = 0
 	h.sum = 0
 }

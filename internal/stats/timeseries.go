@@ -28,6 +28,11 @@ func (ts *TimeSeries) Append(t time.Duration, v float64) {
 // series and must not be mutated.
 func (ts *TimeSeries) Points() []Point { return ts.pts }
 
+// Reset discards all samples but keeps the backing capacity, so steady-state
+// reset+sample cycles do not allocate. Samples handed out by Points before
+// the reset are invalidated (their slots will be rewritten).
+func (ts *TimeSeries) Reset() { ts.pts = ts.pts[:0] }
+
 // Len returns the number of samples.
 func (ts *TimeSeries) Len() int { return len(ts.pts) }
 

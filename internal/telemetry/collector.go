@@ -184,6 +184,12 @@ func (c *Collector) KernelDone(dev *gpu.Device, ks *gpu.KernelStats, workers, ma
 		"Kernel accesses served from already-resident UVM pages.", ls).Add(ks.UVMHits)
 	reg.Counter("emogi_zc_refetches_total",
 		"Zero-copy sector re-fetches charged by the L2 thrash model.", ls).Add(ks.ZCRefetches)
+	reg.Counter("emogi_reorder_merged_requests_total",
+		"Off-device requests eliminated by the coalescer's reorder window.", ls).Add(ks.ReorderMerged)
+	reg.Counter("emogi_reorder_flushes_total",
+		"Reorder window drains (warp ends and capacity flushes).", ls).Add(ks.ReorderFlushes)
+	reg.Counter("emogi_reorder_window_sectors_total",
+		"Buffered 32B sectors summed over reorder flushes; divide by flushes for mean window occupancy.", ls).Add(ks.ReorderWindowSectors)
 	reg.Counter("emogi_launch_worker_shards_total",
 		"Worker goroutines used, summed over launches.", ls).Add(uint64(workers))
 	reg.Gauge("emogi_launch_worker_utilization_ratio",

@@ -115,6 +115,48 @@ func TestCollectorMatchesDeviceCounters(t *testing.T) {
 	}
 }
 
+// TestCollectorReorderCounters runs a reorder-enabled device and checks the
+// window's activity — merged requests, flushes, summed occupancy — lands on
+// /metrics exactly as the device counts it.
+func TestCollectorReorderCounters(t *testing.T) {
+	col := NewCollector(nil, nil)
+	dev := gpu.NewDevice(gpu.Config{
+		Name:          "test-v100",
+		HBM:           memsys.HBM2V100(),
+		HostDRAM:      memsys.DDR4Quad(),
+		Link:          pcie.Gen3x16(),
+		ReorderWindow: 16,
+	})
+	dev.SetTelemetry(col)
+	g := testGraph(t)
+	src := graph.PickSources(g, 1, 71)[0]
+	dg, err := core.Upload(dev, g, core.ZeroCopy, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.Run(dev, dg, core.AppBFS, src, core.MergedAligned); err != nil {
+		t.Fatal(err)
+	}
+
+	series := parseSeries(t, render(t, col.Registry()))
+	total := dev.Total()
+	if total.ReorderFlushes == 0 || total.ReorderWindowSectors == 0 {
+		t.Fatalf("reorder stage did not engage: %+v", total)
+	}
+	for _, c := range []struct {
+		name string
+		want uint64
+	}{
+		{"emogi_reorder_merged_requests_total", total.ReorderMerged},
+		{"emogi_reorder_flushes_total", total.ReorderFlushes},
+		{"emogi_reorder_window_sectors_total", total.ReorderWindowSectors},
+	} {
+		if got := sumSeries(t, series, c.name); got != c.want {
+			t.Errorf("%s = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
 // TestCollectorTraceDroppedMetric drives the monitor past a tiny trace
 // limit and checks the dropped-entry count surfaces as a counter.
 func TestCollectorTraceDroppedMetric(t *testing.T) {
